@@ -1,0 +1,67 @@
+// Ablation C: sparse matrix-BLOCK-vector communication (SpMM-style).
+//
+// The split strategy was introduced for enlarged conjugate gradient methods
+// (paper §2.3.3, ref [16]) where each halo entry is a block of `b` vector
+// values, multiplying every message size by b: "within the context of a
+// sparse matrix-block vector multiplication, this scheme yields up to 60x
+// speedup over standard communication techniques."  This sweep measures the
+// split+MD speedup over standard as the block size grows.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/suitesparse_profiles.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+using namespace hetcomm::core;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const ParamSet params = lassen_params();
+  const int gpus = opts.quick ? 64 : 128;
+  const Topology topo(presets::lassen(gpus / 4));
+
+  const double scale = opts.quick ? 0.004 : 0.01;
+  const sparse::CsrMatrix matrix = sparse::generate_standin(
+      sparse::profile_by_name("audikw_1"), scale, 23);
+  const sparse::RowPartition part =
+      sparse::RowPartition::contiguous(matrix.rows(), gpus);
+
+  MeasureOptions mopts;
+  mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
+  mopts.noise_sigma = 0.02;
+
+  Table table({"block size", "standard (staged) [s]", "split+MD [s]",
+               "3-step (staged) [s]", "split speedup vs standard"});
+
+  for (const int block : {1, 4, 16, 64, 256}) {
+    // Each communicated vector entry is a block of `block` doubles.
+    const std::int64_t bytes_per_value = 8LL * block;
+    const CommPattern pattern =
+        sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
+
+    const auto time_for = [&](StrategyKind kind) {
+      const CommPlan plan =
+          build_plan(pattern, topo, params, {kind, MemSpace::Host});
+      return measure(plan, topo, params, mopts).max_avg;
+    };
+    const double standard = time_for(StrategyKind::Standard);
+    const double split = time_for(StrategyKind::SplitMD);
+    const double three = time_for(StrategyKind::ThreeStep);
+    table.add_row({std::to_string(block), Table::sci(standard),
+                   Table::sci(split), Table::sci(three),
+                   Table::num(standard / split, 2) + "x"});
+  }
+  opts.emit(table, "Ablation C -- block-vector (SpMM-style) sweep, "
+                   "audikw_1 stand-in, " + std::to_string(gpus) + " GPUs");
+  std::cout << "\nExpected: the split speedup over standard grows with the\n"
+               "block size as volumes enter the injection-limited regime\n"
+               "(the regime behind the paper's reported 60x for enlarged\n"
+               "CG block vectors).\n";
+  return 0;
+}

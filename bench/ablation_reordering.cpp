@@ -1,0 +1,79 @@
+// Ablation D: matrix preprocessing vs communication strategy.
+//
+// Two orthogonal levers reduce SpMV communication: (a) reordering the
+// matrix (reverse Cuthill-McKee) to shrink the halo itself, and (b) picking
+// a node-aware strategy to move the remaining halo efficiently.  This
+// ablation quantifies both, individually and combined, on a scrambled
+// banded matrix -- the regime where reordering matters most.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/reorder.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+using namespace hetcomm::core;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const ParamSet params = lassen_params();
+  const int gpus = opts.quick ? 32 : 64;
+  const Topology topo(presets::lassen(gpus / 4));
+  const std::int64_t n = opts.quick ? 4000 : 12000;
+
+  // A banded FEM matrix whose natural order was lost (e.g. arbitrary mesh
+  // numbering): random symmetric permutation of a band.
+  const sparse::CsrMatrix band =
+      sparse::banded_fem(n, n / 100, 12, 41, /*with_values=*/false);
+  std::vector<std::int64_t> shuffle(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) shuffle[static_cast<std::size_t>(i)] = i;
+  std::mt19937_64 rng(6);
+  std::shuffle(shuffle.begin(), shuffle.end(), rng);
+  const sparse::CsrMatrix scrambled =
+      sparse::permute_symmetric(band, sparse::Permutation(shuffle));
+  const sparse::CsrMatrix reordered = sparse::permute_symmetric(
+      scrambled, sparse::reverse_cuthill_mckee(scrambled));
+
+  std::cout << "Bandwidth: scrambled " << scrambled.bandwidth()
+            << ", after RCM " << reordered.bandwidth() << "\n\n";
+
+  MeasureOptions mopts;
+  mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
+  mopts.noise_sigma = 0.02;
+
+  const sparse::RowPartition part =
+      sparse::RowPartition::contiguous(n, gpus);
+
+  Table table({"ordering", "strategy", "halo volume", "time [s]",
+               "vs scrambled+standard"});
+  double baseline = 0.0;
+  for (const bool use_rcm : {false, true}) {
+    const sparse::CsrMatrix& m = use_rcm ? reordered : scrambled;
+    const CommPattern pattern =
+        sparse::spmv_comm_pattern(m, part, topo, /*bytes_per_value=*/512);
+    for (const StrategyKind kind :
+         {StrategyKind::Standard, StrategyKind::ThreeStep,
+          StrategyKind::SplitMD}) {
+      const CommPlan plan =
+          build_plan(pattern, topo, params, {kind, MemSpace::Host});
+      const double t = measure(plan, topo, params, mopts).max_avg;
+      if (!use_rcm && kind == StrategyKind::Standard) baseline = t;
+      table.add_row({use_rcm ? "RCM" : "scrambled", to_string(kind),
+                     Table::bytes(pattern.total_bytes()), Table::sci(t),
+                     Table::num(baseline / t, 2) + "x"});
+    }
+  }
+  opts.emit(table, "Ablation D -- RCM reordering x strategy (" +
+                       std::to_string(gpus) + " GPUs)");
+  std::cout << "\nExpected: RCM shrinks the halo itself (largest single\n"
+               "lever); node-aware strategies then compound on top.\n";
+  return 0;
+}

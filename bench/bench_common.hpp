@@ -1,0 +1,59 @@
+#pragma once
+// Shared helpers for the hetcomm benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper.  Common
+// command-line flags:
+//   --csv     emit CSV instead of aligned tables
+//   --quick   reduce iteration counts / sweep sizes (CI-friendly)
+//   --reps N  override repetition count
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchutil/table.hpp"
+
+namespace hetcomm::benchutil {
+
+struct BenchOptions {
+  bool csv = false;
+  bool quick = false;
+  int reps = -1;  ///< -1 = bench default
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        opts.csv = true;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        opts.quick = true;
+      } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+        opts.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::cout << "flags: --csv --quick --reps N\n";
+        std::exit(0);
+      }
+    }
+    return opts;
+  }
+
+  void emit(const Table& table, const std::string& title) const {
+    if (csv) {
+      std::cout << "# " << title << "\n";
+      table.print_csv(std::cout);
+    } else {
+      banner(std::cout, title);
+      table.print(std::cout);
+    }
+  }
+};
+
+/// Log-spaced message sizes from `lo` to `hi` (powers of two).
+inline std::vector<long long> pow2_sizes(long long lo, long long hi) {
+  std::vector<long long> out;
+  for (long long s = lo; s <= hi; s *= 2) out.push_back(s);
+  return out;
+}
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,53 @@
+// Figure 2.6: time to send a fixed data volume between two distinct nodes
+// when splitting it across ppn processes per node, for several volumes.
+// The minimum over ppn (circled in the paper) shifts right as volume grows:
+// splitting across many cores pays off for large volumes.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchutil/pingpong.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = lassen_params();
+
+  MeasureOpts mopts;
+  mopts.iterations = opts.reps > 0 ? opts.reps : (opts.quick ? 5 : 100);
+  mopts.noise_sigma = 0.02;
+
+  const std::vector<long long> volumes = {64LL << 10, 1LL << 20, 16LL << 20};
+  const std::vector<int> ppns = {1, 2, 4, 8, 16, 24, 32, 40};
+
+  std::vector<std::string> headers{"ppn"};
+  for (const long long v : volumes) headers.push_back(Table::bytes(v) + " [s]");
+  Table table(std::move(headers));
+
+  std::vector<double> best(volumes.size(), 1e99);
+  std::vector<int> best_ppn(volumes.size(), 0);
+  for (const int ppn : ppns) {
+    std::vector<std::string> row{std::to_string(ppn)};
+    for (std::size_t vi = 0; vi < volumes.size(); ++vi) {
+      const double t = node_pong(topo, params, 0, 1, ppn, volumes[vi] / ppn,
+                                 MemSpace::Host, mopts);
+      row.push_back(Table::sci(t));
+      if (t < best[vi]) {
+        best[vi] = t;
+        best_ppn[vi] = ppn;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  opts.emit(table, "Figure 2.6 -- node-to-node volume split across ppn procs");
+
+  std::cout << "\nMinimum times (the paper's circles):\n";
+  for (std::size_t vi = 0; vi < volumes.size(); ++vi) {
+    std::cout << "  " << Table::bytes(volumes[vi]) << ": ppn=" << best_ppn[vi]
+              << "  t=" << Table::sci(best[vi]) << " s\n";
+  }
+  return 0;
+}

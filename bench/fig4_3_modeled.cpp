@@ -1,0 +1,91 @@
+// Figure 4.3: modeled time for one node sending 32 or 256 inter-node
+// messages (distributed evenly across its GPUs) to 4 or 16 destination
+// nodes, over a message-size sweep, for every Table 5 strategy plus the
+// 2-Step best case ("2-Step 1"), with and without removing 25 % duplicate
+// data.  The minimum strategy per size is marked (the paper's bold lines),
+// excluding 2-Step 1 as the paper does.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/models/scenario.hpp"
+#include "core/models/strategy_models.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+using namespace hetcomm::core;
+
+namespace {
+
+struct Curve {
+  std::string name;
+  StrategyConfig config;
+  bool single_active_gpu = false;  // the 2-Step 1 variant
+  bool eligible_for_min = true;
+};
+
+std::vector<Curve> curves() {
+  std::vector<Curve> out;
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    out.push_back({cfg.name(), cfg, false, true});
+  }
+  out.push_back({"2-step 1 (staged)",
+                 {StrategyKind::TwoStep, MemSpace::Host}, true, false});
+  out.push_back({"2-step 1 (device-aware)",
+                 {StrategyKind::TwoStep, MemSpace::Device}, true, false});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const ParamSet params = lassen_params();
+  const Topology topo(presets::lassen(17));  // 1 sender + 16 receivers
+
+  const std::vector<long long> sizes =
+      opts.quick ? pow2_sizes(16, 1 << 16) : pow2_sizes(1, 1 << 20);
+
+  for (const int nodes : {4, 16}) {
+    for (const int messages : {32, 256}) {
+      for (const double dup : {0.0, 0.25}) {
+        models::PredictOptions popts;
+        popts.duplicate_fraction = dup;
+
+        std::vector<std::string> headers{"size"};
+        const std::vector<Curve> cs = curves();
+        for (const Curve& c : cs) headers.push_back(c.name + " [s]");
+        headers.push_back("min (excl. 2-step 1)");
+        Table table(std::move(headers));
+
+        for (const long long size : sizes) {
+          std::vector<std::string> row{Table::bytes(size)};
+          double best = 1e99;
+          std::string best_name = "?";
+          for (const Curve& c : cs) {
+            models::Scenario sc;
+            sc.num_dest_nodes = nodes;
+            sc.num_messages = messages;
+            sc.msg_bytes = size;
+            sc.single_active_gpu = c.single_active_gpu;
+            const PatternStats st = models::scenario_stats(topo, sc);
+            const double t =
+                models::predict(c.config, st, params, topo, popts);
+            row.push_back(Table::sci(t));
+            if (c.eligible_for_min && t < best) {
+              best = t;
+              best_name = c.name;
+            }
+          }
+          row.push_back(best_name);
+          table.add_row(std::move(row));
+        }
+        opts.emit(table, "Figure 4.3 -- " + std::to_string(nodes) +
+                             " dest nodes, " + std::to_string(messages) +
+                             " messages" +
+                             (dup > 0 ? ", 25% duplicate data removed" : ""));
+      }
+    }
+  }
+  return 0;
+}

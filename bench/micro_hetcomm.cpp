@@ -1,0 +1,94 @@
+// google-benchmark micro-benchmarks for the library's own hot paths:
+// discrete-event engine throughput, pattern extraction, plan construction,
+// and model evaluation.  These guard the simulator's performance, not the
+// paper's results.
+
+#include <benchmark/benchmark.h>
+
+#include "core/executor.hpp"
+#include "core/models/strategy_models.hpp"
+#include "core/strategy.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace hetcomm;
+using namespace hetcomm::core;
+
+void BM_EngineMessageThroughput(benchmark::State& state) {
+  const Topology topo(presets::lassen(4));
+  const ParamSet params = lassen_params();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine(topo, params, NoiseModel(1, 0.0));
+    for (int i = 0; i < n; ++i) {
+      const int src = i % topo.num_ranks();
+      const int dst = (i * 7 + 1) % topo.num_ranks();
+      if (src == dst) continue;
+      engine.isend(src, dst, 4096, i, MemSpace::Host);
+      engine.irecv(dst, src, 4096, i, MemSpace::Host);
+    }
+    engine.resolve();
+    benchmark::DoNotOptimize(engine.max_clock());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineMessageThroughput)->Arg(1000)->Arg(10000);
+
+void BM_SpmvPatternExtraction(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const sparse::CsrMatrix m = sparse::banded_fem(n, n / 50, 16, 3, false);
+  const sparse::RowPartition part = sparse::RowPartition::contiguous(n, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmv_comm_pattern(m, part));
+  }
+}
+BENCHMARK(BM_SpmvPatternExtraction)->Arg(10000)->Arg(100000);
+
+void BM_PlanConstruction(benchmark::State& state) {
+  const Topology topo(presets::lassen(8));
+  const ParamSet params = lassen_params();
+  const CommPattern pattern = random_pattern(topo, 16, 8192, 5);
+  const StrategyConfig cfg{static_cast<StrategyKind>(state.range(0)),
+                           MemSpace::Host};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_plan(pattern, topo, params, cfg));
+  }
+}
+BENCHMARK(BM_PlanConstruction)
+    ->Arg(static_cast<int>(StrategyKind::Standard))
+    ->Arg(static_cast<int>(StrategyKind::ThreeStep))
+    ->Arg(static_cast<int>(StrategyKind::TwoStep))
+    ->Arg(static_cast<int>(StrategyKind::SplitMD))
+    ->Arg(static_cast<int>(StrategyKind::SplitDD));
+
+void BM_ModelEvaluation(benchmark::State& state) {
+  const Topology topo(presets::lassen(8));
+  const ParamSet params = lassen_params();
+  const CommPattern pattern = random_pattern(topo, 16, 8192, 5);
+  const PatternStats st = compute_stats(pattern, topo);
+  for (auto _ : state) {
+    for (const StrategyConfig& cfg : table5_strategies()) {
+      benchmark::DoNotOptimize(models::predict(cfg, st, params, topo));
+    }
+  }
+}
+BENCHMARK(BM_ModelEvaluation);
+
+void BM_MeasureFullStrategy(benchmark::State& state) {
+  const Topology topo(presets::lassen(4));
+  const ParamSet params = lassen_params();
+  const CommPattern pattern = random_pattern(topo, 32, 4096, 9);
+  const CommPlan plan = build_plan(pattern, topo, params,
+                                   {StrategyKind::SplitMD, MemSpace::Host});
+  for (auto _ : state) {
+    Engine engine(topo, params, NoiseModel(1, 0.0));
+    benchmark::DoNotOptimize(run_plan(engine, plan));
+  }
+}
+BENCHMARK(BM_MeasureFullStrategy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 2: measured alpha/beta for inter-CPU and inter-GPU communication,
+// per protocol (short/eager/rendezvous) and placement (on-socket/on-node/
+// off-node), recovered with ping-pong sweeps + linear least squares --
+// the same methodology the paper used via BenchPress.
+//
+// On the simulator this round-trips the calibration: the fitted values must
+// match the injected Table 2 parameters, validating the measurement harness
+// itself.  Pointed at real MPI, the identical code would measure real
+// hardware.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchutil/lsq.hpp"
+#include "benchutil/pingpong.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = lassen_params();
+
+  MeasureOpts mopts;
+  mopts.iterations = opts.reps > 0 ? opts.reps : (opts.quick ? 20 : 1000);
+  mopts.noise_sigma = 0.01;
+
+  Table table({"space", "protocol", "path", "alpha fit [s]", "alpha ref [s]",
+               "beta fit [s/B]", "beta ref [s/B]", "R^2"});
+
+  for (const MemSpace space : {MemSpace::Host, MemSpace::Device}) {
+    for (const Protocol proto :
+         {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+      if (space == MemSpace::Device && proto == Protocol::Short) continue;
+      const std::vector<std::int64_t> sizes =
+          sizes_for_protocol(params.thresholds, space, proto);
+      for (const PathClass path :
+           {PathClass::OnSocket, PathClass::OnNode, PathClass::OffNode}) {
+        const auto [a, b] = rank_pair_for(topo, path);
+        const Sweep sweep =
+            ping_pong_sweep(topo, params, a, b, sizes, space, mopts);
+        const LinearFit fit = fit_linear(sweep.sizes, sweep.times);
+        const PostalParams& ref = params.messages.get(space, proto, path);
+        table.add_row({to_string(space), to_string(proto), to_string(path),
+                       Table::sci(fit.intercept), Table::sci(ref.alpha),
+                       Table::sci(fit.slope), Table::sci(ref.beta),
+                       Table::num(fit.r_squared, 4)});
+      }
+    }
+  }
+  opts.emit(table, "Table 2 -- postal parameters via ping-pong + LSQ");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 4: the NIC injection-bandwidth limit R_N^-1, recovered from
+// node-pong saturation: with enough processes injecting simultaneously the
+// per-node throughput plateaus at R_N, so time/byte over large aggregate
+// volumes fits R_N^-1.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "benchutil/lsq.hpp"
+#include "benchutil/pingpong.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = lassen_params();
+
+  MeasureOpts mopts;
+  mopts.iterations = opts.reps > 0 ? opts.reps : (opts.quick ? 5 : 200);
+  mopts.noise_sigma = 0.01;
+
+  // Saturate with all 40 processes, sweep aggregate volume, fit T ~ V/R_N.
+  const int ppn = topo.ppn();
+  std::vector<double> volumes, times;
+  Table sweep_table({"aggregate volume", "time [s]", "achieved [GB/s]"});
+  for (long long total = 16LL << 20; total <= (512LL << 20); total *= 2) {
+    const double t = node_pong(topo, params, 0, 1, ppn, total / ppn,
+                               MemSpace::Host, mopts);
+    volumes.push_back(static_cast<double>(total));
+    times.push_back(t);
+    sweep_table.add_row({Table::bytes(total), Table::sci(t),
+                         Table::num(static_cast<double>(total) / t / 1e9, 2)});
+  }
+  opts.emit(sweep_table, "Table 4 -- node-pong saturation sweep (ppn=40)");
+
+  const LinearFit fit = fit_linear(volumes, times);
+  Table result({"quantity", "fit", "reference (Table 4)"});
+  result.add_row({"R_N^-1 [s/B]", Table::sci(fit.slope),
+                  Table::sci(params.injection.inv_rate_cpu)});
+  result.add_row({"R_N [GB/s]", Table::num(1.0 / fit.slope / 1e9, 2),
+                  Table::num(1.0 / params.injection.inv_rate_cpu / 1e9, 2)});
+  opts.emit(result, "Table 4 -- injection-bandwidth limit");
+  return 0;
+}

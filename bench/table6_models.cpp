@@ -1,0 +1,96 @@
+// Table 6: the full strategy models, rendered by decomposing each
+// composition into its sub-model terms (T_off / T_on / T_on-split / T_copy)
+// on a reference pattern, so every formula of the paper's Table 6 is
+// visible as code-generated numbers.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/models/scenario.hpp"
+#include "core/models/strategy_models.hpp"
+#include "core/models/submodels.hpp"
+
+using namespace hetcomm;
+using namespace hetcomm::benchutil;
+using namespace hetcomm::core;
+using namespace hetcomm::core::models;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const ParamSet params = lassen_params();
+  const Topology topo(presets::lassen(17));
+
+  Scenario sc;
+  sc.num_dest_nodes = 16;
+  sc.num_messages = 256;
+  sc.msg_bytes = 4096;
+  const PatternStats st = scenario_stats(topo, sc);
+
+  std::cout << "Reference pattern (Table 7 statistics):\n"
+            << "  s_proc            = " << st.s_proc << " B\n"
+            << "  s_node            = " << st.s_node << " B\n"
+            << "  s_node->node      = " << st.s_node_node << " B\n"
+            << "  m_proc            = " << st.m_proc << "\n"
+            << "  m_proc->node      = " << st.m_proc_node << "\n"
+            << "  m_node->node      = " << st.m_node_node << "\n"
+            << "  destination nodes = " << st.num_internode_nodes << "\n";
+
+  Table table({"strategy", "T_off [s]", "T_on [s]", "T_copy [s]", "total [s]"});
+
+  // Sub-model decompositions matching Table 6 row by row.
+  const double ton3 = 2.0 * t_on(params, topo, MemSpace::Host, st.s_node_node);
+  const double ton3d = 2.0 * t_on(params, topo, MemSpace::Device,
+                                  st.s_node_node);
+  const double ton2 = t_on(params, topo, MemSpace::Host, st.s_proc);
+  const double ton2d = t_on(params, topo, MemSpace::Device, st.s_proc);
+  const double tonsplit1 =
+      2.0 * t_on_split(params, topo, st.s_node, 1, st.active_internode_gpus);
+  const double tonsplit4 =
+      2.0 * t_on_split(params, topo, st.s_node, 4, st.active_internode_gpus);
+  const double copy3 = t_copy(params, st.s_proc, st.s_node_node);
+
+  auto total_of = [&](StrategyKind k, MemSpace sp) {
+    return predict({k, sp}, st, params, topo);
+  };
+
+  table.add_row({"standard (staged, max-rate 2.2)",
+                 Table::sci(max_rate(params, MemSpace::Host, st.m_proc,
+                                     st.s_proc, st.s_node,
+                                     st.typical_msg_bytes)),
+                 "-", Table::sci(t_copy(params, st.s_proc, st.s_proc)),
+                 Table::sci(total_of(StrategyKind::Standard, MemSpace::Host))});
+  table.add_row({"standard (device, postal 2.1)",
+                 Table::sci(t_off_da(params, st.m_proc, st.s_proc,
+                                     st.typical_msg_bytes)),
+                 "-", "-",
+                 Table::sci(total_of(StrategyKind::Standard, MemSpace::Device))});
+  table.add_row({"3-step (staged)",
+                 Table::sci(t_off(params, st.m_node_node, st.s_node_node,
+                                  st.s_node, st.s_node_node)),
+                 Table::sci(ton3), Table::sci(copy3),
+                 Table::sci(total_of(StrategyKind::ThreeStep, MemSpace::Host))});
+  table.add_row({"3-step (device-aware)",
+                 Table::sci(t_off_da(params, st.m_node_node, st.s_node_node,
+                                     st.s_node_node)),
+                 Table::sci(ton3d), "-",
+                 Table::sci(total_of(StrategyKind::ThreeStep, MemSpace::Device))});
+  table.add_row({"2-step (staged)",
+                 Table::sci(t_off(params, st.m_proc_node, st.s_proc, st.s_node,
+                                  st.s_proc / st.m_proc_node)),
+                 Table::sci(ton2), Table::sci(copy3),
+                 Table::sci(total_of(StrategyKind::TwoStep, MemSpace::Host))});
+  table.add_row({"2-step (device-aware)",
+                 Table::sci(t_off_da(params, st.m_proc_node, st.s_proc,
+                                     st.s_proc / st.m_proc_node)),
+                 Table::sci(ton2d), "-",
+                 Table::sci(total_of(StrategyKind::TwoStep, MemSpace::Device))});
+  table.add_row({"split+MD", "(see total)", Table::sci(tonsplit1),
+                 Table::sci(copy3),
+                 Table::sci(total_of(StrategyKind::SplitMD, MemSpace::Host))});
+  table.add_row({"split+DD", "(see total)", Table::sci(tonsplit4),
+                 "(per-chunk)",
+                 Table::sci(total_of(StrategyKind::SplitDD, MemSpace::Host))});
+
+  opts.emit(table, "Table 6 -- strategy model compositions");
+  return 0;
+}

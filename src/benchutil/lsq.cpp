@@ -1,0 +1,47 @@
+#include "benchutil/lsq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetcomm::benchutil {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_linear: size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("fit_linear: need at least two points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("fit_linear: x is constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+PostalParams fit_postal(std::span<const double> sizes_bytes,
+                        std::span<const double> times_sec) {
+  const LinearFit fit = fit_linear(sizes_bytes, times_sec);
+  return PostalParams{fit.intercept, fit.slope};
+}
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,29 @@
+#pragma once
+// Linear least squares for postal-model fitting.
+//
+// The paper derives every Table 2/3 parameter pair as a linear
+// least-squares fit of measured ping-pong times against message size:
+// T(s) = alpha + beta * s.
+
+#include <span>
+
+#include "hetsim/params.hpp"
+
+namespace hetcomm::benchutil {
+
+struct LinearFit {
+  double intercept = 0.0;  ///< alpha
+  double slope = 0.0;      ///< beta
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares of y against x.  Requires >= 2 points and
+/// non-constant x.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Convenience: fit (sizes, times) to postal parameters.
+[[nodiscard]] PostalParams fit_postal(std::span<const double> sizes_bytes,
+                                      std::span<const double> times_sec);
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,66 @@
+#pragma once
+// Ping-pong / node-pong measurement harness (BenchPress-style, paper §3).
+//
+// These drive the simulator exactly the way BenchPress drives real
+// hardware: repeated timed exchanges between pinned processes, averaged
+// over iterations, ready for least-squares postal fits.  On the simulator
+// this round-trips the calibration (recovered parameters ~= injected ones,
+// modulo the engine's software overheads), which validates the measurement
+// pipeline itself.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hetsim/engine.hpp"
+
+namespace hetcomm::benchutil {
+
+struct MeasureOpts {
+  int iterations = 100;  ///< the paper uses 1000
+  std::uint64_t seed = 17;
+  double noise_sigma = 0.0;  ///< 0 = deterministic measurement
+};
+
+/// A representative pair of world ranks with the given relative placement.
+[[nodiscard]] std::pair<int, int> rank_pair_for(const Topology& topo,
+                                                PathClass path);
+
+/// Mean one-way time for a `bytes`-byte message between two world ranks.
+[[nodiscard]] double ping_pong(const Topology& topo, const ParamSet& params,
+                               int rank_a, int rank_b, std::int64_t bytes,
+                               MemSpace space, const MeasureOpts& opts = {});
+
+struct Sweep {
+  std::vector<double> sizes;  ///< bytes
+  std::vector<double> times;  ///< seconds
+};
+
+/// Ping-pong over a list of sizes (one fit input per protocol regime).
+[[nodiscard]] Sweep ping_pong_sweep(const Topology& topo,
+                                    const ParamSet& params, int rank_a,
+                                    int rank_b,
+                                    std::span<const std::int64_t> sizes,
+                                    MemSpace space,
+                                    const MeasureOpts& opts = {});
+
+/// Node-pong: `active_ppn` processes on node_a each send `bytes_per_proc`
+/// to their counterpart on node_b simultaneously; returns the mean time
+/// until the last byte lands.  Saturates the NIC injection limit as
+/// active_ppn grows (paper Table 4 / Figure 2.6).
+[[nodiscard]] double node_pong(const Topology& topo, const ParamSet& params,
+                               int node_a, int node_b, int active_ppn,
+                               std::int64_t bytes_per_proc, MemSpace space,
+                               const MeasureOpts& opts = {});
+
+/// Mean time for `np` processes to jointly copy `bytes_total` to/from one
+/// GPU (each copies bytes_total / np, concurrently).
+[[nodiscard]] double copy_time(const Topology& topo, const ParamSet& params,
+                               int gpu, CopyDir dir, std::int64_t bytes_total,
+                               int np, const MeasureOpts& opts = {});
+
+/// Message sizes covering one protocol regime of the machine, for fits.
+[[nodiscard]] std::vector<std::int64_t> sizes_for_protocol(
+    const ProtocolThresholds& thresholds, MemSpace space, Protocol proto);
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,67 @@
+#include "benchutil/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hetcomm::benchutil {
+
+namespace {
+void require_nonempty(std::span<const double> xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require_nonempty(xs, "variance");
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  require_nonempty(xs, "min_of");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  require_nonempty(xs, "max_of");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  require_nonempty(xs, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0,100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double geomean(std::span<const double> xs) {
+  require_nonempty(xs, "geomean");
+  double acc = 0.0;
+  for (const double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: nonpositive input");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,20 @@
+#pragma once
+// Small statistics helpers for benchmark reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetcomm::benchutil {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  ///< sample variance
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+/// Geometric mean (all inputs must be positive).
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+}  // namespace hetcomm::benchutil

@@ -1,0 +1,40 @@
+#pragma once
+// Aligned ASCII table / CSV printing for benchmark output.
+//
+// Every bench binary prints the rows/series of its paper table or figure
+// through this writer, so output is uniform and machine-parsable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetcomm::benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string sci(double v, int precision = 2);
+  [[nodiscard]] static std::string bytes(long long b);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 4.3 =====...").
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace hetcomm::benchutil

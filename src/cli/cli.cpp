@@ -1,0 +1,341 @@
+#include "cli/cli.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "benchutil/table.hpp"
+#include "core/advisor.hpp"
+#include "core/executor.hpp"
+#include "core/models/strategy_models.hpp"
+#include "core/models/submodels.hpp"
+#include "core/pattern_io.hpp"
+#include "core/strategy.hpp"
+#include "hetsim/engine.hpp"
+#include "hetsim/trace_export.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/suitesparse_profiles.hpp"
+
+namespace hetcomm::cli {
+
+namespace {
+
+using benchutil::Table;
+
+std::int64_t to_int(const std::string& v, const char* flag) {
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": " +
+                                v);
+  }
+}
+
+double to_double(const std::string& v, const char* flag) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": " +
+                                v);
+  }
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: hetcomm <compare|advise|model|params|trace> [flags]\n"
+      "  --machine lassen|summit|frontier|delta   (default lassen)\n"
+      "  --nodes N            machine size          (default 8)\n"
+      "  --pattern F.pattern | --matrix F.mtx | --standin NAME\n"
+      "  --gpus N             partition width for matrix inputs\n"
+      "  --strategy NAME      for `trace` (e.g. \"split+MD\")\n"
+      "  --taper T            attach a T:1 tapered fat-tree fabric\n"
+      "  --reps N --seed S --csv\n";
+}
+
+Options Options::parse(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    throw std::invalid_argument("missing command\n" + usage());
+  }
+  Options opts;
+  opts.command = args[0];
+  if (opts.command != "compare" && opts.command != "advise" &&
+      opts.command != "model" && opts.command != "params" &&
+      opts.command != "trace") {
+    throw std::invalid_argument("unknown command '" + opts.command + "'\n" +
+                                usage());
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for " + flag);
+      }
+      return args[++i];
+    };
+    if (flag == "--machine") {
+      opts.machine = value();
+    } else if (flag == "--nodes") {
+      opts.nodes = static_cast<int>(to_int(value(), "--nodes"));
+    } else if (flag == "--pattern") {
+      opts.pattern_file = value();
+    } else if (flag == "--matrix") {
+      opts.matrix_file = value();
+    } else if (flag == "--standin") {
+      opts.standin = value();
+    } else if (flag == "--gpus") {
+      opts.gpus = static_cast<int>(to_int(value(), "--gpus"));
+    } else if (flag == "--strategy") {
+      opts.strategy = value();
+    } else if (flag == "--taper") {
+      opts.taper = to_double(value(), "--taper");
+    } else if (flag == "--reps") {
+      opts.reps = static_cast<int>(to_int(value(), "--reps"));
+    } else if (flag == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(to_int(value(), "--seed"));
+    } else if (flag == "--csv") {
+      opts.csv = true;
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag + "'\n" + usage());
+    }
+  }
+  if (opts.nodes < 1) throw std::invalid_argument("--nodes must be >= 1");
+  if (opts.reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  const int sources = (opts.pattern_file.empty() ? 0 : 1) +
+                      (opts.matrix_file.empty() ? 0 : 1) +
+                      (opts.standin.empty() ? 0 : 1);
+  if (sources > 1) {
+    throw std::invalid_argument(
+        "pass at most one of --pattern / --matrix / --standin");
+  }
+  return opts;
+}
+
+Topology make_topology(const Options& opts) {
+  if (opts.machine == "lassen") return Topology(presets::lassen(opts.nodes));
+  if (opts.machine == "summit") return Topology(presets::summit(opts.nodes));
+  if (opts.machine == "frontier") {
+    return Topology(presets::frontier(opts.nodes));
+  }
+  if (opts.machine == "delta") return Topology(presets::delta(opts.nodes));
+  throw std::invalid_argument("unknown machine '" + opts.machine + "'");
+}
+
+ParamSet make_params(const Options& opts) {
+  if (opts.machine == "frontier") return frontier_params();
+  if (opts.machine == "delta") return delta_params();
+  // The paper treats Lassen and Summit as equivalent under Spectrum MPI.
+  return lassen_params();
+}
+
+core::CommPattern make_workload(const Options& opts, const Topology& topo) {
+  if (!opts.pattern_file.empty()) {
+    core::CommPattern p = core::read_pattern_file(opts.pattern_file);
+    if (p.num_gpus() != topo.num_gpus()) {
+      throw std::invalid_argument("pattern GPU count (" +
+                                  std::to_string(p.num_gpus()) +
+                                  ") does not match the machine (" +
+                                  std::to_string(topo.num_gpus()) + ")");
+    }
+    return p;
+  }
+  const int gpus = opts.gpus > 0 ? opts.gpus : topo.num_gpus();
+  if (gpus != topo.num_gpus()) {
+    throw std::invalid_argument("--gpus must equal the machine's GPU count (" +
+                                std::to_string(topo.num_gpus()) + ")");
+  }
+  if (!opts.matrix_file.empty()) {
+    const sparse::CsrMatrix m =
+        sparse::read_matrix_market_file(opts.matrix_file);
+    const sparse::RowPartition part =
+        sparse::RowPartition::contiguous(m.rows(), gpus);
+    return sparse::spmv_comm_pattern(m, part, topo);
+  }
+  if (!opts.standin.empty()) {
+    const sparse::CsrMatrix m = sparse::generate_standin(
+        sparse::profile_by_name(opts.standin), 0.01, opts.seed);
+    const sparse::RowPartition part =
+        sparse::RowPartition::contiguous(m.rows(), gpus);
+    return sparse::spmv_comm_pattern(m, part, topo, /*bytes_per_value=*/800);
+  }
+  return core::random_pattern(topo, 16, 4096, opts.seed);
+}
+
+namespace {
+
+void emit(const Options& opts, std::ostream& os, const Table& table,
+          const std::string& title) {
+  if (opts.csv) {
+    os << "# " << title << "\n";
+    table.print_csv(os);
+  } else {
+    benchutil::banner(os, title);
+    table.print(os);
+  }
+}
+
+core::MeasureResult measure_one(const Options& opts, const Topology& topo,
+                                const ParamSet& params,
+                                const core::CommPlan& plan) {
+  core::MeasureResult result;
+  result.summary = plan.summarize(topo);
+  result.per_rank_mean.assign(static_cast<std::size_t>(topo.num_ranks()), 0.0);
+  double makespan_sum = 0.0;
+  for (int rep = 0; rep < opts.reps; ++rep) {
+    Engine engine(topo, params,
+                  NoiseModel(opts.seed + static_cast<std::uint64_t>(rep),
+                             0.02));
+    if (opts.taper > 0.0) {
+      FatTreeConfig cfg;
+      cfg.taper = opts.taper;
+      cfg.nodes_per_pod = std::max(1, std::min(18, topo.num_nodes() / 2));
+      engine.set_fabric(cfg);
+    }
+    core::run_plan(engine, plan);
+    double makespan = 0.0;
+    for (int r = 0; r < topo.num_ranks(); ++r) {
+      result.per_rank_mean[static_cast<std::size_t>(r)] += engine.clock(r);
+      makespan = std::max(makespan, engine.clock(r));
+    }
+    makespan_sum += makespan;
+  }
+  for (double& t : result.per_rank_mean) t /= opts.reps;
+  result.max_avg = *std::max_element(result.per_rank_mean.begin(),
+                                     result.per_rank_mean.end());
+  result.makespan_mean = makespan_sum / opts.reps;
+  return result;
+}
+
+int cmd_compare(const Options& opts, std::ostream& os) {
+  const Topology topo = make_topology(opts);
+  const ParamSet params = make_params(opts);
+  const core::CommPattern pattern = make_workload(opts, topo);
+
+  Table table({"strategy", "time [s]", "net msgs", "net bytes", "vs best"});
+  struct Row {
+    std::string name;
+    double time;
+    core::PlanSummary summary;
+  };
+  std::vector<Row> rows;
+  double best = 1e99;
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
+    const core::MeasureResult r = measure_one(opts, topo, params, plan);
+    rows.push_back({cfg.name(), r.max_avg, r.summary});
+    best = std::min(best, r.max_avg);
+  }
+  for (const Row& r : rows) {
+    table.add_row({r.name, Table::sci(r.time),
+                   std::to_string(r.summary.internode_messages),
+                   std::to_string(r.summary.internode_bytes),
+                   Table::num(r.time / best, 2)});
+  }
+  emit(opts, os, table, "strategy comparison (" + opts.machine + ", " +
+                            std::to_string(opts.nodes) + " nodes)");
+  return 0;
+}
+
+int cmd_advise(const Options& opts, std::ostream& os) {
+  const Topology topo = make_topology(opts);
+  const core::Advisor advisor(topo, make_params(opts));
+  const core::CommPattern pattern = make_workload(opts, topo);
+  Table table({"rank", "strategy", "predicted [s]", "relative"});
+  int rank = 1;
+  for (const core::Recommendation& r : advisor.rank(pattern)) {
+    table.add_row({std::to_string(rank++), r.config.name(),
+                   Table::sci(r.predicted_seconds), Table::num(r.relative, 2)});
+  }
+  emit(opts, os, table, "model-driven ranking");
+  return 0;
+}
+
+int cmd_model(const Options& opts, std::ostream& os) {
+  const Topology topo = make_topology(opts);
+  const ParamSet params = make_params(opts);
+  const core::CommPattern pattern = make_workload(opts, topo);
+  const core::PatternStats st = core::compute_stats(pattern, topo);
+  Table stats_table({"Table 7 statistic", "value"});
+  stats_table.add_row({"s_proc [B]", std::to_string(st.s_proc)});
+  stats_table.add_row({"s_node [B]", std::to_string(st.s_node)});
+  stats_table.add_row({"s_node->node [B]", std::to_string(st.s_node_node)});
+  stats_table.add_row({"m_proc", std::to_string(st.m_proc)});
+  stats_table.add_row({"m_proc->node", std::to_string(st.m_proc_node)});
+  stats_table.add_row({"m_node->node", std::to_string(st.m_node_node)});
+  stats_table.add_row({"dedup s_node [B]", std::to_string(st.dedup_s_node)});
+  emit(opts, os, stats_table, "pattern statistics");
+
+  Table table({"strategy", "predicted [s]"});
+  for (const auto& [cfg, sec] :
+       core::models::predict_all(st, params, topo)) {
+    table.add_row({cfg.name(), Table::sci(sec)});
+  }
+  emit(opts, os, table, "Table 6 model predictions");
+  return 0;
+}
+
+int cmd_params(const Options& opts, std::ostream& os) {
+  const ParamSet params = make_params(opts);
+  Table table({"space", "protocol", "path", "alpha [s]", "beta [s/B]"});
+  for (const MemSpace space : {MemSpace::Host, MemSpace::Device}) {
+    for (const Protocol proto :
+         {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+      if (space == MemSpace::Device && proto == Protocol::Short) continue;
+      for (const PathClass path :
+           {PathClass::OnSocket, PathClass::OnNode, PathClass::OffNode}) {
+        const PostalParams& pp = params.messages.get(space, proto, path);
+        table.add_row({to_string(space), to_string(proto), to_string(path),
+                       Table::sci(pp.alpha), Table::sci(pp.beta)});
+      }
+    }
+  }
+  emit(opts, os, table, "message parameters (" + params.name + ")");
+
+  Table copies({"procs", "dir", "alpha [s]", "beta [s/B]"});
+  for (const int np : {1, params.copies.shared_procs}) {
+    for (const CopyDir dir : {CopyDir::HostToDevice, CopyDir::DeviceToHost}) {
+      const PostalParams cp = copy_params_for(params.copies, dir, np);
+      copies.add_row({std::to_string(np), to_string(dir),
+                      Table::sci(cp.alpha), Table::sci(cp.beta)});
+    }
+  }
+  emit(opts, os, copies, "copy parameters");
+  os << "R_N^-1 = " << Table::sci(params.injection.inv_rate_cpu)
+     << " s/B; eager limit = " << params.thresholds.eager_max << " B\n";
+  return 0;
+}
+
+int cmd_trace(const Options& opts, std::ostream& os) {
+  const Topology topo = make_topology(opts);
+  const ParamSet params = make_params(opts);
+  const core::CommPattern pattern = make_workload(opts, topo);
+  const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
+  const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
+
+  Engine engine(topo, params, NoiseModel(opts.seed, 0.0));
+  engine.set_tracing(true);
+  core::run_plan(engine, plan);
+  if (opts.csv) {
+    write_chrome_trace(os, engine.trace(), topo);
+  } else {
+    os << "strategy: " << cfg.name() << ", makespan "
+       << Table::sci(engine.max_clock()) << " s\n";
+    write_ascii_gantt(os, engine.trace());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const Options& opts, std::ostream& os) {
+  if (opts.command == "compare") return cmd_compare(opts, os);
+  if (opts.command == "advise") return cmd_advise(opts, os);
+  if (opts.command == "model") return cmd_model(opts, os);
+  if (opts.command == "params") return cmd_params(opts, os);
+  if (opts.command == "trace") return cmd_trace(opts, os);
+  throw std::logic_error("unreachable command");
+}
+
+}  // namespace hetcomm::cli

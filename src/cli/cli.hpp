@@ -1,0 +1,66 @@
+#pragma once
+// hetcomm command-line interface (library part, testable without a process).
+//
+// Subcommands:
+//   compare  run every strategy on a pattern/matrix and print the ranking
+//   advise   model-driven recommendation without simulation
+//   model    print the Table 6 model decomposition for a pattern
+//   params   print a machine's calibrated parameter set
+//   trace    execute one strategy and dump a Chrome-tracing JSON / Gantt
+//
+// Common flags:
+//   --machine lassen|summit|frontier|delta   (default lassen)
+//   --nodes N                                (default 8)
+//   --pattern FILE.pattern | --matrix FILE.mtx | --standin NAME
+//   --gpus N          partition width for matrix inputs (default all GPUs)
+//   --strategy NAME   (trace only; names per StrategyConfig::name())
+//   --taper T         attach a tapered fat-tree fabric
+//   --reps N  --seed S  --csv
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::cli {
+
+struct Options {
+  std::string command;
+  std::string machine = "lassen";
+  int nodes = 8;
+  std::string pattern_file;
+  std::string matrix_file;
+  std::string standin;
+  int gpus = 0;  ///< 0 = all GPUs of the machine
+  std::string strategy = "split+MD";
+  double taper = 0.0;  ///< 0 = no fabric
+  int reps = 15;
+  std::uint64_t seed = 1;
+  bool csv = false;
+
+  /// Parse argv (excluding the program name).  Throws std::invalid_argument
+  /// with a usage-style message on errors.
+  static Options parse(const std::vector<std::string>& args);
+};
+
+/// Resolve the machine preset named in the options.
+[[nodiscard]] Topology make_topology(const Options& opts);
+[[nodiscard]] ParamSet make_params(const Options& opts);
+
+/// Load/generate the workload pattern per the options (exactly one of
+/// --pattern / --matrix / --standin; --standin also accepts the six
+/// Figure 5.1 names).  Defaults to a random pattern when none is given.
+[[nodiscard]] core::CommPattern make_workload(const Options& opts,
+                                              const Topology& topo);
+
+/// Execute the requested subcommand, writing human/CSV output to `os`.
+/// Returns a process exit code.
+int run(const Options& opts, std::ostream& os);
+
+/// Usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace hetcomm::cli

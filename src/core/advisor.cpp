@@ -1,0 +1,39 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetcomm::core {
+
+std::vector<Recommendation> Advisor::rank(const CommPattern& pattern,
+                                          const AdvisorOptions& options) const {
+  const PatternStats stats = compute_stats(pattern, topo_);
+  std::vector<Recommendation> out;
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    if (options.staged_only && cfg.transport == MemSpace::Device) continue;
+    out.push_back(
+        {cfg, models::predict(cfg, stats, params_, topo_, options.predict),
+         1.0});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.predicted_seconds < b.predicted_seconds;
+                   });
+  if (!out.empty() && out.front().predicted_seconds > 0.0) {
+    for (Recommendation& r : out) {
+      r.relative = r.predicted_seconds / out.front().predicted_seconds;
+    }
+  }
+  return out;
+}
+
+Recommendation Advisor::best(const CommPattern& pattern,
+                             const AdvisorOptions& options) const {
+  const std::vector<Recommendation> ranked = rank(pattern, options);
+  if (ranked.empty()) {
+    throw std::logic_error("Advisor::best: no strategies to rank");
+  }
+  return ranked.front();
+}
+
+}  // namespace hetcomm::core

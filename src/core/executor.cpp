@@ -1,0 +1,73 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hetcomm::core {
+
+std::vector<double> run_plan(Engine& engine, const CommPlan& plan) {
+  for (const PlanPhase& phase : plan.phases) {
+    for (const PlanOp& op : phase.ops) {
+      switch (op.type) {
+        case OpType::Message:
+          engine.isend(op.src_rank, op.dst_rank, op.bytes, op.tag, op.space);
+          engine.irecv(op.dst_rank, op.src_rank, op.bytes, op.tag, op.space);
+          break;
+        case OpType::Copy:
+          engine.copy(op.rank, op.gpu, op.dir, op.bytes, op.sharing_procs);
+          break;
+        case OpType::Pack:
+          engine.pack(op.rank, op.bytes);
+          break;
+      }
+    }
+    if (engine.has_pending()) engine.resolve();
+  }
+
+  std::vector<double> clocks(static_cast<std::size_t>(engine.topology().num_ranks()));
+  for (std::size_t r = 0; r < clocks.size(); ++r) {
+    clocks[r] = engine.clock(static_cast<int>(r));
+  }
+  return clocks;
+}
+
+MeasureResult measure(const CommPlan& plan, const Topology& topo,
+                      const ParamSet& params, const MeasureOptions& options) {
+  if (options.reps < 1) {
+    throw std::invalid_argument("measure: reps must be >= 1");
+  }
+
+  MeasureResult result;
+  result.summary = plan.summarize(topo);
+  result.per_rank_mean.assign(static_cast<std::size_t>(topo.num_ranks()), 0.0);
+  result.makespan_min = std::numeric_limits<double>::infinity();
+  result.makespan_max = 0.0;
+
+  for (int rep = 0; rep < options.reps; ++rep) {
+    Engine engine(topo, params,
+                  NoiseModel(options.seed + static_cast<std::uint64_t>(rep),
+                             options.noise_sigma));
+    if (options.trace_last_rep && rep == options.reps - 1) {
+      engine.set_tracing(true);
+    }
+    const std::vector<double> clocks = run_plan(engine, plan);
+    double makespan = 0.0;
+    for (std::size_t r = 0; r < clocks.size(); ++r) {
+      result.per_rank_mean[r] += clocks[r];
+      makespan = std::max(makespan, clocks[r]);
+    }
+    result.makespan_mean += makespan;
+    result.makespan_min = std::min(result.makespan_min, makespan);
+    result.makespan_max = std::max(result.makespan_max, makespan);
+  }
+
+  const double inv = 1.0 / options.reps;
+  result.makespan_mean *= inv;
+  for (double& t : result.per_rank_mean) t *= inv;
+  result.max_avg =
+      *std::max_element(result.per_rank_mean.begin(), result.per_rank_mean.end());
+  return result;
+}
+
+}  // namespace hetcomm::core

@@ -1,0 +1,41 @@
+#pragma once
+// Execute a CommPlan on the discrete-event simulator and collect timing
+// statistics the way the paper reports them: per-process times averaged over
+// repetitions, then the maximum over processes ("maximum average time
+// required for communication by any single process", §4.5/§5).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "hetsim/engine.hpp"
+
+namespace hetcomm::core {
+
+struct MeasureOptions {
+  int reps = 25;              ///< repetitions (the paper uses 1000)
+  std::uint64_t seed = 0x5eedULL;
+  double noise_sigma = 0.02;  ///< lognormal noise; 0 = deterministic
+  bool trace_last_rep = false;
+};
+
+struct MeasureResult {
+  double max_avg = 0.0;       ///< max over ranks of per-rank mean time
+  double makespan_mean = 0.0; ///< mean over reps of max rank time
+  double makespan_min = 0.0;
+  double makespan_max = 0.0;
+  std::vector<double> per_rank_mean;
+  PlanSummary summary;
+};
+
+/// Run `plan` once on `engine` (which must be reset by the caller) and
+/// return each rank's final clock.
+std::vector<double> run_plan(Engine& engine, const CommPlan& plan);
+
+/// Repeatedly execute `plan` on a fresh engine built from (topo, params),
+/// with reseeded noise per repetition, and aggregate.
+[[nodiscard]] MeasureResult measure(const CommPlan& plan, const Topology& topo,
+                                    const ParamSet& params,
+                                    const MeasureOptions& options = {});
+
+}  // namespace hetcomm::core

@@ -1,0 +1,51 @@
+#pragma once
+// Locality-aware process (GPU) mapping.
+//
+// Node-aware strategies optimize how inter-node traffic moves; process
+// mapping optimizes how much traffic is inter-node in the first place.
+// Given a CommPattern, this module finds a permutation of GPU indices that
+// groups heavily-communicating GPUs onto the same node (greedy agglomerative
+// clustering on the traffic graph), so more of the pattern is served by
+// cheap on-node paths.  Composes with any strategy; see
+// bench/ablation_mapping.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core {
+
+/// mapping[logical_gpu] = physical GPU slot it is placed on.
+struct GpuMapping {
+  std::vector<int> logical_to_physical;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(logical_to_physical.size());
+  }
+  /// Identity placement.
+  static GpuMapping identity(int num_gpus);
+  void validate() const;  ///< throws unless a permutation of [0, size)
+};
+
+/// Rewrite a pattern so logical GPU g's traffic originates from/targets its
+/// physical slot.  Dedup annotations are remapped along (node ids follow
+/// the physical placement).
+[[nodiscard]] CommPattern apply_mapping(const CommPattern& pattern,
+                                        const GpuMapping& mapping,
+                                        const Topology& topo);
+
+/// Greedy locality mapping: repeatedly seed a node with the unplaced GPU
+/// having the largest remaining traffic, then fill the node with the
+/// unplaced GPUs communicating most with the node's current members.
+[[nodiscard]] GpuMapping greedy_locality_mapping(const CommPattern& pattern,
+                                                 const Topology& topo);
+
+/// Total bytes crossing node boundaries under a mapping (the objective the
+/// greedy mapper minimizes).
+[[nodiscard]] std::int64_t internode_bytes_under(const CommPattern& pattern,
+                                                 const GpuMapping& mapping,
+                                                 const Topology& topo);
+
+}  // namespace hetcomm::core

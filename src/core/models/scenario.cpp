@@ -1,0 +1,50 @@
+#include "core/models/scenario.hpp"
+
+#include <stdexcept>
+
+namespace hetcomm::core::models {
+
+CommPattern make_scenario_pattern(const Topology& topo,
+                                  const Scenario& scenario) {
+  if (scenario.num_dest_nodes < 1 ||
+      topo.num_nodes() < scenario.num_dest_nodes + 1) {
+    throw std::invalid_argument(
+        "make_scenario_pattern: topology needs num_dest_nodes + 1 nodes");
+  }
+  if (scenario.num_messages < 1 || scenario.msg_bytes < 1) {
+    throw std::invalid_argument("make_scenario_pattern: bad message spec");
+  }
+
+  const int gpn = topo.gpn();
+  const int n_dest = scenario.num_dest_nodes;
+  CommPattern pattern(topo.num_gpus());
+
+  for (int i = 0; i < scenario.num_messages; ++i) {
+    int src_gpu_local;
+    int dst_node;
+    int dst_gpu_local;
+    if (scenario.single_active_gpu) {
+      // All traffic for a destination node comes from one GPU; destination
+      // nodes rotate over the sender's GPUs so every GPU stays active.
+      dst_node = 1 + (i % n_dest);
+      src_gpu_local = (dst_node - 1) % gpn;
+      dst_gpu_local = (i / n_dest) % gpn;
+    } else {
+      // Even distribution: source GPU and destination node vary on
+      // different strides so each GPU fans out over the destination nodes.
+      src_gpu_local = i % gpn;
+      dst_node = 1 + (i / gpn) % n_dest;
+      dst_gpu_local = (src_gpu_local + dst_node + i / (gpn * n_dest)) % gpn;
+    }
+    const int src_gpu = topo.gpus_on_node(0)[src_gpu_local];
+    const int dst_gpu = topo.gpus_on_node(dst_node)[dst_gpu_local];
+    pattern.add(src_gpu, dst_gpu, scenario.msg_bytes);
+  }
+  return pattern;
+}
+
+PatternStats scenario_stats(const Topology& topo, const Scenario& scenario) {
+  return compute_stats(make_scenario_pattern(topo, scenario), topo);
+}
+
+}  // namespace hetcomm::core::models

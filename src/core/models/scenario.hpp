@@ -1,0 +1,35 @@
+#pragma once
+// Synthetic irregular-communication scenarios (paper §4.6, Figure 4.3).
+//
+// One node sends `num_messages` inter-node messages of `msg_bytes` each to
+// `num_dest_nodes` destination nodes.  Two data distributions:
+//   * even  -- messages distributed evenly across the sending node's GPUs
+//              (the paper's main scenario; yields "2-Step All" behavior);
+//   * single_active_gpu -- all messages bound for a given destination node
+//              originate from one GPU ("2-Step 1", the best case).
+
+#include <cstdint>
+
+#include "core/comm_pattern.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core::models {
+
+struct Scenario {
+  int num_dest_nodes = 4;       ///< 4 or 16 in the paper
+  int num_messages = 32;        ///< 32 or 256 in the paper
+  std::int64_t msg_bytes = 1024;
+  bool single_active_gpu = false;
+};
+
+/// Build the scenario's communication pattern.  The topology must have at
+/// least num_dest_nodes + 1 nodes; node 0 sends, nodes 1..num_dest_nodes
+/// receive.
+[[nodiscard]] CommPattern make_scenario_pattern(const Topology& topo,
+                                                const Scenario& scenario);
+
+/// Shorthand: Table 7 statistics of the scenario pattern.
+[[nodiscard]] PatternStats scenario_stats(const Topology& topo,
+                                          const Scenario& scenario);
+
+}  // namespace hetcomm::core::models

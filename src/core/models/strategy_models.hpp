@@ -1,0 +1,44 @@
+#pragma once
+// Full strategy performance models (paper Table 6).
+//
+// Each model composes the sub-models of §4.1-§4.4 with pattern statistics
+// (Table 7).  Model inputs per strategy follow the paper, with two
+// documented interpretation choices (see predict() implementation):
+//   * the per-process message count after 3-step aggregation is
+//     ceil(#destination nodes / GPUs-per-node) -- the leaders rotate over
+//     a node's GPU owners;
+//   * the per-process chunk count for the split strategies follows from the
+//     Algorithm-1 effective cap.
+// Duplicate-data removal (paper Figure 4.3, bottom rows) scales the volume
+// statistics of the *node-aware* strategies only; standard communication
+// keeps sending duplicates.
+
+#include "core/comm_pattern.hpp"
+#include "core/strategy.hpp"
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core::models {
+
+struct PredictOptions {
+  /// Fraction of the inter-node volume that is duplicate data a node-aware
+  /// scheme would not resend (0 = keep everything).
+  double duplicate_fraction = 0.0;
+};
+
+/// Predicted communication time (seconds) for one strategy on one pattern.
+[[nodiscard]] double predict(const StrategyConfig& config,
+                             const PatternStats& stats, const ParamSet& params,
+                             const Topology& topo,
+                             const PredictOptions& options = {});
+
+/// Convenience: predictions for all Table 5 strategies.
+struct NamedPrediction {
+  StrategyConfig config;
+  double seconds = 0.0;
+};
+[[nodiscard]] std::vector<NamedPrediction> predict_all(
+    const PatternStats& stats, const ParamSet& params, const Topology& topo,
+    const PredictOptions& options = {});
+
+}  // namespace hetcomm::core::models

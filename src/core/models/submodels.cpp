@@ -1,0 +1,89 @@
+#include "core/models/submodels.hpp"
+
+#include <algorithm>
+
+#include "hetsim/engine.hpp"  // copy_params_for
+
+namespace hetcomm::core::models {
+
+double postal(const PostalParams& p, std::int64_t bytes) {
+  return p.time(bytes);
+}
+
+double max_rate(const ParamSet& params, MemSpace space, int m,
+                std::int64_t s_proc, std::int64_t s_node,
+                std::int64_t msg_bytes) {
+  const PostalParams& pp = params.messages.for_message(
+      space, PathClass::OffNode, msg_bytes, params.thresholds);
+  const double inv_rn = space == MemSpace::Host
+                            ? params.injection.inv_rate_cpu
+                            : params.injection.inv_rate_gpu;
+  const double injection = static_cast<double>(s_node) * inv_rn;
+  const double transport = static_cast<double>(s_proc) * pp.beta;
+  return pp.alpha * m + std::max(injection, transport);
+}
+
+double t_on(const ParamSet& params, const Topology& topo, MemSpace space,
+            std::int64_t s) {
+  const int gps = topo.gps();
+  const PostalParams& sock = params.messages.for_message(
+      space, PathClass::OnSocket, s, params.thresholds);
+  const PostalParams& node = params.messages.for_message(
+      space, PathClass::OnNode, s, params.thresholds);
+  return (gps - 1) * sock.time(s) + gps * node.time(s);
+}
+
+double t_on_split(const ParamSet& params, const Topology& topo,
+                  std::int64_t s_total, int ppg, int distributing_gpus) {
+  const int pps = topo.pps();
+  const int ppn = topo.ppn();
+  const int d = std::max(1, distributing_gpus) * std::max(1, ppg);
+  // Per-message size once the node's inter-node volume is spread across all
+  // on-node processes.
+  const std::int64_t s_msg = std::max<std::int64_t>(1, s_total / ppn);
+  const PostalParams& sock = params.messages.for_message(
+      MemSpace::Host, PathClass::OnSocket, s_msg, params.thresholds);
+  const PostalParams& node = params.messages.for_message(
+      MemSpace::Host, PathClass::OnNode, s_msg, params.thresholds);
+  const double n_sock = static_cast<double>(pps) / d - 1.0;
+  const double n_node = static_cast<double>(pps) / d;
+  return std::max(0.0, n_sock) * sock.time(s_msg) + n_node * node.time(s_msg);
+}
+
+double t_off(const ParamSet& params, int m, std::int64_t s_proc,
+             std::int64_t s_node, std::int64_t msg_bytes) {
+  return max_rate(params, MemSpace::Host, m, s_proc, s_node, msg_bytes);
+}
+
+double t_off_da(const ParamSet& params, int m, std::int64_t s,
+                std::int64_t msg_bytes) {
+  const PostalParams& pp = params.messages.for_message(
+      MemSpace::Device, PathClass::OffNode, msg_bytes, params.thresholds);
+  return pp.alpha * m + pp.beta * static_cast<double>(s);
+}
+
+double t_copy(const ParamSet& params, std::int64_t s_send,
+              std::int64_t s_recv, int nprocs) {
+  // Physically the data leaving the source GPU is a D2H copy and the data
+  // landing on the destination GPU is H2D (the paper's eq. 4.5 labels them
+  // the other way round; the measured parameter pairs are nearly equal so
+  // the distinction is cosmetic).
+  const PostalParams d2h = copy_params_for(params.copies,
+                                           CopyDir::DeviceToHost, nprocs);
+  const PostalParams h2d = copy_params_for(params.copies,
+                                           CopyDir::HostToDevice, nprocs);
+  const std::int64_t send_share =
+      nprocs > 1 ? (s_send + nprocs - 1) / nprocs : s_send;
+  const std::int64_t recv_share =
+      nprocs > 1 ? (s_recv + nprocs - 1) / nprocs : s_recv;
+  return d2h.time(send_share) + h2d.time(recv_share);
+}
+
+double loggp(const PostalParams& p, std::int64_t bytes) {
+  // Map postal parameters onto LogGP: L + 2o ~= alpha (half latency, half
+  // per-side overhead), G = beta, g ignored for a single message.
+  if (bytes <= 0) return p.alpha;
+  return p.alpha + (static_cast<double>(bytes) - 1.0) * p.beta;
+}
+
+}  // namespace hetcomm::core::models

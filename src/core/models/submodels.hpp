@@ -1,0 +1,60 @@
+#pragma once
+// Sub-models composed into the full strategy models (paper §4.1-§4.4).
+//
+// All functions return seconds.  Protocol selection follows the machine's
+// thresholds applied to the per-message size of the step being modeled.
+
+#include <cstdint>
+
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core::models {
+
+/// Postal model (eq. 2.1): T = alpha + beta * s.
+[[nodiscard]] double postal(const PostalParams& p, std::int64_t bytes);
+
+/// Max-rate model (eq. 2.2):
+///   T = alpha * m + max(s_node / R_N, s_proc * beta)
+/// with alpha/beta for the given space/path selected by `msg_bytes`.
+[[nodiscard]] double max_rate(const ParamSet& params, MemSpace space,
+                              int m, std::int64_t s_proc,
+                              std::int64_t s_node, std::int64_t msg_bytes);
+
+/// On-node gather/redistribute for 3-step and 2-step (eq. 4.1):
+///   (gps - 1)(a_sock + b_sock s) + gps (a_node + b_node s).
+/// `space` distinguishes staged (CPU messages) from device-aware (GPU).
+[[nodiscard]] double t_on(const ParamSet& params, const Topology& topo,
+                          MemSpace space, std::int64_t s);
+
+/// On-node distribution for the split strategies (eq. 4.2).  `s_total` is
+/// the node's inter-node volume; it travels in per-process messages of
+/// s_total / ppn bytes, (pps/(d*ppg) - 1) of them on-socket and pps/(d*ppg)
+/// off-socket from each holder's perspective.  `distributing_gpus` (d)
+/// generalizes the equation from the paper's worst case (all data on one
+/// GPU, d = 1, the published form) to the common case where d GPUs hold
+/// inter-node data and distribute in parallel.
+[[nodiscard]] double t_on_split(const ParamSet& params, const Topology& topo,
+                                std::int64_t s_total, int ppg,
+                                int distributing_gpus = 1);
+
+/// Off-node communication, staged-through-host (eq. 4.3, max-rate form).
+[[nodiscard]] double t_off(const ParamSet& params, int m,
+                           std::int64_t s_proc, std::int64_t s_node,
+                           std::int64_t msg_bytes);
+
+/// Off-node communication, device-aware (eq. 4.4, postal form).
+[[nodiscard]] double t_off_da(const ParamSet& params, int m, std::int64_t s,
+                              std::int64_t msg_bytes);
+
+/// Staging copies (eq. 4.5): D2H of the data leaving the source GPU plus
+/// H2D of the data arriving at the destination GPU.  `nprocs` selects the
+/// duplicate-device-pointer parameter rows (Split+DD uses 4).
+[[nodiscard]] double t_copy(const ParamSet& params, std::int64_t s_send,
+                            std::int64_t s_recv, int nprocs = 1);
+
+/// LogGP estimate for one message (extension; used for model comparison):
+///   T = L + 2o + (s - 1) G, with o folded into alpha/2 and G = beta.
+[[nodiscard]] double loggp(const PostalParams& p, std::int64_t bytes);
+
+}  // namespace hetcomm::core::models

@@ -1,0 +1,29 @@
+#pragma once
+// CommPattern (de)serialization.
+//
+// A small line-oriented text format so patterns extracted from production
+// runs (or generated elsewhere) can be replayed through the strategies and
+// models:
+//
+//   hetcomm-pattern v1
+//   gpus <N>
+//   msg <src_gpu> <dst_gpu> <bytes> <count>
+//   dedup <src_gpu> <dst_node> <bytes>
+//
+// `msg` lines record `count` logical messages totaling `bytes`; `dedup`
+// lines carry the duplicate-data annotations (see CommPattern).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/comm_pattern.hpp"
+
+namespace hetcomm::core {
+
+void write_pattern(std::ostream& os, const CommPattern& pattern);
+[[nodiscard]] CommPattern read_pattern(std::istream& is);
+
+void write_pattern_file(const std::string& path, const CommPattern& pattern);
+[[nodiscard]] CommPattern read_pattern_file(const std::string& path);
+
+}  // namespace hetcomm::core

@@ -1,0 +1,44 @@
+#include "core/plan.hpp"
+
+#include <ostream>
+
+namespace hetcomm::core {
+
+PlanSummary CommPlan::summarize(const Topology& topo) const {
+  PlanSummary s;
+  s.num_phases = static_cast<int>(phases.size());
+  for (const PlanPhase& phase : phases) {
+    for (const PlanOp& op : phase.ops) {
+      switch (op.type) {
+        case OpType::Message: {
+          ++s.messages;
+          if (topo.classify(op.src_rank, op.dst_rank) == PathClass::OffNode) {
+            ++s.internode_messages;
+            s.internode_bytes += op.bytes;
+          } else {
+            ++s.intranode_messages;
+            s.intranode_bytes += op.bytes;
+          }
+          break;
+        }
+        case OpType::Copy:
+          ++s.copies;
+          s.copy_bytes += op.bytes;
+          break;
+        case OpType::Pack:
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const PlanSummary& s) {
+  os << "{phases=" << s.num_phases << ", msgs=" << s.messages
+     << " (inter=" << s.internode_messages << "/" << s.internode_bytes
+     << "B, intra=" << s.intranode_messages << "/" << s.intranode_bytes
+     << "B), copies=" << s.copies << "/" << s.copy_bytes << "B}";
+  return os;
+}
+
+}  // namespace hetcomm::core

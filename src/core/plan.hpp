@@ -1,0 +1,99 @@
+#pragma once
+// Executable communication plans.
+//
+// A CommPlan is the compiled form of a strategy applied to a CommPattern on
+// a concrete topology: an ordered list of phases, each holding message and
+// copy operations expressed in terms of *world host ranks* and GPU ids.
+// Plans are plain data -- they can be executed on the simulator (Executor),
+// summarized, pretty-printed, or inspected by tests.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core {
+
+enum class OpType : std::uint8_t {
+  Message,  ///< point-to-point message between two host ranks
+  Copy,     ///< host<->device copy against a GPU DMA engine
+  Pack,     ///< CPU-side buffer (un)packing
+};
+
+struct PlanOp {
+  OpType type = OpType::Message;
+  // Message fields
+  int src_rank = -1;
+  int dst_rank = -1;
+  std::int64_t bytes = 0;
+  int tag = 0;
+  MemSpace space = MemSpace::Host;
+  // Copy fields
+  int rank = -1;  ///< rank performing a Copy/Pack
+  int gpu = -1;
+  CopyDir dir = CopyDir::DeviceToHost;
+  int sharing_procs = 1;
+
+  [[nodiscard]] static PlanOp message(int src, int dst, std::int64_t bytes,
+                                      int tag, MemSpace space) {
+    PlanOp op;
+    op.type = OpType::Message;
+    op.src_rank = src;
+    op.dst_rank = dst;
+    op.bytes = bytes;
+    op.tag = tag;
+    op.space = space;
+    return op;
+  }
+
+  [[nodiscard]] static PlanOp copy(int rank, int gpu, CopyDir dir,
+                                   std::int64_t bytes, int sharing_procs = 1) {
+    PlanOp op;
+    op.type = OpType::Copy;
+    op.rank = rank;
+    op.gpu = gpu;
+    op.dir = dir;
+    op.bytes = bytes;
+    op.sharing_procs = sharing_procs;
+    return op;
+  }
+
+  [[nodiscard]] static PlanOp pack(int rank, std::int64_t bytes) {
+    PlanOp op;
+    op.type = OpType::Pack;
+    op.rank = rank;
+    op.bytes = bytes;
+    return op;
+  }
+};
+
+struct PlanPhase {
+  std::string label;
+  std::vector<PlanOp> ops;
+};
+
+/// Aggregate shape of a plan, for tests and reports.
+struct PlanSummary {
+  int num_phases = 0;
+  std::int64_t messages = 0;
+  std::int64_t internode_messages = 0;
+  std::int64_t internode_bytes = 0;
+  std::int64_t intranode_messages = 0;
+  std::int64_t intranode_bytes = 0;
+  std::int64_t copies = 0;
+  std::int64_t copy_bytes = 0;
+};
+
+struct CommPlan {
+  std::string strategy_name;
+  std::vector<PlanPhase> phases;
+
+  [[nodiscard]] PlanSummary summarize(const Topology& topo) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const PlanSummary& s);
+
+}  // namespace hetcomm::core

@@ -1,0 +1,123 @@
+#include "core/plan_check.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "core/strategies/common.hpp"
+
+namespace hetcomm::core {
+
+namespace {
+
+std::string fmt(const char* what, std::int64_t got, std::int64_t expect,
+                int id) {
+  std::ostringstream os;
+  os << what << " mismatch for gpu/node " << id << ": got " << got
+     << ", expected " << expect;
+  return os.str();
+}
+
+}  // namespace
+
+PlanCheckResult check_plan(const CommPlan& plan, const CommPattern& pattern,
+                           const Topology& topo, bool staged) {
+  PlanCheckResult result;
+
+  std::map<int, std::int64_t> d2h_per_gpu;
+  std::map<int, std::int64_t> h2d_per_gpu;
+  std::int64_t wire_total = 0;
+
+  for (const PlanPhase& phase : plan.phases) {
+    for (const PlanOp& op : phase.ops) {
+      switch (op.type) {
+        case OpType::Message: {
+          if (op.src_rank < 0 || op.src_rank >= topo.num_ranks() ||
+              op.dst_rank < 0 || op.dst_rank >= topo.num_ranks()) {
+            result.fail("message endpoint out of range in phase " +
+                        phase.label);
+            continue;
+          }
+          if (op.src_rank == op.dst_rank) {
+            result.fail("self-message in phase " + phase.label);
+          }
+          if (op.bytes < 0 || op.tag < 0) {
+            result.fail("negative bytes/tag in phase " + phase.label);
+          }
+          if (!staged && op.space != MemSpace::Device) {
+            result.fail("host-space message in a device-aware plan (phase " +
+                        phase.label + ")");
+          }
+          if (topo.classify(op.src_rank, op.dst_rank) == PathClass::OffNode) {
+            wire_total += op.bytes;
+          }
+          break;
+        }
+        case OpType::Copy: {
+          if (!staged) {
+            result.fail("copy operation in a device-aware plan (phase " +
+                        phase.label + ")");
+            break;
+          }
+          if (op.gpu < 0 || op.gpu >= topo.num_gpus()) {
+            result.fail("copy GPU out of range in phase " + phase.label);
+            break;
+          }
+          if (op.dir == CopyDir::DeviceToHost) {
+            d2h_per_gpu[op.gpu] += op.bytes;
+          } else {
+            h2d_per_gpu[op.gpu] += op.bytes;
+          }
+          break;
+        }
+        case OpType::Pack:
+          if (op.bytes < 0) result.fail("negative pack in " + phase.label);
+          break;
+      }
+    }
+  }
+
+  // Expected inter-node wire volume: deduplicated per (src GPU, dst node).
+  std::int64_t wire_expected = 0;
+  std::int64_t wire_payload = 0;
+  for (int gpu = 0; gpu < pattern.num_gpus(); ++gpu) {
+    wire_expected += detail::dedup_send_bytes(pattern, topo, gpu);
+    const int node = topo.gpu_location(gpu).node;
+    for (const GpuMessage& m : pattern.sends_from(gpu)) {
+      if (topo.gpu_location(m.dst_gpu).node != node) wire_payload += m.bytes;
+    }
+  }
+  // Standard never dedups; node-aware plans ship exactly the wire volume.
+  if (wire_total != wire_expected && wire_total != wire_payload) {
+    result.fail(fmt("inter-node wire volume", wire_total, wire_expected, -1));
+  }
+
+  if (staged) {
+    for (int gpu = 0; gpu < pattern.num_gpus(); ++gpu) {
+      const std::int64_t recv = pattern.recv_bytes(gpu);
+      const auto h2d = h2d_per_gpu.find(gpu);
+      const std::int64_t got_h2d = h2d == h2d_per_gpu.end() ? 0 : h2d->second;
+      if (got_h2d != recv) {
+        result.fail(fmt("H2D volume", got_h2d, recv, gpu));
+      }
+
+      const std::int64_t send_payload = pattern.send_bytes(gpu);
+      const int node = topo.gpu_location(gpu).node;
+      std::int64_t intra = 0;
+      for (const GpuMessage& m : pattern.sends_from(gpu)) {
+        if (topo.gpu_location(m.dst_gpu).node == node) intra += m.bytes;
+      }
+      const std::int64_t send_wire =
+          intra + detail::dedup_send_bytes(pattern, topo, gpu);
+      const auto d2h = d2h_per_gpu.find(gpu);
+      const std::int64_t got_d2h = d2h == d2h_per_gpu.end() ? 0 : d2h->second;
+      if (got_d2h < send_wire || got_d2h > send_payload) {
+        result.fail(fmt("D2H volume (outside [wire, payload])", got_d2h,
+                        send_wire, gpu));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace hetcomm::core

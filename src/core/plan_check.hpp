@@ -1,0 +1,42 @@
+#pragma once
+// Plan verification: does a compiled CommPlan actually deliver the pattern?
+//
+// Strategies are nontrivial transformations (conglomeration, chunking,
+// deduplication, multi-hop staging); this checker verifies conservation
+// properties that every correct plan must satisfy, independent of how the
+// plan was built.  Used by tests and available to library users who write
+// their own strategies.
+
+#include <string>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "core/plan.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core {
+
+struct PlanCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+};
+
+/// Verify a plan against its source pattern:
+///   1. every destination GPU's H2D copy volume (staged) equals its receive
+///      payload; every source GPU's D2H volume covers its send data;
+///   2. inter-node wire volume equals the pattern's deduplicated volume
+///      (never more; never less);
+///   3. device-aware plans contain no copies and only device-space messages;
+///   4. message endpoints are valid ranks and tags are non-negative;
+///   5. per-phase, no rank both sends and receives the same tag to itself.
+/// `staged` tells the checker which flavor the plan is.
+[[nodiscard]] PlanCheckResult check_plan(const CommPlan& plan,
+                                         const CommPattern& pattern,
+                                         const Topology& topo, bool staged);
+
+}  // namespace hetcomm::core

@@ -1,0 +1,266 @@
+// Split node-aware communication (paper §2.3.3, Algorithms 1 and 2).
+//
+// Inter-node volumes are conglomerated per node pair, cut into chunks no
+// larger than the (effective) message cap, and spread across on-node
+// processes before injection, so every CPU core participates in network
+// communication.  Two staging variants:
+//
+//   Split+MD  -- each GPU's data is copied to its single host process in one
+//                cudaMemcpyAsync, which then distributes chunk payloads to
+//                the assigned sender ranks with extra on-node messages.
+//   Split+DD  -- `ppg` host processes per GPU hold duplicate device pointers
+//                (CUDA MPS style): each chunk's contribution is copied
+//                directly by one of the holders with the (worse) shared-copy
+//                parameters, one copy *per chunk contribution*.  Fewer
+//                on-node bytes concentrate on a single process, but every
+//                copy pays the duplicate-device-pointer latency (~1.5e-5 s)
+//                where Split+MD pays an on-socket message latency (~4e-7 s).
+//                This is exactly the trade-off the paper identifies in §5.1.
+//
+// Device-aware transport does not apply to split strategies (Table 5).
+
+#include <map>
+#include <stdexcept>
+
+#include "core/split_setup.hpp"
+#include "core/strategies/common.hpp"
+#include "core/strategy.hpp"
+
+namespace hetcomm::core::detail {
+
+namespace {
+
+/// Holder ranks for a GPU under Split+DD: `ppg` cores on the GPU's socket,
+/// disjoint between the socket's GPUs when capacity allows.
+std::vector<int> holder_ranks(const Topology& topo, int gpu, int ppg) {
+  const GpuLocation loc = topo.gpu_location(gpu);
+  const int pps = topo.pps();
+  std::vector<int> holders;
+  holders.reserve(static_cast<std::size_t>(ppg));
+  for (int i = 0; i < ppg; ++i) {
+    const int core = (loc.index_on_socket * ppg + i) % pps;
+    holders.push_back(topo.rank_of(loc.node, loc.socket, core));
+  }
+  return holders;
+}
+
+/// Per-GPU bytes destined off-node (send) and arriving from off-node (recv).
+struct InterVolumes {
+  std::map<int, std::int64_t> send;  // gpu -> bytes
+  std::map<int, std::int64_t> recv;
+};
+
+InterVolumes inter_volumes(const CommPattern& pattern, const Topology& topo) {
+  InterVolumes v;
+  for (int src = 0; src < pattern.num_gpus(); ++src) {
+    const int src_node = topo.gpu_location(src).node;
+    std::int64_t inter_payload = 0;
+    for (const GpuMessage& m : pattern.sends_from(src)) {
+      if (topo.gpu_location(m.dst_gpu).node == src_node) continue;
+      v.recv[m.dst_gpu] += m.bytes;
+      inter_payload += m.bytes;
+    }
+    // Staged send volume is the deduplicated one: the send buffer holds
+    // each datum once per destination node.
+    if (inter_payload > 0) v.send[src] = dedup_send_bytes(pattern, topo, src);
+  }
+  return v;
+}
+
+/// Per-chunk, per-GPU aggregation of a chunk's slices.  Source-side
+/// aggregation uses wire (deduplicated) bytes -- what is staged, scattered
+/// and injected; destination-side aggregation uses payload bytes -- what the
+/// receiving GPUs must end up with after redistribution.
+std::map<int, std::int64_t> chunk_bytes_by(const SplitChunk& chunk,
+                                           bool by_src) {
+  std::map<int, std::int64_t> out;
+  for (const FlowSlice& s : chunk.slices) {
+    out[by_src ? s.src_gpu : s.dst_gpu] += by_src ? s.bytes : s.payload_bytes;
+  }
+  return out;
+}
+
+/// DD holder assignment: (chunk index, gpu) -> holder rank, round-robin per
+/// GPU so load spreads over the holders.  Computed once and reused by the
+/// copy and message phases so data provenance is consistent.
+struct HolderAssignment {
+  std::map<std::pair<std::size_t, int>, int> send_holder;  // (chunk, src_gpu)
+  std::map<std::pair<std::size_t, int>, int> recv_holder;  // (chunk, dst_gpu)
+};
+
+HolderAssignment assign_holders(const SplitSetup& setup, const Topology& topo,
+                                int ppg) {
+  HolderAssignment a;
+  std::map<int, int> send_cursor;
+  std::map<int, int> recv_cursor;
+  for (std::size_t ci = 0; ci < setup.chunks.size(); ++ci) {
+    const SplitChunk& chunk = setup.chunks[ci];
+    for (const auto& [gpu, bytes] : chunk_bytes_by(chunk, /*by_src=*/true)) {
+      (void)bytes;
+      const std::vector<int> holders = holder_ranks(topo, gpu, ppg);
+      a.send_holder[{ci, gpu}] =
+          holders[static_cast<std::size_t>(send_cursor[gpu]++ % ppg)];
+    }
+    for (const auto& [gpu, bytes] : chunk_bytes_by(chunk, /*by_src=*/false)) {
+      (void)bytes;
+      const std::vector<int> holders = holder_ranks(topo, gpu, ppg);
+      a.recv_holder[{ci, gpu}] =
+          holders[static_cast<std::size_t>(recv_cursor[gpu]++ % ppg)];
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+CommPlan build_split(const CommPattern& pattern, const Topology& topo,
+                     const ParamSet& params, const StrategyConfig& config) {
+  if (config.transport != MemSpace::Host) {
+    throw std::invalid_argument(
+        "split strategies are staged-through-host only (paper Table 5)");
+  }
+  const bool dd = config.kind == StrategyKind::SplitDD;
+  const int ppg = dd ? config.ppg : 1;
+  if (dd && (ppg < 1 || ppg > topo.pps())) {
+    throw std::invalid_argument("split+DD: ppg out of range");
+  }
+
+  const std::int64_t cap =
+      config.message_cap > 0 ? config.message_cap : params.thresholds.eager_max;
+
+  CommPlan plan;
+  plan.strategy_name = config.name();
+
+  const SplitSetup setup = split_setup(pattern, topo, cap);
+  const InterVolumes vols = inter_volumes(pattern, topo);
+  const HolderAssignment holders =
+      dd ? assign_holders(setup, topo, ppg) : HolderAssignment{};
+
+  // ---- Staging copies, device to host. ----
+  //
+  // Intra-node-destined data always goes through the owner in one copy.
+  // Inter-node data: MD copies it in one shot per GPU; DD performs one
+  // shared-parameter copy per (chunk, source GPU) contribution by the
+  // assigned holder.
+  {
+    PlanPhase phase;
+    phase.label = "d2h";
+    for (int gpu = 0; gpu < pattern.num_gpus(); ++gpu) {
+      const int node = topo.gpu_location(gpu).node;
+      std::int64_t intra = 0;
+      for (const GpuMessage& m : pattern.sends_from(gpu)) {
+        if (topo.gpu_location(m.dst_gpu).node == node) intra += m.bytes;
+      }
+      const auto it = vols.send.find(gpu);
+      const std::int64_t inter = it == vols.send.end() ? 0 : it->second;
+      const int owner = topo.owner_rank_of_gpu(gpu);
+      if (intra > 0) {
+        phase.ops.push_back(
+            PlanOp::copy(owner, gpu, CopyDir::DeviceToHost, intra));
+      }
+      if (inter > 0 && !dd) {
+        phase.ops.push_back(
+            PlanOp::copy(owner, gpu, CopyDir::DeviceToHost, inter));
+      }
+    }
+    if (dd) {
+      for (std::size_t ci = 0; ci < setup.chunks.size(); ++ci) {
+        for (const auto& [src_gpu, bytes] :
+             chunk_bytes_by(setup.chunks[ci], true)) {
+          phase.ops.push_back(
+              PlanOp::copy(holders.send_holder.at({ci, src_gpu}), src_gpu,
+                           CopyDir::DeviceToHost, bytes, ppg));
+        }
+      }
+    }
+    if (!phase.ops.empty()) plan.phases.push_back(std::move(phase));
+  }
+
+  // ---- Algorithm 2 line 1: local_comm, on-node exchanges. ----
+  append_local_phase(plan, pattern, topo, MemSpace::Host);
+
+  // ---- Algorithm 2 line 2: local_Scomm, distribute chunk payloads to the
+  //      assigned sender ranks. ----
+  {
+    PlanPhase phase;
+    phase.label = "scatter";
+    int tag = kTagScatter;
+    for (std::size_t ci = 0; ci < setup.chunks.size(); ++ci) {
+      const SplitChunk& chunk = setup.chunks[ci];
+      for (const auto& [src_gpu, bytes] : chunk_bytes_by(chunk, true)) {
+        const int source_rank = dd ? holders.send_holder.at({ci, src_gpu})
+                                   : topo.owner_rank_of_gpu(src_gpu);
+        if (source_rank == chunk.send_rank) continue;
+        phase.ops.push_back(PlanOp::message(source_rank, chunk.send_rank,
+                                            bytes, tag++, MemSpace::Host));
+      }
+    }
+    if (!phase.ops.empty()) plan.phases.push_back(std::move(phase));
+  }
+
+  // ---- Algorithm 2 line 3: global_comm, inter-node chunk exchange. ----
+  {
+    PlanPhase phase;
+    phase.label = "global";
+    int tag = kTagGlobal;
+    for (const SplitChunk& chunk : setup.chunks) {
+      phase.ops.push_back(PlanOp::message(chunk.send_rank, chunk.recv_rank,
+                                          chunk.bytes, tag++, MemSpace::Host));
+    }
+    if (!phase.ops.empty()) plan.phases.push_back(std::move(phase));
+  }
+
+  // ---- Algorithm 2 line 4: local_Rcomm, redistribute received chunks. ----
+  {
+    PlanPhase phase;
+    phase.label = "redistribute";
+    int tag = kTagRedist;
+    for (std::size_t ci = 0; ci < setup.chunks.size(); ++ci) {
+      const SplitChunk& chunk = setup.chunks[ci];
+      for (const auto& [dst_gpu, bytes] : chunk_bytes_by(chunk, false)) {
+        const int target_rank = dd ? holders.recv_holder.at({ci, dst_gpu})
+                                   : topo.owner_rank_of_gpu(dst_gpu);
+        if (target_rank == chunk.recv_rank) continue;
+        phase.ops.push_back(PlanOp::message(chunk.recv_rank, target_rank,
+                                            bytes, tag++, MemSpace::Host));
+      }
+    }
+    if (!phase.ops.empty()) plan.phases.push_back(std::move(phase));
+  }
+
+  // ---- Staging copies, host to device (mirror of the D2H phase). ----
+  {
+    PlanPhase phase;
+    phase.label = "h2d";
+    for (int gpu = 0; gpu < pattern.num_gpus(); ++gpu) {
+      const std::int64_t total = pattern.recv_bytes(gpu);
+      const auto it = vols.recv.find(gpu);
+      const std::int64_t inter = it == vols.recv.end() ? 0 : it->second;
+      const std::int64_t intra = total - inter;
+      const int owner = topo.owner_rank_of_gpu(gpu);
+      if (intra > 0) {
+        phase.ops.push_back(
+            PlanOp::copy(owner, gpu, CopyDir::HostToDevice, intra));
+      }
+      if (inter > 0 && !dd) {
+        phase.ops.push_back(
+            PlanOp::copy(owner, gpu, CopyDir::HostToDevice, inter));
+      }
+    }
+    if (dd) {
+      for (std::size_t ci = 0; ci < setup.chunks.size(); ++ci) {
+        for (const auto& [dst_gpu, bytes] :
+             chunk_bytes_by(setup.chunks[ci], false)) {
+          phase.ops.push_back(
+              PlanOp::copy(holders.recv_holder.at({ci, dst_gpu}), dst_gpu,
+                           CopyDir::HostToDevice, bytes, ppg));
+        }
+      }
+    }
+    if (!phase.ops.empty()) plan.phases.push_back(std::move(phase));
+  }
+
+  return plan;
+}
+
+}  // namespace hetcomm::core::detail

@@ -1,0 +1,79 @@
+// 2-Step node-aware communication (paper §2.3.2, Figure 2.4).
+//
+// Each process conglomerates its own data per destination *node* and sends
+// it directly to its paired process on that node (same local GPU index);
+// the paired process then redistributes on-node.  The data redundancy of
+// standard communication is removed but multiple messages may still cross
+// the network per node pair (one per active source GPU).
+
+#include <map>
+
+#include "core/strategies/common.hpp"
+#include "core/strategy.hpp"
+
+namespace hetcomm::core::detail {
+
+CommPlan build_two_step(const CommPattern& pattern, const Topology& topo,
+                        const ParamSet& params, const StrategyConfig& config) {
+  (void)params;
+  CommPlan plan;
+  plan.strategy_name = config.name();
+
+  const bool staged = config.transport == MemSpace::Host;
+  const MemSpace space = config.transport;
+  const NodeTraffic traffic = internode_traffic(pattern, topo);
+
+  if (staged) {
+    append_dedup_d2h_copies(plan, pattern, topo, "d2h");
+  }
+  append_local_phase(plan, pattern, topo, space);
+
+  // Step 1: each source GPU sends one node-conglomerated message per
+  // destination node, to its paired process there.
+  PlanPhase global;
+  global.label = "pairwise";
+  int tag = kTagGlobal;
+  for (const auto& [nodes, flows] : traffic.flows) {
+    const auto [src_node, dst_node] = nodes;
+    (void)src_node;
+    // Each process injects only its deduplicated (wire) volume.
+    std::map<int, std::int64_t> per_src_gpu;
+    for (const Flow& f : flows) per_src_gpu[f.src_gpu] += f.wire_bytes;
+    for (const auto& [src_gpu, bytes] : per_src_gpu) {
+      if (bytes == 0) continue;
+      global.ops.push_back(
+          PlanOp::message(topo.owner_rank_of_gpu(src_gpu),
+                          paired_rank(topo, src_gpu, dst_node), bytes, tag++,
+                          space));
+    }
+  }
+  if (!global.ops.empty()) plan.phases.push_back(std::move(global));
+
+  // Step 2: the paired receivers redistribute on-node.
+  PlanPhase redist;
+  redist.label = "redistribute";
+  tag = kTagRedist;
+  for (const auto& [nodes, flows] : traffic.flows) {
+    const auto [src_node, dst_node] = nodes;
+    (void)src_node;
+    // Receiver of src_gpu's bundle forwards each dst_gpu portion.
+    std::map<std::pair<int, int>, std::int64_t> per_pair;  // (src,dst gpu)
+    for (const Flow& f : flows) per_pair[{f.src_gpu, f.dst_gpu}] += f.bytes;
+    for (const auto& [gpus, bytes] : per_pair) {
+      const auto [src_gpu, dst_gpu] = gpus;
+      const int receiver = paired_rank(topo, src_gpu, dst_node);
+      const int owner = topo.owner_rank_of_gpu(dst_gpu);
+      if (receiver == owner) continue;
+      redist.ops.push_back(PlanOp::message(receiver, owner, bytes, tag++,
+                                           space));
+    }
+  }
+  if (!redist.ops.empty()) plan.phases.push_back(std::move(redist));
+
+  if (staged) {
+    append_owner_copies(plan, pattern, topo, CopyDir::HostToDevice, "h2d");
+  }
+  return plan;
+}
+
+}  // namespace hetcomm::core::detail

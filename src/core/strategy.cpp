@@ -1,0 +1,79 @@
+#include "core/strategy.hpp"
+
+#include <stdexcept>
+
+namespace hetcomm::core {
+
+std::string StrategyConfig::name() const {
+  std::string n = to_string(kind);
+  if (kind == StrategyKind::SplitMD || kind == StrategyKind::SplitDD) {
+    return n;  // split strategies are implicitly staged-through-host
+  }
+  n += transport == MemSpace::Host ? " (staged)" : " (device-aware)";
+  return n;
+}
+
+void StrategyConfig::validate() const {
+  const bool is_split =
+      kind == StrategyKind::SplitMD || kind == StrategyKind::SplitDD;
+  if (is_split && transport == MemSpace::Device) {
+    throw std::invalid_argument(
+        "StrategyConfig: device-aware transport is undefined for split "
+        "strategies (paper Table 5)");
+  }
+  if (message_cap < 0) {
+    throw std::invalid_argument("StrategyConfig: negative message_cap");
+  }
+  if (ppg < 1) {
+    throw std::invalid_argument("StrategyConfig: ppg must be >= 1");
+  }
+}
+
+CommPlan build_plan(const CommPattern& pattern, const Topology& topo,
+                    const ParamSet& params, const StrategyConfig& config) {
+  config.validate();
+  if (pattern.num_gpus() != topo.num_gpus()) {
+    throw std::invalid_argument("build_plan: pattern/topology GPU mismatch");
+  }
+  switch (config.kind) {
+    case StrategyKind::Standard:
+      return detail::build_standard(pattern, topo, params, config);
+    case StrategyKind::ThreeStep:
+      return detail::build_three_step(pattern, topo, params, config);
+    case StrategyKind::TwoStep:
+      return detail::build_two_step(pattern, topo, params, config);
+    case StrategyKind::SplitMD:
+    case StrategyKind::SplitDD:
+      return detail::build_split(pattern, topo, params, config);
+  }
+  throw std::logic_error("build_plan: unknown strategy kind");
+}
+
+StrategyConfig parse_strategy(const std::string& name) {
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    if (cfg.name() == name) return cfg;
+  }
+  // Bare kind names default to staged-through-host.
+  for (const StrategyKind kind :
+       {StrategyKind::Standard, StrategyKind::ThreeStep, StrategyKind::TwoStep,
+        StrategyKind::SplitMD, StrategyKind::SplitDD}) {
+    if (name == to_string(kind)) return {kind, MemSpace::Host};
+  }
+  throw std::invalid_argument("parse_strategy: unknown strategy '" + name +
+                              "'");
+}
+
+std::vector<StrategyConfig> table5_strategies() {
+  std::vector<StrategyConfig> out;
+  for (const StrategyKind kind :
+       {StrategyKind::Standard, StrategyKind::ThreeStep,
+        StrategyKind::TwoStep}) {
+    out.push_back({kind, MemSpace::Host});
+    out.push_back({kind, MemSpace::Device});
+  }
+  out.push_back({StrategyKind::SplitMD, MemSpace::Host});
+  out.push_back({StrategyKind::SplitDD, MemSpace::Host});
+  return out;
+}
+
+}  // namespace hetcomm::core

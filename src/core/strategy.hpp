@@ -1,0 +1,86 @@
+#pragma once
+// Node-aware communication strategies (paper §2.3, Table 5).
+//
+// Every strategy compiles a CommPattern into a CommPlan.  The staged
+// (through-host) flavor moves GPU payloads to host memory first and
+// communicates with CPU parameters; the device-aware flavor sends directly
+// from device memory with GPU parameters.  Split strategies exist only in
+// staged form (paper Table 5).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "core/plan.hpp"
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::core {
+
+enum class StrategyKind : std::uint8_t {
+  Standard,   ///< direct GPU-to-GPU messages (baseline)
+  ThreeStep,  ///< gather on-node -> one message per node pair -> redistribute
+  TwoStep,    ///< per-process node-conglomerated messages -> redistribute
+  SplitMD,    ///< split inter-node volume across on-node processes;
+              ///< GPU data staged through a single host process per GPU
+  SplitDD,    ///< like SplitMD but duplicate device pointers: several host
+              ///< processes copy from each GPU simultaneously
+};
+
+[[nodiscard]] constexpr const char* to_string(StrategyKind k) noexcept {
+  switch (k) {
+    case StrategyKind::Standard: return "standard";
+    case StrategyKind::ThreeStep: return "3-step";
+    case StrategyKind::TwoStep: return "2-step";
+    case StrategyKind::SplitMD: return "split+MD";
+    case StrategyKind::SplitDD: return "split+DD";
+  }
+  return "?";
+}
+
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::Standard;
+  /// Host = staged-through-host, Device = device-aware (CUDA-aware MPI).
+  MemSpace transport = MemSpace::Host;
+  /// Maximum inter-node message size for the split strategies; 0 selects
+  /// the machine's rendezvous switch point (paper default).
+  std::int64_t message_cap = 0;
+  /// Host processes per GPU for SplitDD copies (4 on Lassen).
+  int ppg = 4;
+
+  [[nodiscard]] std::string name() const;
+  /// Device-aware transport is undefined for the split strategies
+  /// (Table 5); throws std::invalid_argument in that case.
+  void validate() const;
+};
+
+/// Compile `pattern` for the given machine.  The returned plan is
+/// deterministic: same inputs, same plan.
+[[nodiscard]] CommPlan build_plan(const CommPattern& pattern,
+                                  const Topology& topo,
+                                  const ParamSet& params,
+                                  const StrategyConfig& config);
+
+/// The eight modeled strategy configurations of paper Table 5.
+[[nodiscard]] std::vector<StrategyConfig> table5_strategies();
+
+/// Parse a strategy name as produced by StrategyConfig::name(), e.g.
+/// "standard (staged)", "3-step (device-aware)", "split+MD".  Also accepts
+/// bare kind names ("standard", "2-step"), defaulting to staged transport.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] StrategyConfig parse_strategy(const std::string& name);
+
+namespace detail {
+// Plan builders, one per strategy family (defined in strategies/*.cpp).
+CommPlan build_standard(const CommPattern&, const Topology&, const ParamSet&,
+                        const StrategyConfig&);
+CommPlan build_three_step(const CommPattern&, const Topology&,
+                          const ParamSet&, const StrategyConfig&);
+CommPlan build_two_step(const CommPattern&, const Topology&, const ParamSet&,
+                        const StrategyConfig&);
+CommPlan build_split(const CommPattern&, const Topology&, const ParamSet&,
+                     const StrategyConfig&);
+}  // namespace detail
+
+}  // namespace hetcomm::core

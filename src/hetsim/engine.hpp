@@ -1,0 +1,155 @@
+#pragma once
+// Discrete-event simulation engine for heterogeneous-node communication.
+//
+// Programming model (rank-phase):
+//   * Client code iterates over ranks and posts nonblocking operations
+//     (isend / irecv) plus blocking local work (copy / compute / pack),
+//     all stamped with the posting rank's local clock.
+//   * resolve() matches every pending send to its receive, schedules the
+//     transfers against contended resources (per-process ports, per-node NIC
+//     ingress/egress servers, per-GPU DMA engines) in global ready-time
+//     order, and advances each rank's clock to the completion of its own
+//     operations -- there is no global barrier.
+//
+// An uncontended message costs exactly alpha + beta*s from the calibrated
+// parameter table; contention (queueing on shared resources) and measurement
+// noise create the spread between the analytic models and "measured" times,
+// just as on real hardware.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hetsim/network.hpp"
+#include "hetsim/noise.hpp"
+#include "hetsim/params.hpp"
+#include "hetsim/resources.hpp"
+#include "hetsim/topology.hpp"
+#include "hetsim/trace.hpp"
+
+namespace hetcomm {
+
+class Engine {
+ public:
+  Engine(Topology topology, ParamSet params,
+         NoiseModel noise = NoiseModel{});
+
+  // Non-copyable (owns mutable resource state), movable.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const ParamSet& params() const noexcept { return params_; }
+
+  /// Post a nonblocking send of `bytes` from `src` to `dst`.  The payload
+  /// lives in `space` (Host = staged-through-host path, Device =
+  /// device-aware path).  Returns a request id.
+  int isend(int src, int dst, std::int64_t bytes, int tag, MemSpace space);
+
+  /// Post a matching nonblocking receive at `dst`.  Returns a request id.
+  int irecv(int dst, int src, std::int64_t bytes, int tag, MemSpace space);
+
+  /// Blocking host<->device copy by `rank` against `gpu`'s DMA engine.
+  /// `sharing_procs` selects the copy parameter row: >1 means this copy is
+  /// one of `sharing_procs` simultaneous copies via duplicate device
+  /// pointers (CUDA MPS style); `bytes` is this process's portion.
+  void copy(int rank, int gpu, CopyDir dir, std::int64_t bytes,
+            int sharing_procs = 1);
+
+  /// Blocking local computation on `rank`.
+  void compute(int rank, double seconds);
+
+  /// Blocking CPU-side buffer packing/unpacking of `bytes` on `rank`.
+  void pack(int rank, std::int64_t bytes);
+
+  /// Match and schedule all pending sends/receives, then advance each
+  /// rank's clock past its own completed operations.  Throws
+  /// std::logic_error if any operation remains unmatched.
+  void resolve();
+
+  /// True if any isend/irecv has been posted and not yet resolved.
+  [[nodiscard]] bool has_pending() const noexcept {
+    return !sends_.empty() || !recvs_.empty();
+  }
+
+  [[nodiscard]] double clock(int rank) const;
+  void set_clock(int rank, double t);
+  /// Maximum clock over all ranks (makespan so far).
+  [[nodiscard]] double max_clock() const;
+  /// Reset all clocks, resources and traces to time zero.
+  void reset();
+
+  /// Attach a fat-tree fabric (default: NIC-only non-blocking network).
+  /// Cross-pod messages then queue on shared, possibly tapered pod links
+  /// and pay per-hop switch latency.
+  void set_fabric(const FatTreeConfig& config);
+  [[nodiscard]] bool has_fabric() const noexcept { return fabric_.has_value(); }
+
+  /// Enable/disable trace recording (disabled by default).
+  void set_tracing(bool on) noexcept { tracing_ = on; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Total bytes that crossed the network (off-node messages), since reset.
+  [[nodiscard]] std::int64_t network_bytes() const noexcept {
+    return network_bytes_;
+  }
+  /// Total off-node message count since reset.
+  [[nodiscard]] std::int64_t network_messages() const noexcept {
+    return network_messages_;
+  }
+
+ private:
+  struct PendingOp {
+    int self = -1;   ///< posting rank
+    int peer = -1;   ///< the other side
+    std::int64_t bytes = 0;
+    int tag = 0;
+    MemSpace space = MemSpace::Host;
+    double post_time = 0.0;
+    int seq = 0;  ///< global posting order, for deterministic tie-breaks
+  };
+
+  struct Matched {
+    PendingOp send;
+    PendingOp recv;
+    double ready = 0.0;
+  };
+
+  void check_rank(int rank) const;
+  void schedule(Matched& m, std::vector<int>& recv_queue_depth);
+
+  Topology topo_;
+  ParamSet params_;
+  NoiseModel noise_;
+
+  std::vector<double> clock_;
+  std::vector<BusyServer> send_port_;  ///< per-rank outbound transport
+  std::vector<BusyServer> recv_port_;  ///< per-rank inbound transport
+  std::vector<BusyServer> nic_out_;    ///< per-node NIC egress
+  std::vector<BusyServer> nic_in_;     ///< per-node NIC ingress
+  std::vector<BusyServer> dma_h2d_;    ///< per-GPU DMA engine, H2D
+  std::vector<BusyServer> dma_d2h_;    ///< per-GPU DMA engine, D2H
+  std::optional<FatTreeFabric> fabric_;  ///< optional tapered fat tree
+
+  std::vector<PendingOp> sends_;
+  std::vector<PendingOp> recvs_;
+  int next_seq_ = 0;
+
+  bool tracing_ = false;
+  Trace trace_;
+  std::int64_t network_bytes_ = 0;
+  std::int64_t network_messages_ = 0;
+};
+
+/// Copy parameters for `np` processes sharing one GPU's DMA engine.
+/// np == 1 and np == table.shared_procs return measured rows; intermediate
+/// values interpolate geometrically in np.  Above the measured sharing
+/// level both alpha and beta scale linearly with np (flat aggregate
+/// throughput, growing per-client latency), reflecting the paper's "no
+/// benefit past four processes" observation.
+[[nodiscard]] PostalParams copy_params_for(const CopyParamTable& table,
+                                           CopyDir dir, int np);
+
+}  // namespace hetcomm

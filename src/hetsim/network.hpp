@@ -1,0 +1,102 @@
+#pragma once
+// Optional fat-tree network fabric.
+//
+// The engine's default network model is NIC-only: a non-blocking fabric
+// where the only shared resources are each node's injection/ejection ports
+// (accurate for Lassen/Summit's non-blocking EDR fat trees, paper §2.1).
+// For what-if studies of *tapered* (oversubscribed) fat trees -- common on
+// cost-constrained clusters -- this fabric adds per-pod uplink/downlink
+// capacity and per-hop switch latency: traffic between nodes in the same
+// leaf pod sees only the extra leaf-switch hop, while cross-pod traffic
+// also queues on the pod's (possibly oversubscribed) uplinks.
+
+#include <stdexcept>
+#include <vector>
+
+#include "hetsim/resources.hpp"
+
+namespace hetcomm {
+
+struct FatTreeConfig {
+  /// Nodes attached to one leaf switch (half the switch radix).
+  int nodes_per_pod = 18;
+  /// Oversubscription factor: 1.0 = non-blocking, 2.0 = a pod's aggregate
+  /// uplink bandwidth is half its injection bandwidth, etc.
+  double taper = 1.0;
+  /// Extra latency per switch hop (leaf = 1 hop, leaf-spine-leaf = 3 hops).
+  double per_hop_latency = 1.0e-7;
+
+  void validate() const {
+    if (nodes_per_pod < 1) {
+      throw std::invalid_argument("FatTreeConfig: nodes_per_pod must be >= 1");
+    }
+    if (taper < 1.0) {
+      throw std::invalid_argument("FatTreeConfig: taper must be >= 1");
+    }
+    if (per_hop_latency < 0.0) {
+      throw std::invalid_argument("FatTreeConfig: negative hop latency");
+    }
+  }
+};
+
+/// Mutable fabric state: per-pod uplink and downlink servers.
+class FatTreeFabric {
+ public:
+  FatTreeFabric(FatTreeConfig config, int num_nodes, double nic_inv_rate)
+      : config_(config), nic_inv_rate_(nic_inv_rate) {
+    config_.validate();
+    const int pods =
+        (num_nodes + config_.nodes_per_pod - 1) / config_.nodes_per_pod;
+    up_.resize(static_cast<std::size_t>(pods));
+    down_.resize(static_cast<std::size_t>(pods));
+  }
+
+  [[nodiscard]] int pod_of(int node) const {
+    return node / config_.nodes_per_pod;
+  }
+  [[nodiscard]] bool same_pod(int node_a, int node_b) const {
+    return pod_of(node_a) == pod_of(node_b);
+  }
+
+  /// Extra one-way latency for a message between two nodes.
+  [[nodiscard]] double hop_latency(int src_node, int dst_node) const {
+    const int hops = same_pod(src_node, dst_node) ? 1 : 3;
+    return hops * config_.per_hop_latency;
+  }
+
+  /// Byte occupancy on a pod's shared up/down links.  The pod aggregates
+  /// nodes_per_pod NICs; with taper t its uplink capacity is
+  /// (nodes_per_pod / t) NIC-equivalents.
+  [[nodiscard]] double link_occupancy(std::int64_t bytes) const {
+    return static_cast<double>(bytes) * nic_inv_rate_ * config_.taper /
+           config_.nodes_per_pod;
+  }
+
+  /// Route a cross-pod transfer through the shared links; returns the time
+  /// the last resource was acquired.  Same-pod traffic bypasses the spine.
+  double acquire(int src_node, int dst_node, std::int64_t bytes,
+                 double ready) {
+    if (same_pod(src_node, dst_node)) return ready;
+    const double occupancy = link_occupancy(bytes);
+    double t = up_[static_cast<std::size_t>(pod_of(src_node))].acquire(
+        ready, occupancy);
+    t = down_[static_cast<std::size_t>(pod_of(dst_node))].acquire(t,
+                                                                  occupancy);
+    return t;
+  }
+
+  void reset() {
+    for (BusyServer& s : up_) s.reset();
+    for (BusyServer& s : down_) s.reset();
+  }
+
+  [[nodiscard]] const FatTreeConfig& config() const noexcept { return config_; }
+
+ private:
+  FatTreeConfig config_;
+  double nic_inv_rate_;
+  std::vector<BusyServer> up_;
+  std::vector<BusyServer> down_;
+};
+
+}  // namespace hetcomm

@@ -1,0 +1,199 @@
+#pragma once
+// Communication cost parameters (paper Tables 2-4).
+//
+// All times are seconds, all rates bytes/second.  The postal model (eq. 2.1)
+// prices one message as T = alpha + beta * s; parameters are keyed by
+// (memory space of the payload) x (relative placement) x (messaging
+// protocol).  Copy parameters price cudaMemcpyAsync between host and device.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "hetsim/topology.hpp"
+
+namespace hetcomm {
+
+/// Where a message payload lives when the transfer is issued.
+enum class MemSpace : std::uint8_t {
+  Host,    ///< CPU memory: staged-through-host transfers
+  Device,  ///< GPU memory: device-aware (GPUDirect-style) transfers
+};
+
+[[nodiscard]] constexpr const char* to_string(MemSpace m) noexcept {
+  return m == MemSpace::Host ? "host" : "device";
+}
+
+/// MPI point-to-point messaging protocol (selected by message size).
+enum class Protocol : std::uint8_t {
+  Short,       ///< payload fits in the envelope; sent immediately
+  Eager,       ///< receiver buffers assumed pre-allocated
+  Rendezvous,  ///< receiver must allocate before data moves (handshake)
+};
+
+[[nodiscard]] constexpr const char* to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::Short: return "short";
+    case Protocol::Eager: return "eager";
+    case Protocol::Rendezvous: return "rendezvous";
+  }
+  return "?";
+}
+
+/// Direction of a host<->device copy.
+enum class CopyDir : std::uint8_t { HostToDevice, DeviceToHost };
+
+[[nodiscard]] constexpr const char* to_string(CopyDir d) noexcept {
+  return d == CopyDir::HostToDevice ? "H2D" : "D2H";
+}
+
+/// Postal-model pair: T(s) = alpha + beta * s.
+struct PostalParams {
+  double alpha = 0.0;  ///< latency [s]
+  double beta = 0.0;   ///< inverse bandwidth [s/byte]
+
+  [[nodiscard]] double time(std::int64_t bytes) const noexcept {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+};
+
+/// Message-size boundaries between protocols (Spectrum-MPI-like defaults).
+struct ProtocolThresholds {
+  std::int64_t short_max = 512;     ///< sizes <= short_max use Short (CPU only)
+  std::int64_t eager_max = 16384;   ///< sizes <= eager_max use Eager
+
+  [[nodiscard]] Protocol select(MemSpace space, std::int64_t bytes) const {
+    if (space == MemSpace::Host && bytes <= short_max) return Protocol::Short;
+    if (bytes <= eager_max) return Protocol::Eager;
+    return Protocol::Rendezvous;
+  }
+};
+
+/// Full postal-parameter table: space x protocol x path class.
+///
+/// The GPU (device) table has no Short row: device-aware communication on
+/// Lassen never uses the short protocol (paper §3); lookups for
+/// (Device, Short) resolve to the device Eager parameters.
+class MessageParamTable {
+ public:
+  void set(MemSpace space, Protocol proto, PathClass path, PostalParams p) {
+    table_[index(space)][proto_index(space, proto)][path_index(path)] = p;
+  }
+
+  [[nodiscard]] const PostalParams& get(MemSpace space, Protocol proto,
+                                        PathClass path) const {
+    return table_[index(space)][proto_index(space, proto)][path_index(path)];
+  }
+
+  /// Parameters for a message of `bytes` bytes along `path`, protocol chosen
+  /// by `thresholds`.
+  [[nodiscard]] const PostalParams& for_message(
+      MemSpace space, PathClass path, std::int64_t bytes,
+      const ProtocolThresholds& thresholds) const {
+    return get(space, thresholds.select(space, bytes), path);
+  }
+
+ private:
+  static std::size_t index(MemSpace space) {
+    return static_cast<std::size_t>(space);
+  }
+  static std::size_t proto_index(MemSpace space, Protocol proto) {
+    if (space == MemSpace::Device && proto == Protocol::Short) {
+      return static_cast<std::size_t>(Protocol::Eager);
+    }
+    return static_cast<std::size_t>(proto);
+  }
+  static std::size_t path_index(PathClass path) {
+    return static_cast<std::size_t>(path);
+  }
+
+  std::array<std::array<std::array<PostalParams, 3>, 3>, 2> table_{};
+};
+
+/// cudaMemcpyAsync parameters (paper Table 3): per-direction postal pairs
+/// for one process copying alone and for `shared_procs` (4 on Lassen)
+/// processes copying from the same device simultaneously via duplicate
+/// device pointers (CUDA MPS).
+struct CopyParamTable {
+  PostalParams h2d_1proc;
+  PostalParams d2h_1proc;
+  PostalParams h2d_4proc;
+  PostalParams d2h_4proc;
+  int shared_procs = 4;  ///< process count the "_4proc" rows were measured at
+
+  [[nodiscard]] const PostalParams& get(CopyDir dir, int nprocs) const {
+    if (nprocs <= 1) {
+      return dir == CopyDir::HostToDevice ? h2d_1proc : d2h_1proc;
+    }
+    return dir == CopyDir::HostToDevice ? h2d_4proc : d2h_4proc;
+  }
+};
+
+/// Network-injection limits (paper Table 4, max-rate model eq. 2.2).
+struct InjectionParams {
+  /// Inverse NIC injection rate for host-staged traffic, R_N^-1 [s/byte].
+  double inv_rate_cpu = 0.0;
+  /// Inverse NIC injection rate for device-aware traffic.  The paper notes
+  /// the inter-GPU limit is never reached with 4 GPUs/node on Lassen, so the
+  /// default preset leaves it equal to the CPU limit.
+  double inv_rate_gpu = 0.0;
+
+  [[nodiscard]] double rate(MemSpace space) const {
+    const double inv = space == MemSpace::Host ? inv_rate_cpu : inv_rate_gpu;
+    if (inv <= 0.0) throw std::logic_error("InjectionParams: rate not set");
+    return 1.0 / inv;
+  }
+};
+
+/// Simulation-only overheads not present in the closed-form models: they
+/// create the gap between the analytic worst-case bound and "measured" time.
+struct RuntimeOverheads {
+  /// Cost to scan the unexpected/posted-receive queue per pending entry
+  /// (motivated by Bienz et al., EuroMPI'18 [11]: queue search times grow
+  /// with the number of posted receives and are significant for irregular
+  /// communication).  This is what makes "split across *all* cores" stop
+  /// paying off for small volumes (paper Figure 2.6's shifting minimum).
+  double queue_search_per_entry = 1.0e-7;
+  /// Fixed software overhead to post a nonblocking operation.
+  double post_overhead = 5.0e-8;
+  /// DMA-engine per-operation setup occupancy: distinct copies on one GPU
+  /// serialize at least this much even when tiny, so issuing *many small*
+  /// duplicate-device-pointer copies cannot be free (part of why Split+DD
+  /// loses to Split+MD in measurement, paper §5.1).
+  double dma_op_overhead = 2.0e-6;
+  /// NIC per-message processing occupancy (message-rate limit ~10M msg/s):
+  /// many small messages serialize at the NIC even when bandwidth is free.
+  /// This is why splitting a small volume across all 40 cores stops helping
+  /// (Figure 2.6) and why message-reducing strategies win at high counts.
+  double nic_message_overhead = 1.0e-7;
+  /// CPU-side packing cost per byte when gathering non-contiguous data into
+  /// a single buffer (node-aware gather steps).
+  double pack_per_byte = 2.5e-11;
+};
+
+/// Complete calibrated parameter set for one machine.
+struct ParamSet {
+  std::string name = "unnamed";
+  MessageParamTable messages;
+  CopyParamTable copies;
+  InjectionParams injection;
+  ProtocolThresholds thresholds;
+  RuntimeOverheads overheads;
+
+  /// Sanity-check the calibration: every alpha/beta positive, protocol
+  /// thresholds ordered, injection rates set, overheads non-negative.
+  /// Throws std::invalid_argument describing the first violation.
+  void validate() const;
+};
+
+/// Measured Lassen parameters (paper Tables 2-4, Spectrum MPI).
+[[nodiscard]] ParamSet lassen_params();
+
+/// Hypothetical future-machine parameter sets (paper §6 discussion):
+/// Frontier-like (Slingshot network: ~2x injection bandwidth, lower off-node
+/// latency, single socket) and Delta-like (more cores, PCIe-attached GPUs).
+[[nodiscard]] ParamSet frontier_params();
+[[nodiscard]] ParamSet delta_params();
+
+}  // namespace hetcomm

@@ -1,0 +1,33 @@
+#pragma once
+// Contended serial resources for the discrete-event engine.
+//
+// Every shared piece of hardware that serializes traffic is modeled as a
+// single-server queue: a job arriving at time `ready` that needs `occupancy`
+// seconds of the server starts at max(ready, free_at) and pushes free_at
+// forward.  This is what makes the max-rate model's injection ceiling (and
+// the benefit of splitting data across processes) *emerge* from simulation
+// rather than being baked in.
+
+#include <algorithm>
+
+namespace hetcomm {
+
+/// A single-server FIFO resource.
+class BusyServer {
+ public:
+  /// Reserve the server for `occupancy` seconds no earlier than `ready`.
+  /// Returns the start time of the reservation.
+  double acquire(double ready, double occupancy) {
+    const double start = std::max(ready, free_at_);
+    free_at_ = start + occupancy;
+    return start;
+  }
+
+  [[nodiscard]] double free_at() const noexcept { return free_at_; }
+  void reset() noexcept { free_at_ = 0.0; }
+
+ private:
+  double free_at_ = 0.0;
+};
+
+}  // namespace hetcomm

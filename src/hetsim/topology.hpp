@@ -1,0 +1,251 @@
+#pragma once
+// Machine topology for heterogeneous (multi-GPU) compute nodes.
+//
+// Models the node structure of machines like LLNL Lassen: a machine is a set
+// of identical nodes; each node has `sockets_per_node` sockets; each socket
+// holds one CPU with `cores_per_socket` cores and `gpus_per_socket` GPUs.
+// Host processes (ranks) are pinned one per core, filling cores socket by
+// socket, node by node.  Each GPU is owned by one host rank on its socket.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hetcomm {
+
+/// Relative placement of two communicating ranks; selects postal parameters.
+enum class PathClass : std::uint8_t {
+  OnSocket,  ///< both ranks on the same socket of the same node
+  OnNode,    ///< same node, different sockets
+  OffNode,   ///< different nodes (network traversal)
+};
+
+[[nodiscard]] constexpr const char* to_string(PathClass p) noexcept {
+  switch (p) {
+    case PathClass::OnSocket: return "on-socket";
+    case PathClass::OnNode: return "on-node";
+    case PathClass::OffNode: return "off-node";
+  }
+  return "?";
+}
+
+/// Structural shape of a machine (all nodes identical).
+struct MachineShape {
+  int num_nodes = 1;
+  int sockets_per_node = 2;
+  int gpus_per_socket = 2;
+  int cores_per_socket = 20;
+
+  [[nodiscard]] int gpus_per_node() const noexcept {
+    return sockets_per_node * gpus_per_socket;
+  }
+  [[nodiscard]] int cores_per_node() const noexcept {
+    return sockets_per_node * cores_per_socket;
+  }
+  [[nodiscard]] int total_gpus() const noexcept {
+    return num_nodes * gpus_per_node();
+  }
+  [[nodiscard]] int total_ranks() const noexcept {
+    return num_nodes * cores_per_node();
+  }
+
+  void validate() const {
+    if (num_nodes < 1 || sockets_per_node < 1 || gpus_per_socket < 0 ||
+        cores_per_socket < 1) {
+      throw std::invalid_argument("MachineShape: all dimensions must be positive");
+    }
+    if (gpus_per_socket > cores_per_socket) {
+      throw std::invalid_argument(
+          "MachineShape: each GPU needs at least one host core on its socket");
+    }
+  }
+};
+
+/// Location of a rank within the machine.
+struct RankLocation {
+  int node = 0;
+  int socket = 0;         ///< socket index within the node
+  int core = 0;           ///< core index within the socket
+  int local_rank = 0;     ///< rank index within the node (0 .. cores_per_node-1)
+};
+
+/// Location of a GPU within the machine.
+struct GpuLocation {
+  int node = 0;
+  int socket = 0;
+  int index_on_socket = 0;
+  int local_index = 0;    ///< GPU index within the node
+};
+
+/// Immutable topology: rank/GPU numbering and placement queries.
+///
+/// Rank numbering is node-major then socket-major then core:
+///   rank = node*cores_per_node + socket*cores_per_socket + core.
+/// GPU numbering mirrors it:
+///   gpu = node*gpus_per_node + socket*gpus_per_socket + index_on_socket.
+/// GPU g is owned by the host rank on g's socket with core index
+/// `index_on_socket` (one dedicated owner core per GPU).
+class Topology {
+ public:
+  explicit Topology(MachineShape shape) : shape_(shape) { shape_.validate(); }
+
+  [[nodiscard]] const MachineShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] int num_ranks() const noexcept { return shape_.total_ranks(); }
+  [[nodiscard]] int num_gpus() const noexcept { return shape_.total_gpus(); }
+  [[nodiscard]] int num_nodes() const noexcept { return shape_.num_nodes; }
+  [[nodiscard]] int ppn() const noexcept { return shape_.cores_per_node(); }
+  [[nodiscard]] int pps() const noexcept { return shape_.cores_per_socket; }
+  [[nodiscard]] int gps() const noexcept { return shape_.gpus_per_socket; }
+  [[nodiscard]] int gpn() const noexcept { return shape_.gpus_per_node(); }
+
+  [[nodiscard]] RankLocation rank_location(int rank) const {
+    check_rank(rank);
+    const int cpn = shape_.cores_per_node();
+    RankLocation loc;
+    loc.node = rank / cpn;
+    loc.local_rank = rank % cpn;
+    loc.socket = loc.local_rank / shape_.cores_per_socket;
+    loc.core = loc.local_rank % shape_.cores_per_socket;
+    return loc;
+  }
+
+  [[nodiscard]] int rank_of(int node, int socket, int core) const {
+    if (node < 0 || node >= shape_.num_nodes || socket < 0 ||
+        socket >= shape_.sockets_per_node || core < 0 ||
+        core >= shape_.cores_per_socket) {
+      throw std::out_of_range("Topology::rank_of: location out of range");
+    }
+    return node * shape_.cores_per_node() + socket * shape_.cores_per_socket +
+           core;
+  }
+
+  [[nodiscard]] int node_of_rank(int rank) const {
+    check_rank(rank);
+    return rank / shape_.cores_per_node();
+  }
+
+  [[nodiscard]] int socket_of_rank(int rank) const {
+    return rank_location(rank).socket;
+  }
+
+  [[nodiscard]] GpuLocation gpu_location(int gpu) const {
+    check_gpu(gpu);
+    const int gpn_ = shape_.gpus_per_node();
+    GpuLocation loc;
+    loc.node = gpu / gpn_;
+    loc.local_index = gpu % gpn_;
+    loc.socket = loc.local_index / shape_.gpus_per_socket;
+    loc.index_on_socket = loc.local_index % shape_.gpus_per_socket;
+    return loc;
+  }
+
+  [[nodiscard]] int gpu_of(int node, int socket, int index_on_socket) const {
+    if (node < 0 || node >= shape_.num_nodes || socket < 0 ||
+        socket >= shape_.sockets_per_node || index_on_socket < 0 ||
+        index_on_socket >= shape_.gpus_per_socket) {
+      throw std::out_of_range("Topology::gpu_of: location out of range");
+    }
+    return node * shape_.gpus_per_node() + socket * shape_.gpus_per_socket +
+           index_on_socket;
+  }
+
+  /// Host rank that owns (drives) a GPU: the core on the GPU's socket whose
+  /// core index equals the GPU's index on that socket.
+  [[nodiscard]] int owner_rank_of_gpu(int gpu) const {
+    const GpuLocation g = gpu_location(gpu);
+    return rank_of(g.node, g.socket, g.index_on_socket);
+  }
+
+  /// Inverse of owner_rank_of_gpu; -1 when the rank owns no GPU.
+  [[nodiscard]] int gpu_owned_by_rank(int rank) const {
+    const RankLocation r = rank_location(rank);
+    if (r.core >= shape_.gpus_per_socket) return -1;
+    return gpu_of(r.node, r.socket, r.core);
+  }
+
+  /// All ranks on a node, in local-rank order.
+  [[nodiscard]] std::vector<int> ranks_on_node(int node) const {
+    if (node < 0 || node >= shape_.num_nodes) {
+      throw std::out_of_range("Topology::ranks_on_node: bad node");
+    }
+    std::vector<int> out(shape_.cores_per_node());
+    const int base = node * shape_.cores_per_node();
+    for (int i = 0; i < shape_.cores_per_node(); ++i) out[i] = base + i;
+    return out;
+  }
+
+  /// All GPUs on a node, in local-index order.
+  [[nodiscard]] std::vector<int> gpus_on_node(int node) const {
+    if (node < 0 || node >= shape_.num_nodes) {
+      throw std::out_of_range("Topology::gpus_on_node: bad node");
+    }
+    std::vector<int> out(shape_.gpus_per_node());
+    const int base = node * shape_.gpus_per_node();
+    for (int i = 0; i < shape_.gpus_per_node(); ++i) out[i] = base + i;
+    return out;
+  }
+
+  [[nodiscard]] PathClass classify(int rank_a, int rank_b) const {
+    const RankLocation a = rank_location(rank_a);
+    const RankLocation b = rank_location(rank_b);
+    if (a.node != b.node) return PathClass::OffNode;
+    if (a.socket != b.socket) return PathClass::OnNode;
+    return PathClass::OnSocket;
+  }
+
+  [[nodiscard]] PathClass classify_gpus(int gpu_a, int gpu_b) const {
+    const GpuLocation a = gpu_location(gpu_a);
+    const GpuLocation b = gpu_location(gpu_b);
+    if (a.node != b.node) return PathClass::OffNode;
+    if (a.socket != b.socket) return PathClass::OnNode;
+    return PathClass::OnSocket;
+  }
+
+ private:
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= num_ranks()) {
+      throw std::out_of_range("Topology: rank " + std::to_string(rank) +
+                              " out of range [0," +
+                              std::to_string(num_ranks()) + ")");
+    }
+  }
+  void check_gpu(int gpu) const {
+    if (gpu < 0 || gpu >= num_gpus()) {
+      throw std::out_of_range("Topology: gpu " + std::to_string(gpu) +
+                              " out of range [0," + std::to_string(num_gpus()) +
+                              ")");
+    }
+  }
+
+  MachineShape shape_;
+};
+
+/// Named machine presets mirroring §2.1 of the paper.
+namespace presets {
+
+/// LLNL Lassen: 2 sockets/node, 2 V100 per socket, 20 cores per Power9.
+[[nodiscard]] inline MachineShape lassen(int num_nodes) {
+  return MachineShape{num_nodes, /*sockets*/ 2, /*gpus_per_socket*/ 2,
+                      /*cores_per_socket*/ 20};
+}
+
+/// ORNL Summit: 2 sockets/node, 3 V100 per socket, 20 usable cores per CPU.
+[[nodiscard]] inline MachineShape summit(int num_nodes) {
+  return MachineShape{num_nodes, 2, 3, 20};
+}
+
+/// Frontier-like: single-socket EPYC with 4 GPUs (8 GCDs treated as 4 here),
+/// 64 cores.
+[[nodiscard]] inline MachineShape frontier(int num_nodes) {
+  return MachineShape{num_nodes, 1, 4, 64};
+}
+
+/// Delta-like: dual 64-core Milan, 4 GPUs per node (2 per socket).
+[[nodiscard]] inline MachineShape delta(int num_nodes) {
+  return MachineShape{num_nodes, 2, 2, 64};
+}
+
+}  // namespace presets
+
+}  // namespace hetcomm

@@ -1,0 +1,47 @@
+#pragma once
+// Optional event tracing for the discrete-event engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm {
+
+/// One scheduled message transfer, as resolved by the engine.
+struct MessageTrace {
+  int src = -1;
+  int dst = -1;
+  std::int64_t bytes = 0;
+  int tag = 0;
+  MemSpace space = MemSpace::Host;
+  Protocol protocol = Protocol::Eager;
+  PathClass path = PathClass::OnSocket;
+  double ready = 0.0;       ///< when both sides were able to proceed
+  double start = 0.0;       ///< when the transfer acquired its last resource
+  double completion = 0.0;  ///< when the payload landed at the receiver
+};
+
+/// One scheduled host<->device copy.
+struct CopyTrace {
+  int rank = -1;
+  int gpu = -1;
+  CopyDir dir = CopyDir::DeviceToHost;
+  std::int64_t bytes = 0;
+  int sharing_procs = 1;
+  double start = 0.0;
+  double completion = 0.0;
+};
+
+struct Trace {
+  std::vector<MessageTrace> messages;
+  std::vector<CopyTrace> copies;
+
+  void clear() {
+    messages.clear();
+    copies.clear();
+  }
+};
+
+}  // namespace hetcomm

@@ -1,0 +1,108 @@
+#include "hetsim/trace_export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hetcomm {
+
+namespace {
+
+std::string message_name(const MessageTrace& m) {
+  std::ostringstream os;
+  os << m.src << "->" << m.dst << " " << m.bytes << "B "
+     << to_string(m.protocol) << " " << to_string(m.path) << " ("
+     << to_string(m.space) << ")";
+  return os.str();
+}
+
+std::string copy_name(const CopyTrace& c) {
+  std::ostringstream os;
+  os << to_string(c.dir) << " gpu" << c.gpu << " " << c.bytes << "B";
+  if (c.sharing_procs > 1) os << " x" << c.sharing_procs;
+  return os.str();
+}
+
+void emit_event(std::ostream& os, bool& first, const std::string& name,
+                const char* category, int track, double start_sec,
+                double end_sec) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"cat\": \"" << category
+     << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << track
+     << ", \"ts\": " << start_sec * 1e6
+     << ", \"dur\": " << std::max(0.0, end_sec - start_sec) * 1e6 << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Trace& trace,
+                        const Topology& topo) {
+  (void)topo;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const MessageTrace& m : trace.messages) {
+    emit_event(os, first, message_name(m), "message", m.dst, m.start,
+               m.completion);
+  }
+  for (const CopyTrace& c : trace.copies) {
+    emit_event(os, first, copy_name(c), "copy", c.rank, c.start, c.completion);
+  }
+  os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+void write_ascii_gantt(std::ostream& os, const Trace& trace,
+                       const GanttOptions& options) {
+  struct Row {
+    std::string label;
+    double start;
+    double end;
+  };
+  std::vector<Row> rows;
+  for (const MessageTrace& m : trace.messages) {
+    rows.push_back({message_name(m), m.start, m.completion});
+  }
+  for (const CopyTrace& c : trace.copies) {
+    rows.push_back({copy_name(c), c.start, c.completion});
+  }
+  if (rows.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.start < b.start; });
+  double horizon = 0.0;
+  std::size_t label_width = 0;
+  for (const Row& r : rows) {
+    horizon = std::max(horizon, r.end);
+    label_width = std::max(label_width, r.label.size());
+  }
+  if (horizon <= 0.0) horizon = 1.0;
+  label_width = std::min<std::size_t>(label_width, 44);
+
+  const int shown = std::min<int>(static_cast<int>(rows.size()),
+                                  options.max_rows);
+  os << "timeline horizon: " << horizon << " s\n";
+  for (int i = 0; i < shown; ++i) {
+    const Row& r = rows[static_cast<std::size_t>(i)];
+    std::string label = r.label.substr(0, label_width);
+    label.resize(label_width, ' ');
+    const int begin = static_cast<int>(r.start / horizon * options.width);
+    const int end = std::max(
+        begin + 1, static_cast<int>(r.end / horizon * options.width));
+    os << label << " |";
+    for (int c = 0; c < options.width; ++c) {
+      os << (c >= begin && c < end ? '#' : ' ');
+    }
+    os << "|\n";
+  }
+  if (shown < static_cast<int>(rows.size())) {
+    os << "... (" << rows.size() - static_cast<std::size_t>(shown)
+       << " more events)\n";
+  }
+}
+
+}  // namespace hetcomm

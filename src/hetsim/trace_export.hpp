@@ -1,0 +1,31 @@
+#pragma once
+// Trace export: turn an Engine trace into human- or tool-readable timelines.
+//
+// Two formats:
+//   * Chrome tracing JSON (load in chrome://tracing or Perfetto): one track
+//     per rank, one duration event per message/copy.
+//   * ASCII Gantt: quick terminal visualization for small traces.
+
+#include <iosfwd>
+
+#include "hetsim/topology.hpp"
+#include "hetsim/trace.hpp"
+
+namespace hetcomm {
+
+/// Write the trace as Chrome tracing JSON (trace-event format, "X" events,
+/// microsecond timestamps).  Messages appear on the receiving rank's track
+/// (span: start -> completion), copies on the copying rank's track.
+void write_chrome_trace(std::ostream& os, const Trace& trace,
+                        const Topology& topo);
+
+struct GanttOptions {
+  int width = 72;        ///< characters for the time axis
+  int max_rows = 40;     ///< truncate busy traces
+};
+
+/// Render an ASCII Gantt chart of the trace (one row per event).
+void write_ascii_gantt(std::ostream& os, const Trace& trace,
+                       const GanttOptions& options = {});
+
+}  // namespace hetcomm

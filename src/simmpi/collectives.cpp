@@ -1,0 +1,195 @@
+#include "simmpi/collectives.hpp"
+
+#include <stdexcept>
+
+namespace hetcomm::simmpi {
+
+namespace {
+constexpr int kBarrierTag = 9001;
+constexpr int kBcastTag = 9002;
+constexpr int kGatherTag = 9003;
+constexpr int kAllgatherTag = 9004;
+constexpr int kAlltoallTag = 9005;
+constexpr int kAllreduceTag = 9006;
+}  // namespace
+
+void barrier(Comm& comm) {
+  const int n = comm.size();
+  if (n <= 1) return;
+  for (int shift = 1; shift < n; shift <<= 1) {
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + shift) % n;
+      comm.post_message(r, dst, 0, kBarrierTag + shift);
+    }
+    comm.resolve();
+  }
+}
+
+void bcast(Comm& comm, int root, std::int64_t bytes, MemSpace space) {
+  const int n = comm.size();
+  if (root < 0 || root >= n) throw std::out_of_range("bcast: bad root");
+  if (n <= 1) return;
+  // Binomial tree over root-relative ranks.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    bool posted = false;
+    for (int rel = 0; rel < dist && rel + dist < n; ++rel) {
+      const int src = (root + rel) % n;
+      const int dst = (root + rel + dist) % n;
+      comm.post_message(src, dst, bytes, kBcastTag + dist, space);
+      posted = true;
+    }
+    if (posted) comm.resolve();
+  }
+}
+
+void gatherv(Comm& comm, int root,
+             const std::vector<std::int64_t>& bytes_per_rank, MemSpace space) {
+  const int n = comm.size();
+  if (root < 0 || root >= n) throw std::out_of_range("gatherv: bad root");
+  if (static_cast<int>(bytes_per_rank.size()) != n) {
+    throw std::invalid_argument("gatherv: need one size per local rank");
+  }
+  bool posted = false;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    comm.post_message(r, root, bytes_per_rank[static_cast<std::size_t>(r)],
+                      kGatherTag, space);
+    posted = true;
+  }
+  if (posted) comm.resolve();
+}
+
+void allgather(Comm& comm, std::int64_t bytes_per_rank, MemSpace space) {
+  const int n = comm.size();
+  if (n <= 1) return;
+  for (int round = 0; round < n - 1; ++round) {
+    for (int r = 0; r < n; ++r) {
+      const int dst = (r + 1) % n;
+      comm.post_message(r, dst, bytes_per_rank, kAllgatherTag + round, space);
+    }
+    comm.resolve();
+  }
+}
+
+void alltoallv(Comm& comm, const std::vector<std::vector<std::int64_t>>& sizes,
+               MemSpace space) {
+  const int n = comm.size();
+  if (static_cast<int>(sizes.size()) != n) {
+    throw std::invalid_argument("alltoallv: need one row per local rank");
+  }
+  bool posted = false;
+  for (int src = 0; src < n; ++src) {
+    const auto& row = sizes[static_cast<std::size_t>(src)];
+    if (static_cast<int>(row.size()) != n) {
+      throw std::invalid_argument("alltoallv: ragged size matrix");
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const std::int64_t bytes = row[static_cast<std::size_t>(dst)];
+      if (bytes <= 0) continue;
+      comm.post_message(src, dst, bytes, kAlltoallTag, space);
+      posted = true;
+    }
+  }
+  if (posted) comm.resolve();
+}
+
+void allreduce(Comm& comm, std::int64_t bytes, MemSpace space) {
+  const int n = comm.size();
+  if (n <= 1) return;
+  // Recursive doubling on the largest power-of-two subgroup; extra ranks
+  // fold in/out with one exchange on either side.
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+
+  if (rem > 0) {
+    for (int r = 0; r < rem; ++r) comm.post_message(pof2 + r, r, bytes,
+                                                    kAllreduceTag, space);
+    comm.resolve();
+  }
+  for (int dist = 1; dist < pof2; dist <<= 1) {
+    for (int r = 0; r < pof2; ++r) {
+      const int peer = r ^ dist;
+      if (peer < r) continue;  // post each pair once, both directions
+      comm.post_message(r, peer, bytes, kAllreduceTag + dist, space);
+      comm.post_message(peer, r, bytes, kAllreduceTag + dist, space);
+    }
+    comm.resolve();
+  }
+  if (rem > 0) {
+    for (int r = 0; r < rem; ++r) comm.post_message(r, pof2 + r, bytes,
+                                                    kAllreduceTag + 1, space);
+    comm.resolve();
+  }
+}
+
+void reduce(Comm& comm, int root, std::int64_t bytes, MemSpace space) {
+  const int n = comm.size();
+  if (root < 0 || root >= n) throw std::out_of_range("reduce: bad root");
+  if (n <= 1) return;
+  // Binomial tree folding toward root-relative rank 0.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    bool posted = false;
+    for (int rel = dist; rel < n; rel += 2 * dist) {
+      const int src = (root + rel) % n;
+      const int dst = (root + rel - dist) % n;
+      comm.post_message(src, dst, bytes, 9007 + dist, space);
+      posted = true;
+    }
+    if (posted) comm.resolve();
+  }
+}
+
+void scatterv(Comm& comm, int root,
+              const std::vector<std::int64_t>& bytes_per_rank,
+              MemSpace space) {
+  const int n = comm.size();
+  if (root < 0 || root >= n) throw std::out_of_range("scatterv: bad root");
+  if (static_cast<int>(bytes_per_rank.size()) != n) {
+    throw std::invalid_argument("scatterv: need one size per local rank");
+  }
+  bool posted = false;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    comm.post_message(root, r, bytes_per_rank[static_cast<std::size_t>(r)],
+                      9008, space);
+    posted = true;
+  }
+  if (posted) comm.resolve();
+}
+
+void sendrecv(Comm& comm, int rank_a, int rank_b, std::int64_t bytes,
+              MemSpace space) {
+  if (rank_a == rank_b) {
+    throw std::invalid_argument("sendrecv: ranks must differ");
+  }
+  comm.post_message(rank_a, rank_b, bytes, 9009, space);
+  comm.post_message(rank_b, rank_a, bytes, 9009, space);
+  comm.resolve();
+}
+
+void neighbor_alltoallv(
+    Comm& comm,
+    const std::vector<std::vector<std::pair<int, std::int64_t>>>& sends,
+    MemSpace space) {
+  const int n = comm.size();
+  if (static_cast<int>(sends.size()) != n) {
+    throw std::invalid_argument(
+        "neighbor_alltoallv: need one neighbor list per local rank");
+  }
+  bool posted = false;
+  for (int src = 0; src < n; ++src) {
+    for (const auto& [dst, bytes] : sends[static_cast<std::size_t>(src)]) {
+      if (dst < 0 || dst >= n) {
+        throw std::out_of_range("neighbor_alltoallv: neighbor out of range");
+      }
+      if (dst == src || bytes <= 0) continue;
+      comm.post_message(src, dst, bytes, 9010, space);
+      posted = true;
+    }
+  }
+  if (posted) comm.resolve();
+}
+
+}  // namespace hetcomm::simmpi

@@ -1,0 +1,63 @@
+#pragma once
+// Collective operations over a Comm, built from point-to-point messages.
+//
+// Each collective is a phased program: every communication round posts both
+// sides of all its messages, then resolves, so dependencies between rounds
+// are honored per rank.  Algorithms are the textbook ones (binomial trees,
+// dissemination, ring) -- enough to study their cost on the simulated
+// machine and to support strategy setup phases.
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/communicator.hpp"
+
+namespace hetcomm::simmpi {
+
+/// Dissemination barrier (ceil(log2 n) rounds of zero-byte messages).
+void barrier(Comm& comm);
+
+/// Binomial-tree broadcast of `bytes` from local rank `root`.
+void bcast(Comm& comm, int root, std::int64_t bytes,
+           MemSpace space = MemSpace::Host);
+
+/// Flat gather: every local rank sends `bytes_per_rank[i]` to `root`.
+void gatherv(Comm& comm, int root, const std::vector<std::int64_t>& bytes_per_rank,
+             MemSpace space = MemSpace::Host);
+
+/// Ring allgather: after size-1 rounds every rank holds every block.
+void allgather(Comm& comm, std::int64_t bytes_per_rank,
+               MemSpace space = MemSpace::Host);
+
+/// Irregular all-to-all: sizes[i][j] bytes from local rank i to local rank j
+/// (zero entries are skipped).  Posted as one phase, like an MPI_Alltoallv
+/// implemented over nonblocking point-to-point.
+void alltoallv(Comm& comm, const std::vector<std::vector<std::int64_t>>& sizes,
+               MemSpace space = MemSpace::Host);
+
+/// Recursive-doubling allreduce of a fixed-size payload.
+void allreduce(Comm& comm, std::int64_t bytes, MemSpace space = MemSpace::Host);
+
+/// Binomial-tree reduction of `bytes` to local rank `root`.
+void reduce(Comm& comm, int root, std::int64_t bytes,
+            MemSpace space = MemSpace::Host);
+
+/// Flat scatter: `root` sends bytes_per_rank[i] to local rank i.
+void scatterv(Comm& comm, int root,
+              const std::vector<std::int64_t>& bytes_per_rank,
+              MemSpace space = MemSpace::Host);
+
+/// Paired exchange: a sends `bytes` to b and b sends `bytes` to a in one
+/// phase (MPI_Sendrecv for both participants).
+void sendrecv(Comm& comm, int rank_a, int rank_b, std::int64_t bytes,
+              MemSpace space = MemSpace::Host);
+
+/// Sparse neighborhood exchange (MPI_Neighbor_alltoallv-like): sends[i] is
+/// local rank i's list of (neighbor local rank, bytes); the symmetric
+/// receives are derived automatically.
+void neighbor_alltoallv(
+    Comm& comm,
+    const std::vector<std::vector<std::pair<int, std::int64_t>>>& sends,
+    MemSpace space = MemSpace::Host);
+
+}  // namespace hetcomm::simmpi

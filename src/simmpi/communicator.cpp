@@ -1,0 +1,125 @@
+#include "simmpi/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hetcomm::simmpi {
+
+Comm Comm::world(Engine& engine) {
+  std::vector<int> ranks(static_cast<std::size_t>(engine.topology().num_ranks()));
+  for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = static_cast<int>(i);
+  return Comm(engine, std::move(ranks));
+}
+
+Comm::Comm(Engine& engine, std::vector<int> world_ranks)
+    : engine_(&engine), ranks_(std::move(world_ranks)) {
+  if (ranks_.empty()) {
+    throw std::invalid_argument("Comm: empty rank group");
+  }
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    const int w = ranks_[i];
+    if (w < 0 || w >= engine_->topology().num_ranks()) {
+      throw std::out_of_range("Comm: world rank " + std::to_string(w) +
+                              " out of range");
+    }
+    if (!world_to_local_.emplace(w, static_cast<int>(i)).second) {
+      throw std::invalid_argument("Comm: duplicate world rank " +
+                                  std::to_string(w));
+    }
+  }
+}
+
+int Comm::world_rank(int local) const {
+  if (local < 0 || local >= size()) {
+    throw std::out_of_range("Comm::world_rank: local rank " +
+                            std::to_string(local) + " out of range [0," +
+                            std::to_string(size()) + ")");
+  }
+  return ranks_[static_cast<std::size_t>(local)];
+}
+
+int Comm::local_rank(int world) const {
+  const auto it = world_to_local_.find(world);
+  return it == world_to_local_.end() ? -1 : it->second;
+}
+
+Request Comm::isend(int src, int dst, std::int64_t bytes, int tag,
+                    MemSpace space) {
+  const int w_src = world_rank(src);
+  const int w_dst = world_rank(dst);
+  return Request{engine_->isend(w_src, w_dst, bytes, tag, space), w_src};
+}
+
+Request Comm::irecv(int dst, int src, std::int64_t bytes, int tag,
+                    MemSpace space) {
+  const int w_dst = world_rank(dst);
+  const int w_src = world_rank(src);
+  return Request{engine_->irecv(w_dst, w_src, bytes, tag, space), w_dst};
+}
+
+void Comm::post_message(int src, int dst, std::int64_t bytes, int tag,
+                        MemSpace space) {
+  isend(src, dst, bytes, tag, space);
+  irecv(dst, src, bytes, tag, space);
+}
+
+void Comm::resolve() { engine_->resolve(); }
+
+std::map<int, Comm> Comm::split(const std::vector<int>& colors,
+                                const std::vector<int>& keys) const {
+  if (static_cast<int>(colors.size()) != size()) {
+    throw std::invalid_argument("Comm::split: one color per local rank");
+  }
+  if (!keys.empty() && keys.size() != colors.size()) {
+    throw std::invalid_argument("Comm::split: keys must be empty or match");
+  }
+
+  struct Member {
+    int key;
+    int world;
+  };
+  std::map<int, std::vector<Member>> groups;
+  for (int local = 0; local < size(); ++local) {
+    const int color = colors[static_cast<std::size_t>(local)];
+    if (color < 0) continue;  // MPI_UNDEFINED
+    const int key = keys.empty() ? local : keys[static_cast<std::size_t>(local)];
+    groups[color].push_back({key, ranks_[static_cast<std::size_t>(local)]});
+  }
+
+  std::map<int, Comm> out;
+  for (auto& [color, members] : groups) {
+    std::stable_sort(members.begin(), members.end(),
+                     [](const Member& a, const Member& b) {
+                       if (a.key != b.key) return a.key < b.key;
+                       return a.world < b.world;
+                     });
+    std::vector<int> world_ranks;
+    world_ranks.reserve(members.size());
+    for (const Member& m : members) world_ranks.push_back(m.world);
+    out.emplace(color, Comm(*engine_, std::move(world_ranks)));
+  }
+  return out;
+}
+
+std::map<int, Comm> Comm::split_by_node() const {
+  std::vector<int> colors(static_cast<std::size_t>(size()));
+  for (int local = 0; local < size(); ++local) {
+    colors[static_cast<std::size_t>(local)] =
+        engine_->topology().node_of_rank(world_rank(local));
+  }
+  return split(colors);
+}
+
+std::map<int, Comm> Comm::split_by_socket() const {
+  const Topology& topo = engine_->topology();
+  std::vector<int> colors(static_cast<std::size_t>(size()));
+  for (int local = 0; local < size(); ++local) {
+    const RankLocation loc = topo.rank_location(world_rank(local));
+    colors[static_cast<std::size_t>(local)] =
+        loc.node * topo.shape().sockets_per_node + loc.socket;
+  }
+  return split(colors);
+}
+
+}  // namespace hetcomm::simmpi

@@ -1,0 +1,84 @@
+#pragma once
+// MPI-like communicator layer over the discrete-event engine.
+//
+// A Comm is an ordered group of world ranks plus a reference to the shared
+// Engine.  Point-to-point calls take *local* ranks and translate to world
+// ranks before posting to the engine.  Wait semantics follow the engine's
+// rank-phase model: post operations for every participating rank, then call
+// resolve() once; each rank's clock advances past its own completions only
+// (no implied barrier).
+//
+// Communicator splitting mirrors MPI_Comm_split, executed centrally: the
+// caller provides a color (and optional key) per local rank and receives
+// all resulting sub-communicators at once.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hetsim/engine.hpp"
+
+namespace hetcomm::simmpi {
+
+/// Handle for a posted nonblocking operation (informational; completion is
+/// resolved per phase by Comm::resolve()).
+struct Request {
+  int id = -1;     ///< engine sequence number
+  int owner = -1;  ///< world rank that posted the operation
+};
+
+class Comm {
+ public:
+  /// World communicator over all ranks of the engine's topology.
+  static Comm world(Engine& engine);
+
+  /// Explicit group; `world_ranks[i]` is the world rank of local rank i.
+  Comm(Engine& engine, std::vector<int> world_ranks);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+
+  /// World rank of a local rank.
+  [[nodiscard]] int world_rank(int local) const;
+  /// Local rank of a world rank, or -1 if not a member.
+  [[nodiscard]] int local_rank(int world) const;
+  [[nodiscard]] bool contains(int world) const {
+    return local_rank(world) >= 0;
+  }
+  [[nodiscard]] const std::vector<int>& world_ranks() const noexcept {
+    return ranks_;
+  }
+
+  /// Nonblocking send/receive between *local* ranks.
+  Request isend(int src, int dst, std::int64_t bytes, int tag,
+                MemSpace space = MemSpace::Host);
+  Request irecv(int dst, int src, std::int64_t bytes, int tag,
+                MemSpace space = MemSpace::Host);
+
+  /// Post both sides of a message in one call (convenience for centrally
+  /// driven simulations).
+  void post_message(int src, int dst, std::int64_t bytes, int tag,
+                    MemSpace space = MemSpace::Host);
+
+  /// Resolve all pending operations on the underlying engine.
+  void resolve();
+
+  /// MPI_Comm_split: ranks with equal color form a sub-communicator, ordered
+  /// by (key, world rank).  color < 0 (MPI_UNDEFINED) joins no group.
+  [[nodiscard]] std::map<int, Comm> split(const std::vector<int>& colors,
+                                          const std::vector<int>& keys = {}) const;
+
+  /// Convenience splits mirroring common node-aware layouts.
+  [[nodiscard]] std::map<int, Comm> split_by_node() const;
+  [[nodiscard]] std::map<int, Comm> split_by_socket() const;
+
+ private:
+  Engine* engine_;
+  std::vector<int> ranks_;          ///< local -> world
+  std::map<int, int> world_to_local_;
+};
+
+}  // namespace hetcomm::simmpi

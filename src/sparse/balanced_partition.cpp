@@ -1,0 +1,60 @@
+#include "sparse/balanced_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetcomm::sparse {
+
+RowPartition nnz_balanced_partition(const CsrMatrix& a, int parts) {
+  if (parts < 1) {
+    throw std::invalid_argument("nnz_balanced_partition: parts must be >= 1");
+  }
+  const std::int64_t n = a.rows();
+  const auto& rp = a.row_ptr();
+  const std::int64_t total = a.nnz();
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(parts) + 1, 0);
+  std::int64_t row = 0;
+  for (int p = 0; p < parts; ++p) {
+    // Target cumulative nonzeros after part p.
+    const std::int64_t target = total * (p + 1) / parts;
+    while (row < n && rp[static_cast<std::size_t>(row) + 1] <= target) ++row;
+    // Include the boundary row if that lands closer to the target.
+    if (row < n) {
+      const std::int64_t without = target - rp[static_cast<std::size_t>(row)];
+      const std::int64_t with =
+          rp[static_cast<std::size_t>(row) + 1] - target;
+      if (with < without) ++row;
+    }
+    // Leave at least one row per remaining part when possible.
+    row = std::min(row, n - (parts - 1 - p));
+    row = std::max(row, offsets[static_cast<std::size_t>(p)]);
+    offsets[static_cast<std::size_t>(p) + 1] = row;
+  }
+  offsets.back() = n;
+  // Enforce monotonicity after the end-clamp.
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] = std::max(offsets[i], offsets[i - 1]);
+  }
+  return RowPartition(std::move(offsets));
+}
+
+double nnz_imbalance(const CsrMatrix& a, const RowPartition& partition) {
+  if (partition.rows() != a.rows()) {
+    throw std::invalid_argument("nnz_imbalance: partition mismatch");
+  }
+  if (a.nnz() == 0) return 1.0;
+  const auto& rp = a.row_ptr();
+  std::int64_t max_nnz = 0;
+  for (int p = 0; p < partition.parts(); ++p) {
+    const std::int64_t part_nnz =
+        rp[static_cast<std::size_t>(partition.last_row(p))] -
+        rp[static_cast<std::size_t>(partition.first_row(p))];
+    max_nnz = std::max(max_nnz, part_nnz);
+  }
+  const double mean =
+      static_cast<double>(a.nnz()) / static_cast<double>(partition.parts());
+  return static_cast<double>(max_nnz) / mean;
+}
+
+}  // namespace hetcomm::sparse

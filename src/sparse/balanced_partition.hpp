@@ -1,0 +1,25 @@
+#pragma once
+// Nonzero-balanced contiguous row partitioning.
+//
+// The default RowPartition::contiguous balances *rows*; for matrices with
+// skewed row densities (e.g. audikw_1's dense arrow head) this leaves the
+// head partition with far more work and a far larger halo.  This partitioner
+// balances *nonzeros* instead, keeping rows contiguous (the layout the paper
+// assumes, Figure 2.8) while equalizing per-GPU work.
+
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace hetcomm::sparse {
+
+/// Contiguous partition with approximately nnz/parts nonzeros per part.
+/// Every part receives at least zero rows; trailing parts may be empty for
+/// pathological inputs.
+[[nodiscard]] RowPartition nnz_balanced_partition(const CsrMatrix& a,
+                                                  int parts);
+
+/// Ratio max/mean of per-part nonzero counts (1.0 = perfectly balanced).
+[[nodiscard]] double nnz_imbalance(const CsrMatrix& a,
+                                   const RowPartition& partition);
+
+}  // namespace hetcomm::sparse

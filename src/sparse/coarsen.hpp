@@ -1,0 +1,45 @@
+#pragma once
+// Aggregation-based coarsening (algebraic-multigrid style).
+//
+// Node-aware communication was originally developed for AMG solvers
+// (Bienz et al., the paper's ref [15]), whose coarse levels have *fewer*
+// rows but *denser*, higher-fan-out communication patterns -- the regime
+// where strategy choice flips.  This module builds a simple aggregation
+// hierarchy: greedy distance-1 aggregation plus the piecewise-constant
+// Galerkin triple product A_c = P^T A P, enough to reproduce the
+// level-by-level communication structure of a multigrid V-cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hetcomm::sparse {
+
+/// aggregate_of[row] = coarse index of the aggregate containing `row`.
+struct Aggregation {
+  std::vector<std::int64_t> aggregate_of;
+  std::int64_t num_aggregates = 0;
+};
+
+/// Greedy distance-1 aggregation: visit rows in order; an unaggregated row
+/// seeds a new aggregate and absorbs its unaggregated neighbors.  Every row
+/// is assigned; aggregates have size >= 1.
+[[nodiscard]] Aggregation aggregate_greedy(const CsrMatrix& a);
+
+/// Galerkin coarse operator with piecewise-constant interpolation:
+/// A_c[agg(i)][agg(j)] = sum of A[i][j] over the fine entries.
+[[nodiscard]] CsrMatrix coarsen(const CsrMatrix& a, const Aggregation& agg);
+
+/// A multigrid-like hierarchy: level 0 is the input; each next level is the
+/// Galerkin coarsening of the previous, until `min_rows` is reached or
+/// coarsening stalls.
+struct Hierarchy {
+  std::vector<CsrMatrix> levels;
+};
+
+[[nodiscard]] Hierarchy build_hierarchy(const CsrMatrix& fine,
+                                        std::int64_t min_rows = 64,
+                                        int max_levels = 16);
+
+}  // namespace hetcomm::sparse

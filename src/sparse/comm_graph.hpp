@@ -1,0 +1,53 @@
+#pragma once
+// Communication-pattern extraction for distributed SpMV (paper §2.4.1).
+//
+// With A, v, w partitioned row-wise across g GPUs, GPU p needs every vector
+// entry v[c] whose column c appears in p's rows but is owned by another
+// GPU q: q must send those entries to p.  The induced pattern -- one
+// message per (owner, needer) pair, sized by the count of *distinct*
+// needed columns -- is exactly the irregular point-to-point workload the
+// paper benchmarks.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace hetcomm::sparse {
+
+/// Distinct off-part columns each part needs, grouped by owning part.
+struct HaloMap {
+  /// needed[p] is the sorted list of global columns part p requires from
+  /// other parts.
+  std::vector<std::vector<std::int64_t>> needed;
+};
+
+[[nodiscard]] HaloMap halo_map(const CsrMatrix& a,
+                               const RowPartition& partition);
+
+/// Build the SpMV communication pattern: for every part p and every owner
+/// q != p of columns p needs, q sends (count * bytes_per_value) bytes to p.
+[[nodiscard]] core::CommPattern spmv_comm_pattern(
+    const CsrMatrix& a, const RowPartition& partition,
+    std::int64_t bytes_per_value = 8);
+
+/// Like spmv_comm_pattern, but additionally annotates the pattern with the
+/// *deduplicated* per-(owner, destination node) volumes: when several GPUs
+/// on one node need the same vector entry, a node-aware strategy ships it
+/// once while standard communication ships it per GPU (the paper's data
+/// redundancy, Figure 2.2).  Part indices map to GPU ids of `topo`.
+[[nodiscard]] core::CommPattern spmv_comm_pattern(
+    const CsrMatrix& a, const RowPartition& partition,
+    const hetcomm::Topology& topo, std::int64_t bytes_per_value = 8);
+
+/// Distributed SpMV reference: performs the halo exchange in plain memory
+/// (no simulator) and computes y = A*x part by part; bitwise-comparable to
+/// the sequential kernel.  Used by integration tests to prove the extracted
+/// pattern carries exactly the data the computation needs.
+[[nodiscard]] std::vector<double> distributed_spmv(
+    const CsrMatrix& a, const RowPartition& partition,
+    const std::vector<double>& x);
+
+}  // namespace hetcomm::sparse

@@ -1,0 +1,74 @@
+#pragma once
+// Compressed sparse row matrices.
+//
+// Values are optional: communication-pattern work only needs the sparsity
+// structure, while the SpMV reference kernels use values.  Construction goes
+// through a triplet builder that sorts and deduplicates entries.
+
+#include <cstdint>
+#include <vector>
+
+namespace hetcomm::sparse {
+
+struct Triplet {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  double value = 1.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicates are summed, entries sorted per row.
+  /// `with_values` false discards values (pattern-only matrix).
+  static CsrMatrix from_triplets(std::int64_t rows, std::int64_t cols,
+                                 std::vector<Triplet> triplets,
+                                 bool with_values = true);
+
+  [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(col_idx_.size());
+  }
+  [[nodiscard]] bool has_values() const noexcept { return !values_.empty(); }
+
+  [[nodiscard]] const std::vector<std::int64_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  [[nodiscard]] std::int64_t row_nnz(std::int64_t row) const;
+
+  /// Mean nonzeros per row.
+  [[nodiscard]] double mean_degree() const noexcept {
+    return rows_ == 0 ? 0.0
+                      : static_cast<double>(nnz()) / static_cast<double>(rows_);
+  }
+
+  /// Structural bandwidth: max |row - col| over nonzeros.
+  [[nodiscard]] std::int64_t bandwidth() const;
+
+  /// True when the *pattern* is structurally symmetric.
+  [[nodiscard]] bool pattern_symmetric() const;
+
+  /// Internal consistency check; throws std::logic_error on violation.
+  void validate() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_{0};
+  std::vector<std::int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// y = A * x (reference sequential kernel; A must carry values).
+std::vector<double> spmv(const CsrMatrix& a, const std::vector<double>& x);
+
+}  // namespace hetcomm::sparse

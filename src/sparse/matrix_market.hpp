@@ -1,0 +1,22 @@
+#pragma once
+// Matrix Market coordinate-format I/O (the SuiteSparse interchange format).
+//
+// Supports `matrix coordinate (real|pattern|integer) (general|symmetric)`.
+// Symmetric inputs are expanded to full storage on read.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace hetcomm::sparse {
+
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `matrix coordinate real general` (or `pattern` when the matrix
+/// carries no values).
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace hetcomm::sparse

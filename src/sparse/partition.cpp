@@ -1,0 +1,64 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hetcomm::sparse {
+
+RowPartition RowPartition::contiguous(std::int64_t n, int parts) {
+  if (n < 0 || parts < 1) {
+    throw std::invalid_argument("RowPartition::contiguous: bad arguments");
+  }
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(parts) + 1, 0);
+  const std::int64_t base = n / parts;
+  const std::int64_t rem = n % parts;
+  for (int p = 0; p < parts; ++p) {
+    offsets[static_cast<std::size_t>(p) + 1] =
+        offsets[static_cast<std::size_t>(p)] + base + (p < rem ? 1 : 0);
+  }
+  return RowPartition(std::move(offsets));
+}
+
+RowPartition::RowPartition(std::vector<std::int64_t> offsets)
+    : offsets_(std::move(offsets)) {
+  if (offsets_.size() < 2 || offsets_.front() != 0) {
+    throw std::invalid_argument("RowPartition: offsets must start at 0");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument("RowPartition: offsets must be monotone");
+    }
+  }
+}
+
+void RowPartition::check_part(int part) const {
+  if (part < 0 || part >= parts()) {
+    throw std::out_of_range("RowPartition: part " + std::to_string(part) +
+                            " out of range");
+  }
+}
+
+std::int64_t RowPartition::first_row(int part) const {
+  check_part(part);
+  return offsets_[static_cast<std::size_t>(part)];
+}
+
+std::int64_t RowPartition::last_row(int part) const {
+  check_part(part);
+  return offsets_[static_cast<std::size_t>(part) + 1];
+}
+
+std::int64_t RowPartition::size(int part) const {
+  return last_row(part) - first_row(part);
+}
+
+int RowPartition::owner_of(std::int64_t row) const {
+  if (row < 0 || row >= rows()) {
+    throw std::out_of_range("RowPartition::owner_of: row out of range");
+  }
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), row);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+}  // namespace hetcomm::sparse

@@ -1,0 +1,38 @@
+#pragma once
+// Row-wise contiguous partitioning of matrices and vectors across GPUs
+// (paper §2.4.1, Figure 2.8).
+
+#include <cstdint>
+#include <vector>
+
+namespace hetcomm::sparse {
+
+class RowPartition {
+ public:
+  /// Balanced contiguous split of `n` rows into `parts` parts (remainder
+  /// spread over the first rows % parts parts, like MPI block partitioning).
+  static RowPartition contiguous(std::int64_t n, int parts);
+
+  /// Explicit offsets; offsets.front() == 0, offsets.back() == n, monotone.
+  explicit RowPartition(std::vector<std::int64_t> offsets);
+
+  [[nodiscard]] int parts() const noexcept {
+    return static_cast<int>(offsets_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t rows() const noexcept { return offsets_.back(); }
+  [[nodiscard]] std::int64_t first_row(int part) const;
+  [[nodiscard]] std::int64_t last_row(int part) const;  ///< exclusive
+  [[nodiscard]] std::int64_t size(int part) const;
+  /// Part owning `row` (binary search).
+  [[nodiscard]] int owner_of(std::int64_t row) const;
+
+  [[nodiscard]] const std::vector<std::int64_t>& offsets() const noexcept {
+    return offsets_;
+  }
+
+ private:
+  void check_part(int part) const;
+  std::vector<std::int64_t> offsets_;
+};
+
+}  // namespace hetcomm::sparse

@@ -1,0 +1,80 @@
+#include "sparse/balanced_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/comm_graph.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/suitesparse_profiles.hpp"
+
+namespace hetcomm::sparse {
+namespace {
+
+TEST(NnzBalanced, UniformMatrixMatchesRowBalance) {
+  const CsrMatrix m = mesh_laplacian_2d(40, 40);
+  const RowPartition p = nnz_balanced_partition(m, 8);
+  EXPECT_EQ(p.parts(), 8);
+  EXPECT_EQ(p.rows(), m.rows());
+  // Nearly uniform rows => nearly uniform partition.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(p.size(i)), 200.0, 30.0);
+  }
+  EXPECT_LT(nnz_imbalance(m, p), 1.1);
+}
+
+TEST(NnzBalanced, ArrowMatrixBalanceBeatsRowBalance) {
+  // The dense head concentrates nonzeros in the first rows; row-balanced
+  // partitioning overloads part 0.
+  const CsrMatrix base = banded_fem(2000, 15, 4, 3);
+  const CsrMatrix m = with_arrow(base, 100, 60, 5);
+  const RowPartition rows = RowPartition::contiguous(m.rows(), 16);
+  const RowPartition nnz = nnz_balanced_partition(m, 16);
+  EXPECT_GT(nnz_imbalance(m, rows), 1.5);
+  EXPECT_LT(nnz_imbalance(m, nnz), nnz_imbalance(m, rows));
+  EXPECT_LT(nnz_imbalance(m, nnz), 1.3);
+}
+
+TEST(NnzBalanced, CoversAllRowsMonotonically) {
+  const CsrMatrix m = banded_fem(777, 9, 5, 21);
+  for (const int parts : {1, 3, 16, 100}) {
+    const RowPartition p = nnz_balanced_partition(m, parts);
+    EXPECT_EQ(p.parts(), parts);
+    EXPECT_EQ(p.rows(), m.rows());
+    std::int64_t covered = 0;
+    for (int i = 0; i < parts; ++i) covered += p.size(i);
+    EXPECT_EQ(covered, m.rows());
+  }
+}
+
+TEST(NnzBalanced, MorePartsThanRows) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  const RowPartition p = nnz_balanced_partition(m, 5);
+  EXPECT_EQ(p.rows(), 3);
+  std::int64_t covered = 0;
+  for (int i = 0; i < 5; ++i) covered += p.size(i);
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(NnzBalanced, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(10, 10, {});
+  const RowPartition p = nnz_balanced_partition(m, 4);
+  EXPECT_EQ(p.rows(), 10);
+  EXPECT_DOUBLE_EQ(nnz_imbalance(m, p), 1.0);
+}
+
+TEST(NnzBalanced, RejectsBadArguments) {
+  const CsrMatrix m = banded_fem(10, 2, 2, 1);
+  EXPECT_THROW((void)nnz_balanced_partition(m, 0), std::invalid_argument);
+  EXPECT_THROW((void)nnz_imbalance(m, RowPartition::contiguous(5, 2)),
+               std::invalid_argument);
+}
+
+TEST(NnzBalanced, PatternExtractionStillWorks) {
+  const CsrMatrix m = generate_standin(profile_by_name("audikw_1"), 0.003, 9);
+  const RowPartition p = nnz_balanced_partition(m, 16);
+  const core::CommPattern pattern = spmv_comm_pattern(m, p);
+  EXPECT_GT(pattern.total_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace hetcomm::sparse

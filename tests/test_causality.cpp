@@ -1,0 +1,119 @@
+// Trace-based causality and resource-contention invariants of the
+// discrete-event engine: whatever the workload, scheduled events must obey
+// physical ordering constraints.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "hetsim/engine.hpp"
+
+namespace hetcomm {
+namespace {
+
+class CausalityTest : public ::testing::TestWithParam<core::StrategyConfig> {
+ protected:
+  Topology topo_{presets::lassen(3)};
+  ParamSet params_ = lassen_params();
+};
+
+TEST_P(CausalityTest, TraceEventsObeyOrderingInvariants) {
+  const core::StrategyConfig cfg = GetParam();
+  const core::CommPattern pattern = core::random_pattern(topo_, 12, 6000, 77);
+  const core::CommPlan plan = core::build_plan(pattern, topo_, params_, cfg);
+
+  Engine engine(topo_, params_, NoiseModel(5, 0.0));
+  engine.set_tracing(true);
+  core::run_plan(engine, plan);
+  const Trace& trace = engine.trace();
+  ASSERT_FALSE(trace.messages.empty()) << cfg.name();
+
+  for (const MessageTrace& m : trace.messages) {
+    // Time flows forward: ready <= start < completion.
+    EXPECT_LE(m.ready, m.start) << cfg.name();
+    EXPECT_LT(m.start, m.completion) << cfg.name();
+    // The postal floor: the transfer cannot beat alpha + beta*s.
+    const PostalParams& pp = params_.messages.get(m.space, m.protocol, m.path);
+    EXPECT_GE(m.completion - m.start, pp.time(m.bytes) * (1.0 - 1e-12))
+        << cfg.name();
+    // Protocol consistent with size.
+    EXPECT_EQ(m.protocol, params_.thresholds.select(m.space, m.bytes))
+        << cfg.name();
+    // Path consistent with endpoints.
+    EXPECT_EQ(m.path, topo_.classify(m.src, m.dst)) << cfg.name();
+  }
+  for (const CopyTrace& c : trace.copies) {
+    EXPECT_LT(c.start, c.completion) << cfg.name();
+  }
+}
+
+TEST_P(CausalityTest, FinalClocksCoverAllCompletions) {
+  const core::StrategyConfig cfg = GetParam();
+  const core::CommPattern pattern = core::random_pattern(topo_, 6, 2048, 13);
+  const core::CommPlan plan = core::build_plan(pattern, topo_, params_, cfg);
+
+  Engine engine(topo_, params_, NoiseModel(9, 0.0));
+  engine.set_tracing(true);
+  const std::vector<double> clocks = core::run_plan(engine, plan);
+  for (const MessageTrace& m : engine.trace().messages) {
+    EXPECT_GE(clocks[static_cast<std::size_t>(m.dst)], m.completion)
+        << cfg.name();
+  }
+  for (const CopyTrace& c : engine.trace().copies) {
+    EXPECT_GE(clocks[static_cast<std::size_t>(c.rank)], c.completion)
+        << cfg.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, CausalityTest,
+    ::testing::ValuesIn(core::table5_strategies()),
+    [](const ::testing::TestParamInfo<core::StrategyConfig>& param_info) {
+      std::string name = param_info.param.name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(NicContention, MessagesThroughOneNicNeverOverlapBeyondCapacity) {
+  // All traffic from node 0 to node 1: NIC egress occupancies must tile
+  // without exceeding the injection rate.
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = lassen_params();
+  Engine engine(topo, params, NoiseModel(3, 0.0));
+  engine.set_tracing(true);
+  const std::int64_t bytes = 1 << 18;
+  for (int p = 0; p < 20; ++p) {
+    engine.isend(topo.ranks_on_node(0)[p], topo.ranks_on_node(1)[p], bytes, p,
+                 MemSpace::Host);
+    engine.irecv(topo.ranks_on_node(1)[p], topo.ranks_on_node(0)[p], bytes, p,
+                 MemSpace::Host);
+  }
+  engine.resolve();
+  // Aggregate completion cannot beat the injection-bandwidth floor.
+  const double floor_time =
+      20.0 * static_cast<double>(bytes) * params.injection.inv_rate_cpu;
+  EXPECT_GE(engine.max_clock(), floor_time);
+}
+
+TEST(NicContention, MessageRateLimitSerializesTinyMessages) {
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = lassen_params();
+  Engine engine(topo, params, NoiseModel(3, 0.0));
+  const int count = 200;
+  for (int i = 0; i < count; ++i) {
+    const int src = topo.ranks_on_node(0)[i % topo.ppn()];
+    const int dst = topo.ranks_on_node(1)[i % topo.ppn()];
+    engine.isend(src, dst, 8, i / topo.ppn(), MemSpace::Host);
+    engine.irecv(dst, src, 8, i / topo.ppn(), MemSpace::Host);
+  }
+  engine.resolve();
+  EXPECT_GE(engine.max_clock(),
+            count * params.overheads.nic_message_overhead);
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,0 +1,141 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pattern_io.hpp"
+
+namespace hetcomm::cli {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  return Options::parse(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(CliParse, DefaultsAndFlags) {
+  const Options opts = parse({"compare", "--machine", "summit", "--nodes",
+                              "4", "--reps", "7", "--seed", "42", "--csv"});
+  EXPECT_EQ(opts.command, "compare");
+  EXPECT_EQ(opts.machine, "summit");
+  EXPECT_EQ(opts.nodes, 4);
+  EXPECT_EQ(opts.reps, 7);
+  EXPECT_EQ(opts.seed, 42u);
+  EXPECT_TRUE(opts.csv);
+}
+
+TEST(CliParse, RejectsBadInput) {
+  EXPECT_THROW((void)parse({}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"frobnicate"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--nodes"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--nodes", "abc"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--nodes", "0"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--bogus", "1"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--matrix", "a.mtx", "--standin", "ldoor"}),
+               std::invalid_argument);
+}
+
+TEST(CliParse, UsageMentionsAllCommands) {
+  const std::string u = usage();
+  for (const char* cmd : {"compare", "advise", "model", "params", "trace"}) {
+    EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(CliMachine, PresetsResolve) {
+  for (const char* machine : {"lassen", "summit", "frontier", "delta"}) {
+    Options opts = parse({"params", "--machine", machine, "--nodes", "2"});
+    const Topology topo = make_topology(opts);
+    EXPECT_GE(topo.num_gpus(), 8) << machine;
+    EXPECT_NO_THROW(make_params(opts));
+  }
+  Options bad = parse({"params"});
+  bad.machine = "cray1";
+  EXPECT_THROW((void)make_topology(bad), std::invalid_argument);
+}
+
+TEST(CliWorkload, DefaultIsRandomPattern) {
+  const Options opts = parse({"compare", "--nodes", "2"});
+  const Topology topo = make_topology(opts);
+  const core::CommPattern p = make_workload(opts, topo);
+  EXPECT_GT(p.total_bytes(), 0);
+  EXPECT_EQ(p.num_gpus(), topo.num_gpus());
+}
+
+TEST(CliWorkload, PatternFileMustMatchMachine) {
+  const std::string path = ::testing::TempDir() + "/cli_pattern.pattern";
+  core::CommPattern p(8);  // 2 Lassen nodes
+  p.add(0, 4, 100);
+  core::write_pattern_file(path, p);
+
+  Options opts = parse({"compare", "--nodes", "2", "--pattern", path.c_str()});
+  const Topology topo = make_topology(opts);
+  EXPECT_EQ(make_workload(opts, topo).bytes(0, 4), 100);
+
+  Options mismatched =
+      parse({"compare", "--nodes", "4", "--pattern", path.c_str()});
+  EXPECT_THROW((void)make_workload(mismatched, make_topology(mismatched)),
+               std::invalid_argument);
+}
+
+class CliRunTest : public ::testing::Test {
+ protected:
+  std::string run_cli(std::initializer_list<const char*> args) {
+    std::ostringstream os;
+    EXPECT_EQ(run(Options::parse(
+                      std::vector<std::string>(args.begin(), args.end())),
+                  os),
+              0);
+    return os.str();
+  }
+};
+
+TEST_F(CliRunTest, CompareListsAllStrategies) {
+  const std::string out =
+      run_cli({"compare", "--nodes", "2", "--reps", "2"});
+  EXPECT_NE(out.find("split+MD"), std::string::npos);
+  EXPECT_NE(out.find("3-step (device-aware)"), std::string::npos);
+  EXPECT_NE(out.find("vs best"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AdviseRanksEight) {
+  const std::string out = run_cli({"advise", "--nodes", "4"});
+  EXPECT_NE(out.find("predicted"), std::string::npos);
+  EXPECT_NE(out.find("8"), std::string::npos);  // rank column reaches 8
+}
+
+TEST_F(CliRunTest, ModelPrintsTable7AndPredictions) {
+  const std::string out = run_cli({"model", "--nodes", "2"});
+  EXPECT_NE(out.find("s_node->node"), std::string::npos);
+  EXPECT_NE(out.find("Table 6 model predictions"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ParamsPrintsCalibration) {
+  const std::string out = run_cli({"params"});
+  EXPECT_NE(out.find("rendezvous"), std::string::npos);
+  EXPECT_NE(out.find("R_N^-1"), std::string::npos);
+}
+
+TEST_F(CliRunTest, TraceEmitsGanttOrJson) {
+  const std::string gantt = run_cli(
+      {"trace", "--nodes", "2", "--strategy", "3-step (staged)"});
+  EXPECT_NE(gantt.find("timeline horizon"), std::string::npos);
+  const std::string json = run_cli(
+      {"trace", "--nodes", "2", "--strategy", "split+MD", "--csv"});
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST_F(CliRunTest, TaperedFabricRuns) {
+  const std::string out = run_cli(
+      {"compare", "--nodes", "4", "--reps", "2", "--taper", "4"});
+  EXPECT_NE(out.find("strategy"), std::string::npos);
+}
+
+TEST_F(CliRunTest, StandinWorkload) {
+  const std::string out = run_cli({"model", "--nodes", "2", "--standin",
+                                   "thermal2", "--gpus", "8"});
+  EXPECT_NE(out.find("s_proc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetcomm::cli

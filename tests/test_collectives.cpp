@@ -1,0 +1,149 @@
+#include "simmpi/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetcomm::simmpi {
+namespace {
+
+ParamSet quiet_params() {
+  ParamSet p = lassen_params();
+  p.overheads.post_overhead = 0.0;
+  p.overheads.queue_search_per_entry = 0.0;
+  return p;
+}
+
+class CollectivesTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(2)};
+  ParamSet params_ = quiet_params();
+  Engine engine_{topo_, params_, NoiseModel(1, 0.0)};
+};
+
+TEST_F(CollectivesTest, BarrierAdvancesEveryRank) {
+  Comm comm(engine_, {0, 1, 2, 3, 4, 5, 6, 7});
+  barrier(comm);
+  for (int r = 0; r < 8; ++r) EXPECT_GT(engine_.clock(r), 0.0);
+}
+
+TEST_F(CollectivesTest, BarrierOnSingletonIsNoop) {
+  Comm comm(engine_, {0});
+  barrier(comm);
+  EXPECT_DOUBLE_EQ(engine_.clock(0), 0.0);
+}
+
+TEST_F(CollectivesTest, BcastReachesAllRanks) {
+  Comm comm(engine_, {0, 1, 2, 3, 4});
+  bcast(comm, 0, 1024);
+  for (int r = 1; r < 5; ++r) {
+    EXPECT_GT(engine_.clock(comm.world_rank(r)), 0.0) << "rank " << r;
+  }
+}
+
+TEST_F(CollectivesTest, BcastFromNonzeroRoot) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  bcast(comm, 2, 512);
+  EXPECT_GT(engine_.clock(0), 0.0);
+  EXPECT_THROW((void)bcast(comm, 9, 512), std::out_of_range);
+}
+
+TEST_F(CollectivesTest, BinomialBcastBeatsFlatGatherShape) {
+  // log-depth broadcast: root's clock grows ~log2(n) rounds, far less than
+  // n sequential sends.
+  Comm comm(engine_, Comm::world(engine_).world_ranks());
+  bcast(comm, 0, 4096);
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Eager, PathClass::OnSocket);
+  EXPECT_LT(engine_.clock(0), 10 * pp.time(4096) * 8);
+}
+
+TEST_F(CollectivesTest, GathervCollectsAtRoot) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  gatherv(comm, 0, {0, 100, 200, 300});
+  EXPECT_GT(engine_.clock(0), 0.0);
+  EXPECT_THROW((void)gatherv(comm, 0, {1, 2}), std::invalid_argument);
+}
+
+TEST_F(CollectivesTest, AllgatherRingTouchesEveryone) {
+  Comm comm(engine_, {0, 1, 2, 3, 4, 5});
+  allgather(comm, 256);
+  for (int r = 0; r < 6; ++r) EXPECT_GT(engine_.clock(r), 0.0);
+}
+
+TEST_F(CollectivesTest, AlltoallvSkipsZeroEntries) {
+  Comm comm(engine_, {0, 1, 2});
+  std::vector<std::vector<std::int64_t>> sizes = {
+      {0, 100, 0}, {0, 0, 0}, {50, 0, 0}};
+  alltoallv(comm, sizes);
+  EXPECT_GT(engine_.clock(0), 0.0);  // received from 2
+  EXPECT_GT(engine_.clock(1), 0.0);  // received from 0
+  EXPECT_THROW((void)alltoallv(comm, {{0}}), std::invalid_argument);
+}
+
+TEST_F(CollectivesTest, AllreducePowerOfTwo) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  allreduce(comm, 64);
+  for (int r = 0; r < 4; ++r) EXPECT_GT(engine_.clock(r), 0.0);
+}
+
+TEST_F(CollectivesTest, AllreduceNonPowerOfTwo) {
+  Comm comm(engine_, {0, 1, 2, 3, 4, 5, 6});
+  allreduce(comm, 64);
+  for (int r = 0; r < 7; ++r) EXPECT_GT(engine_.clock(r), 0.0);
+}
+
+TEST_F(CollectivesTest, ReduceFoldsToRoot) {
+  Comm comm(engine_, {0, 1, 2, 3, 4});
+  reduce(comm, 0, 256);
+  EXPECT_GT(engine_.clock(0), 0.0);
+  EXPECT_THROW((void)reduce(comm, -1, 10), std::out_of_range);
+}
+
+TEST_F(CollectivesTest, ReduceToNonzeroRoot) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  reduce(comm, 3, 128);
+  EXPECT_GT(engine_.clock(3), 0.0);
+}
+
+TEST_F(CollectivesTest, ScattervReachesEveryRank) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  scatterv(comm, 0, {0, 10, 20, 30});
+  for (int r = 1; r < 4; ++r) EXPECT_GT(engine_.clock(r), 0.0);
+  EXPECT_THROW((void)scatterv(comm, 0, {1}), std::invalid_argument);
+}
+
+TEST_F(CollectivesTest, SendrecvExchangesBothWays) {
+  Comm comm(engine_, {0, 5});
+  sendrecv(comm, 0, 1, 512);
+  EXPECT_GT(engine_.clock(0), 0.0);
+  EXPECT_GT(engine_.clock(5), 0.0);
+  EXPECT_THROW((void)sendrecv(comm, 0, 0, 1), std::invalid_argument);
+}
+
+TEST_F(CollectivesTest, NeighborAlltoallvSparseExchange) {
+  Comm comm(engine_, {0, 1, 2, 3});
+  std::vector<std::vector<std::pair<int, std::int64_t>>> sends(4);
+  sends[0] = {{1, 100}, {2, 200}};
+  sends[3] = {{0, 50}};
+  neighbor_alltoallv(comm, sends);
+  EXPECT_GT(engine_.clock(1), 0.0);
+  EXPECT_GT(engine_.clock(2), 0.0);
+  EXPECT_GT(engine_.clock(0), 0.0);
+  EXPECT_THROW((void)neighbor_alltoallv(comm, {{}}), std::invalid_argument);
+  std::vector<std::vector<std::pair<int, std::int64_t>>> bad(4);
+  bad[0] = {{9, 10}};
+  EXPECT_THROW((void)neighbor_alltoallv(comm, bad), std::out_of_range);
+}
+
+TEST_F(CollectivesTest, CrossNodeCollectivePaysNetworkCost) {
+  // A 2-rank barrier across nodes is slower than within a socket.
+  Engine e1(topo_, params_, NoiseModel(1, 0.0));
+  Comm on_socket(e1, {0, 1});
+  barrier(on_socket);
+  Engine e2(topo_, params_, NoiseModel(1, 0.0));
+  Comm off_node(e2, {0, topo_.rank_of(1, 0, 0)});
+  barrier(off_node);
+  EXPECT_GT(e2.max_clock(), e1.max_clock());
+}
+
+}  // namespace
+}  // namespace hetcomm::simmpi

@@ -1,0 +1,110 @@
+#include "simmpi/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetcomm::simmpi {
+namespace {
+
+class CommTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(2)};
+  ParamSet params_ = lassen_params();
+  Engine engine_{topo_, params_, NoiseModel(1, 0.0)};
+};
+
+TEST_F(CommTest, WorldCoversAllRanks) {
+  const Comm world = Comm::world(engine_);
+  EXPECT_EQ(world.size(), topo_.num_ranks());
+  EXPECT_EQ(world.world_rank(0), 0);
+  EXPECT_EQ(world.world_rank(world.size() - 1), topo_.num_ranks() - 1);
+}
+
+TEST_F(CommTest, LocalWorldTranslation) {
+  const Comm sub(engine_, {5, 17, 42});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.world_rank(1), 17);
+  EXPECT_EQ(sub.local_rank(42), 2);
+  EXPECT_EQ(sub.local_rank(6), -1);
+  EXPECT_TRUE(sub.contains(5));
+  EXPECT_FALSE(sub.contains(0));
+}
+
+TEST_F(CommTest, RejectsEmptyAndDuplicateGroups) {
+  EXPECT_THROW((void)Comm(engine_, {}), std::invalid_argument);
+  EXPECT_THROW((void)Comm(engine_, {1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)Comm(engine_, {1, 9999}), std::out_of_range);
+}
+
+TEST_F(CommTest, MessageBetweenLocalRanksLandsOnWorldRanks) {
+  Comm sub(engine_, {3, topo_.rank_of(1, 0, 0)});
+  sub.post_message(0, 1, 2048, 0);
+  sub.resolve();
+  // The receiver (world rank on node 1) advanced; an uninvolved rank did not.
+  EXPECT_GT(engine_.clock(topo_.rank_of(1, 0, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(engine_.clock(0), 0.0);
+}
+
+TEST_F(CommTest, SplitByColor) {
+  Comm world = Comm::world(engine_);
+  std::vector<int> colors(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) colors[r] = r % 2;
+  const std::map<int, Comm> groups = world.split(colors);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups.at(0).size() + groups.at(1).size(), world.size());
+  EXPECT_EQ(groups.at(0).world_rank(0), 0);
+  EXPECT_EQ(groups.at(1).world_rank(0), 1);
+}
+
+TEST_F(CommTest, SplitHonorsKeysForOrdering) {
+  Comm world = Comm::world(engine_);
+  std::vector<int> colors(static_cast<std::size_t>(world.size()), -1);
+  std::vector<int> keys(static_cast<std::size_t>(world.size()), 0);
+  colors[0] = colors[1] = colors[2] = 7;
+  keys[0] = 3;
+  keys[1] = 2;
+  keys[2] = 1;
+  const std::map<int, Comm> groups = world.split(colors, keys);
+  ASSERT_EQ(groups.size(), 1u);
+  const Comm& g = groups.at(7);
+  EXPECT_EQ(g.world_rank(0), 2);  // lowest key first
+  EXPECT_EQ(g.world_rank(2), 0);
+}
+
+TEST_F(CommTest, NegativeColorIsExcluded) {
+  Comm world = Comm::world(engine_);
+  std::vector<int> colors(static_cast<std::size_t>(world.size()), -1);
+  colors[4] = 0;
+  const std::map<int, Comm> groups = world.split(colors);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.at(0).size(), 1);
+}
+
+TEST_F(CommTest, SplitByNodeProducesOneCommPerNode) {
+  Comm world = Comm::world(engine_);
+  const std::map<int, Comm> nodes = world.split_by_node();
+  ASSERT_EQ(static_cast<int>(nodes.size()), topo_.num_nodes());
+  for (const auto& [node, comm] : nodes) {
+    EXPECT_EQ(comm.size(), topo_.ppn());
+    for (int local = 0; local < comm.size(); ++local) {
+      EXPECT_EQ(topo_.node_of_rank(comm.world_rank(local)), node);
+    }
+  }
+}
+
+TEST_F(CommTest, SplitBySocketProducesOneCommPerSocket) {
+  Comm world = Comm::world(engine_);
+  const std::map<int, Comm> sockets = world.split_by_socket();
+  ASSERT_EQ(static_cast<int>(sockets.size()),
+            topo_.num_nodes() * topo_.shape().sockets_per_node);
+  for (const auto& [socket, comm] : sockets) {
+    EXPECT_EQ(comm.size(), topo_.pps());
+  }
+}
+
+TEST_F(CommTest, SplitSizeMismatchThrows) {
+  Comm world = Comm::world(engine_);
+  EXPECT_THROW((void)world.split({0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm::simmpi

@@ -1,0 +1,279 @@
+#include "hetsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetcomm {
+namespace {
+
+ParamSet clean_params() {
+  ParamSet p = lassen_params();
+  p.overheads.post_overhead = 0.0;
+  p.overheads.queue_search_per_entry = 0.0;
+  p.overheads.pack_per_byte = 0.0;
+  return p;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(2)};
+  ParamSet params_ = clean_params();
+};
+
+TEST_F(EngineTest, UncontendedMessageCostsPostalTime) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 4096;  // eager regime
+  engine.isend(0, 1, bytes, 0, MemSpace::Host);
+  engine.irecv(1, 0, bytes, 0, MemSpace::Host);
+  engine.resolve();
+  const PostalParams& pp =
+      params_.messages.get(MemSpace::Host, Protocol::Eager, PathClass::OnSocket);
+  EXPECT_DOUBLE_EQ(engine.clock(1), pp.time(bytes));
+}
+
+TEST_F(EngineTest, OffNodeMessageUsesOffNodeParameters) {
+  Engine engine(topo_, params_);
+  const int dst = topo_.rank_of(1, 0, 0);
+  const std::int64_t bytes = 100000;  // rendezvous regime
+  engine.isend(0, dst, bytes, 0, MemSpace::Host);
+  engine.irecv(dst, 0, bytes, 0, MemSpace::Host);
+  engine.resolve();
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Rendezvous, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(engine.clock(dst), pp.time(bytes));
+}
+
+TEST_F(EngineTest, DeviceMessagesUseGpuTable) {
+  Engine engine(topo_, params_);
+  const int dst = topo_.rank_of(1, 0, 0);
+  const std::int64_t bytes = 4096;
+  engine.isend(0, dst, bytes, 0, MemSpace::Device);
+  engine.irecv(dst, 0, bytes, 0, MemSpace::Device);
+  engine.resolve();
+  const PostalParams& pp =
+      params_.messages.get(MemSpace::Device, Protocol::Eager, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(engine.clock(dst), pp.time(bytes));
+}
+
+TEST_F(EngineTest, SequentialMessagesFromOneSenderSerialize) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 4096;
+  const int m = 5;
+  for (int i = 0; i < m; ++i) {
+    engine.isend(0, 1, bytes, i, MemSpace::Host);
+    engine.irecv(1, 0, bytes, i, MemSpace::Host);
+  }
+  engine.resolve();
+  const PostalParams& pp =
+      params_.messages.get(MemSpace::Host, Protocol::Eager, PathClass::OnSocket);
+  // m messages cost ~ m * (alpha + beta*s): postal model for message trains.
+  EXPECT_NEAR(engine.clock(1), m * pp.time(bytes), pp.time(bytes) * 1e-9);
+}
+
+TEST_F(EngineTest, NicInjectionLimitsConcurrentSenders) {
+  Engine engine(topo_, params_);
+  // All 40 ranks of node 0 send large messages to node 1 simultaneously.
+  const std::int64_t bytes = 1 << 20;
+  const int ppn = topo_.ppn();
+  for (int p = 0; p < ppn; ++p) {
+    const int src = topo_.ranks_on_node(0)[p];
+    const int dst = topo_.ranks_on_node(1)[p];
+    engine.isend(src, dst, bytes, p, MemSpace::Host);
+    engine.irecv(dst, src, bytes, p, MemSpace::Host);
+  }
+  engine.resolve();
+  // The last completion is bounded below by the aggregate NIC occupancy.
+  const double nic_time = static_cast<double>(bytes) * ppn *
+                          params_.injection.inv_rate_cpu;
+  EXPECT_GE(engine.max_clock(), nic_time);
+  // ... and is far beyond a single uncontended transfer.
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Rendezvous, PathClass::OffNode);
+  EXPECT_GT(engine.max_clock(), 5.0 * pp.time(bytes));
+}
+
+TEST_F(EngineTest, SmallMessagesNotInjectionLimited) {
+  // With one sender the max-rate model reduces to the postal model.
+  Engine engine(topo_, params_);
+  const int dst = topo_.rank_of(1, 0, 0);
+  engine.isend(0, dst, 256, 0, MemSpace::Host);
+  engine.irecv(dst, 0, 256, 0, MemSpace::Host);
+  engine.resolve();
+  const PostalParams& pp =
+      params_.messages.get(MemSpace::Host, Protocol::Short, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(engine.clock(dst), pp.time(256));
+}
+
+TEST_F(EngineTest, RendezvousWaitsForReceivePosting) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 1 << 20;  // rendezvous
+  engine.isend(0, 1, bytes, 0, MemSpace::Host);
+  // Receiver is busy for 1 ms before posting its receive.
+  engine.compute(1, 1e-3);
+  engine.irecv(1, 0, bytes, 0, MemSpace::Host);
+  engine.resolve();
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Rendezvous, PathClass::OnSocket);
+  EXPECT_NEAR(engine.clock(1), 1e-3 + pp.time(bytes), 1e-12);
+}
+
+TEST_F(EngineTest, EagerDoesNotWaitForReceivePosting) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 1024;  // eager
+  engine.isend(0, 1, bytes, 0, MemSpace::Host);
+  engine.compute(1, 1e-3);
+  engine.irecv(1, 0, bytes, 0, MemSpace::Host);
+  engine.resolve();
+  // Transfer started at time 0; receiver clock is just its compute time
+  // (message landed during the computation).
+  EXPECT_NEAR(engine.clock(1), 1e-3, 1e-6);
+}
+
+TEST_F(EngineTest, CopyAdvancesClockByCopyModel) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 1 << 20;
+  engine.copy(0, 0, CopyDir::DeviceToHost, bytes, 1);
+  const PostalParams cp = copy_params_for(params_.copies,
+                                          CopyDir::DeviceToHost, 1);
+  EXPECT_DOUBLE_EQ(engine.clock(0), cp.time(bytes));
+}
+
+TEST_F(EngineTest, SequentialCopiesSerializeOnDma) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 1 << 20;
+  engine.copy(0, 0, CopyDir::DeviceToHost, bytes, 1);
+  engine.copy(1, 0, CopyDir::DeviceToHost, bytes, 1);  // same GPU, other rank
+  const PostalParams cp = copy_params_for(params_.copies,
+                                          CopyDir::DeviceToHost, 1);
+  // Second copy queues behind the first's occupancy.
+  EXPECT_GT(engine.clock(1), cp.time(bytes));
+}
+
+TEST_F(EngineTest, SharedCopiesOverlap) {
+  Engine engine(topo_, params_);
+  const std::int64_t bytes = 1 << 20;
+  // Four ranks each copy a quarter, 4-proc parameters.
+  for (int p = 0; p < 4; ++p) {
+    engine.copy(topo_.rank_of(0, 0, p), 0, CopyDir::DeviceToHost, bytes / 4, 4);
+  }
+  const PostalParams cp4 = copy_params_for(params_.copies,
+                                           CopyDir::DeviceToHost, 4);
+  // Completion is close to one shared copy's duration, not four times it.
+  EXPECT_LT(engine.max_clock(), 2.0 * cp4.time(bytes / 4));
+}
+
+TEST_F(EngineTest, UnmatchedSendThrows) {
+  Engine engine(topo_, params_);
+  engine.isend(0, 1, 100, 7, MemSpace::Host);
+  EXPECT_THROW((void)engine.resolve(), std::logic_error);
+}
+
+TEST_F(EngineTest, UnmatchedRecvThrows) {
+  Engine engine(topo_, params_);
+  engine.irecv(1, 0, 100, 7, MemSpace::Host);
+  EXPECT_THROW((void)engine.resolve(), std::logic_error);
+}
+
+TEST_F(EngineTest, SizeMismatchThrows) {
+  Engine engine(topo_, params_);
+  engine.isend(0, 1, 100, 7, MemSpace::Host);
+  engine.irecv(1, 0, 200, 7, MemSpace::Host);
+  EXPECT_THROW((void)engine.resolve(), std::logic_error);
+}
+
+TEST_F(EngineTest, NetworkCountersTrackOffNodeTraffic) {
+  Engine engine(topo_, params_);
+  engine.isend(0, 1, 100, 0, MemSpace::Host);  // on-socket
+  engine.irecv(1, 0, 100, 0, MemSpace::Host);
+  const int dst = topo_.rank_of(1, 0, 0);
+  engine.isend(0, dst, 300, 1, MemSpace::Host);  // off-node
+  engine.irecv(dst, 0, 300, 1, MemSpace::Host);
+  engine.resolve();
+  EXPECT_EQ(engine.network_bytes(), 300);
+  EXPECT_EQ(engine.network_messages(), 1);
+}
+
+TEST_F(EngineTest, ResetClearsState) {
+  Engine engine(topo_, params_);
+  engine.compute(0, 1.0);
+  const int dst = topo_.rank_of(1, 0, 0);
+  engine.isend(0, dst, 100, 0, MemSpace::Host);
+  engine.irecv(dst, 0, 100, 0, MemSpace::Host);
+  engine.resolve();
+  engine.reset();
+  EXPECT_DOUBLE_EQ(engine.max_clock(), 0.0);
+  EXPECT_EQ(engine.network_bytes(), 0);
+  EXPECT_FALSE(engine.has_pending());
+}
+
+TEST_F(EngineTest, TraceRecordsMessagesAndCopies) {
+  Engine engine(topo_, params_);
+  engine.set_tracing(true);
+  engine.copy(0, 0, CopyDir::DeviceToHost, 128, 1);
+  engine.isend(0, 1, 128, 0, MemSpace::Host);
+  engine.irecv(1, 0, 128, 0, MemSpace::Host);
+  engine.resolve();
+  ASSERT_EQ(engine.trace().copies.size(), 1u);
+  ASSERT_EQ(engine.trace().messages.size(), 1u);
+  const MessageTrace& mt = engine.trace().messages.front();
+  EXPECT_EQ(mt.src, 0);
+  EXPECT_EQ(mt.dst, 1);
+  EXPECT_EQ(mt.protocol, Protocol::Short);
+  EXPECT_EQ(mt.path, PathClass::OnSocket);
+  EXPECT_GT(mt.completion, mt.start);
+}
+
+TEST_F(EngineTest, QueueSearchCostGrowsWithPostedReceives) {
+  ParamSet with_queue = params_;
+  with_queue.overheads.queue_search_per_entry = 1e-6;
+  // One receive posted.
+  Engine a(topo_, with_queue);
+  a.isend(0, 1, 1024, 0, MemSpace::Host);
+  a.irecv(1, 0, 1024, 0, MemSpace::Host);
+  a.resolve();
+  // Many receives posted at the same receiver.
+  Engine b(topo_, with_queue);
+  for (int i = 0; i < 10; ++i) {
+    b.isend(i + 2, 1, 1024, i, MemSpace::Host);
+    b.irecv(1, i + 2, 1024, i, MemSpace::Host);
+  }
+  b.isend(0, 1, 1024, 99, MemSpace::Host);
+  b.irecv(1, 0, 1024, 99, MemSpace::Host);
+  b.resolve();
+  EXPECT_GT(b.clock(1), a.clock(1));
+}
+
+TEST_F(EngineTest, InvalidArgumentsThrow) {
+  Engine engine(topo_, params_);
+  EXPECT_THROW((void)engine.isend(-1, 0, 10, 0, MemSpace::Host), std::out_of_range);
+  EXPECT_THROW((void)engine.isend(0, 1, -5, 0, MemSpace::Host),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine.copy(0, 99, CopyDir::DeviceToHost, 10),
+               std::out_of_range);
+  EXPECT_THROW((void)engine.copy(0, 0, CopyDir::DeviceToHost, 10, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine.compute(0, -1.0), std::invalid_argument);
+}
+
+TEST(EngineNoise, ZeroSigmaIsDeterministic) {
+  const Topology topo(presets::lassen(2));
+  const ParamSet params = clean_params();
+  auto run = [&](std::uint64_t seed) {
+    Engine engine(topo, params, NoiseModel(seed, 0.0));
+    engine.isend(0, 1, 5000, 0, MemSpace::Host);
+    engine.irecv(1, 0, 5000, 0, MemSpace::Host);
+    engine.resolve();
+    return engine.clock(1);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(2));
+}
+
+TEST(EngineNoise, NoiseMeanIsUnbiased) {
+  NoiseModel noise(42, 0.1);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += noise.perturb(1.0);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,0 +1,199 @@
+#include "core/models/strategy_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models/submodels.hpp"
+
+namespace hetcomm::core::models {
+namespace {
+
+class ModelsTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(8)};
+  ParamSet params_ = lassen_params();
+};
+
+TEST_F(ModelsTest, PostalIsAffine) {
+  const PostalParams pp{2e-6, 1e-9};
+  EXPECT_DOUBLE_EQ(postal(pp, 0), 2e-6);
+  EXPECT_DOUBLE_EQ(postal(pp, 1000), 2e-6 + 1e-6);
+}
+
+TEST_F(ModelsTest, MaxRateReducesToPostalForOneProcess) {
+  // With a single small sender the transport term dominates the injection
+  // term and the max-rate model equals alpha*m + beta*s.
+  const std::int64_t s = 10000;
+  const double t = max_rate(params_, MemSpace::Host, 1, s, s, s);
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Eager, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(t, pp.alpha + pp.beta * static_cast<double>(s));
+}
+
+TEST_F(ModelsTest, MaxRateInjectionLimitKicksIn) {
+  // 40 processes injecting: node volume term dominates.
+  const std::int64_t s_proc = 1 << 20;
+  const std::int64_t s_node = 40LL * s_proc;
+  const double t = max_rate(params_, MemSpace::Host, 1, s_proc, s_node, s_proc);
+  const double injection =
+      static_cast<double>(s_node) * params_.injection.inv_rate_cpu;
+  const PostalParams& pp = params_.messages.get(
+      MemSpace::Host, Protocol::Rendezvous, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(t, pp.alpha + injection);
+}
+
+TEST_F(ModelsTest, TOnMatchesEq41) {
+  // Lassen: gps=2 => 1 on-socket + 2 on-node messages.
+  const std::int64_t s = 4096;
+  const double t = t_on(params_, topo_, MemSpace::Host, s);
+  const PostalParams& sock = params_.messages.get(
+      MemSpace::Host, Protocol::Eager, PathClass::OnSocket);
+  const PostalParams& node = params_.messages.get(
+      MemSpace::Host, Protocol::Eager, PathClass::OnNode);
+  EXPECT_DOUBLE_EQ(t, sock.time(s) + 2.0 * node.time(s));
+}
+
+TEST_F(ModelsTest, TOnDeviceCostlierThanHost) {
+  const std::int64_t s = 4096;
+  EXPECT_GT(t_on(params_, topo_, MemSpace::Device, s),
+            t_on(params_, topo_, MemSpace::Host, s));
+}
+
+TEST_F(ModelsTest, TOnSplitMessageCountsMatchPaper) {
+  // Lassen worst case (§4.2): single host process distributing needs 19
+  // on-socket + 20 on-node messages.
+  const std::int64_t total = 40LL << 10;
+  const std::int64_t s_msg = total / topo_.ppn();
+  const double t = t_on_split(params_, topo_, total, 1);
+  const PostalParams& sock = params_.messages.for_message(
+      MemSpace::Host, PathClass::OnSocket, s_msg, params_.thresholds);
+  const PostalParams& node = params_.messages.for_message(
+      MemSpace::Host, PathClass::OnNode, s_msg, params_.thresholds);
+  EXPECT_DOUBLE_EQ(t, 19.0 * sock.time(s_msg) + 20.0 * node.time(s_msg));
+}
+
+TEST_F(ModelsTest, TOnSplitWithHoldersIsCheaper) {
+  const std::int64_t total = 1 << 20;
+  EXPECT_LT(t_on_split(params_, topo_, total, 4),
+            t_on_split(params_, topo_, total, 1));
+}
+
+TEST_F(ModelsTest, TCopyComposesBothDirections) {
+  const double t = t_copy(params_, 1000, 2000, 1);
+  const double expect = params_.copies.d2h_1proc.time(1000) +
+                        params_.copies.h2d_1proc.time(2000);
+  EXPECT_DOUBLE_EQ(t, expect);
+}
+
+TEST_F(ModelsTest, TCopySharedUsesFourProcRows) {
+  // 4-process copies split the volume but pay the worse shared betas.
+  const std::int64_t s = 1 << 20;
+  const double shared = t_copy(params_, s, s, 4);
+  const double expect = params_.copies.d2h_4proc.time(s / 4) +
+                        params_.copies.h2d_4proc.time(s / 4);
+  EXPECT_DOUBLE_EQ(shared, expect);
+  // With Lassen's parameters the shared copy is *slower* for large volumes
+  // (the root cause of Split+DD losing to Split+MD).
+  EXPECT_GT(shared, t_copy(params_, s, s, 1));
+}
+
+TEST_F(ModelsTest, LoggpCloseToPostal) {
+  const PostalParams pp{1e-6, 1e-10};
+  EXPECT_NEAR(loggp(pp, 1 << 16), postal(pp, 1 << 16), pp.beta * 2);
+}
+
+// ---- Full Table 6 compositions ------------------------------------------
+
+PatternStats high_message_stats() {
+  PatternStats st;
+  st.s_proc = 64LL * 4096;
+  st.s_node = 256LL * 4096;
+  st.s_node_node = 16LL * 4096;
+  st.m_proc = 64;
+  st.m_proc_node = 16;
+  st.m_node_node = 16;
+  st.num_internode_nodes = 16;
+  st.active_internode_gpus = 4;
+  st.total_internode_bytes = st.s_node;
+  st.total_internode_messages = 256;
+  st.typical_msg_bytes = 4096;
+  return st;
+}
+
+TEST_F(ModelsTest, EmptyStatsPredictZero) {
+  const PatternStats st{};
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    EXPECT_DOUBLE_EQ(predict(cfg, st, params_, topo_), 0.0);
+  }
+}
+
+TEST_F(ModelsTest, PredictionsArePositive) {
+  const PatternStats st = high_message_stats();
+  for (const auto& [cfg, sec] : predict_all(st, params_, topo_)) {
+    EXPECT_GT(sec, 0.0) << cfg.name();
+  }
+}
+
+TEST_F(ModelsTest, NodeAwareBeatsStandardDeviceAwareForManyMessages) {
+  // Paper §4.6: with a high message count, device-aware 3-step/2-step beat
+  // device-aware standard thanks to message reduction.
+  const PatternStats st = high_message_stats();
+  const double std_da = predict({StrategyKind::Standard, MemSpace::Device},
+                                st, params_, topo_);
+  const double three_da = predict({StrategyKind::ThreeStep, MemSpace::Device},
+                                  st, params_, topo_);
+  const double two_da = predict({StrategyKind::TwoStep, MemSpace::Device},
+                                st, params_, topo_);
+  EXPECT_LT(three_da, std_da);
+  EXPECT_LT(two_da, std_da);
+}
+
+TEST_F(ModelsTest, DuplicateRemovalHelpsNodeAwareOnly) {
+  const PatternStats st = high_message_stats();
+  PredictOptions dup;
+  dup.duplicate_fraction = 0.25;
+  const double std_plain = predict({StrategyKind::Standard, MemSpace::Host},
+                                   st, params_, topo_);
+  const double std_dup = predict({StrategyKind::Standard, MemSpace::Host}, st,
+                                 params_, topo_, dup);
+  EXPECT_DOUBLE_EQ(std_plain, std_dup);  // standard still sends duplicates
+
+  const double split_plain = predict({StrategyKind::SplitMD, MemSpace::Host},
+                                     st, params_, topo_);
+  const double split_dup = predict({StrategyKind::SplitMD, MemSpace::Host},
+                                   st, params_, topo_, dup);
+  EXPECT_LT(split_dup, split_plain);
+}
+
+TEST_F(ModelsTest, SplitDdModelSlowerThanMd) {
+  // The duplicate-device-pointer copy penalty outweighs the on-node
+  // distribution savings (paper §5.1).
+  const PatternStats st = high_message_stats();
+  const double md =
+      predict({StrategyKind::SplitMD, MemSpace::Host}, st, params_, topo_);
+  const double dd =
+      predict({StrategyKind::SplitDD, MemSpace::Host}, st, params_, topo_);
+  EXPECT_LT(md, dd);
+}
+
+TEST_F(ModelsTest, SplitWinsForManyDestinationNodes) {
+  // Paper Figure 4.3b: Split+MD is the most performant staged strategy when
+  // communicating with many nodes at moderate message sizes.
+  PatternStats st = high_message_stats();
+  const double split = predict({StrategyKind::SplitMD, MemSpace::Host}, st,
+                               params_, topo_);
+  const double two = predict({StrategyKind::TwoStep, MemSpace::Host}, st,
+                             params_, topo_);
+  EXPECT_LT(split, two);
+}
+
+TEST_F(ModelsTest, InvalidDuplicateFractionThrows) {
+  const PatternStats st = high_message_stats();
+  PredictOptions bad;
+  bad.duplicate_fraction = 1.5;
+  EXPECT_THROW((void)predict({StrategyKind::Standard, MemSpace::Host}, st, params_,
+                       topo_, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm::core::models

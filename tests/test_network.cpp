@@ -1,0 +1,161 @@
+#include "hetsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "hetsim/engine.hpp"
+
+namespace hetcomm {
+namespace {
+
+TEST(FatTreeConfig, Validation) {
+  FatTreeConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.nodes_per_pod = 0;
+  EXPECT_THROW((void)cfg.validate(), std::invalid_argument);
+  cfg = FatTreeConfig{};
+  cfg.taper = 0.5;
+  EXPECT_THROW((void)cfg.validate(), std::invalid_argument);
+  cfg = FatTreeConfig{};
+  cfg.per_hop_latency = -1.0;
+  EXPECT_THROW((void)cfg.validate(), std::invalid_argument);
+}
+
+TEST(FatTreeFabric, PodMembership) {
+  FatTreeConfig cfg;
+  cfg.nodes_per_pod = 4;
+  const FatTreeFabric fabric(cfg, 10, 4.19e-11);
+  EXPECT_EQ(fabric.pod_of(0), 0);
+  EXPECT_EQ(fabric.pod_of(3), 0);
+  EXPECT_EQ(fabric.pod_of(4), 1);
+  EXPECT_TRUE(fabric.same_pod(0, 3));
+  EXPECT_FALSE(fabric.same_pod(3, 4));
+}
+
+TEST(FatTreeFabric, HopLatencyByLocality) {
+  FatTreeConfig cfg;
+  cfg.nodes_per_pod = 2;
+  cfg.per_hop_latency = 1e-7;
+  const FatTreeFabric fabric(cfg, 4, 4.19e-11);
+  EXPECT_DOUBLE_EQ(fabric.hop_latency(0, 1), 1e-7);   // leaf only
+  EXPECT_DOUBLE_EQ(fabric.hop_latency(0, 2), 3e-7);   // via spine
+}
+
+class EngineFabricTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(8)};
+  ParamSet params_ = [] {
+    ParamSet p = lassen_params();
+    p.overheads.post_overhead = 0.0;
+    p.overheads.queue_search_per_entry = 0.0;
+    return p;
+  }();
+
+  double cross_pod_time(double taper, int senders) {
+    Engine engine(topo_, params_, NoiseModel(1, 0.0));
+    FatTreeConfig cfg;
+    cfg.nodes_per_pod = 4;  // nodes 0-3 pod 0, nodes 4-7 pod 1
+    cfg.taper = taper;
+    engine.set_fabric(cfg);
+    const std::int64_t bytes = 1 << 20;
+    for (int i = 0; i < senders; ++i) {
+      const int src = topo_.rank_of(i % 4, 0, i / 4 % topo_.pps());
+      const int dst = topo_.rank_of(4 + i % 4, 0, i / 4 % topo_.pps());
+      engine.isend(src, dst, bytes, i, MemSpace::Host);
+      engine.irecv(dst, src, bytes, i, MemSpace::Host);
+    }
+    engine.resolve();
+    return engine.max_clock();
+  }
+};
+
+TEST_F(EngineFabricTest, NonBlockingFabricBarelyChangesTimes) {
+  // taper=1: only the per-hop latency differs from the NIC-only model.
+  Engine plain(topo_, params_, NoiseModel(1, 0.0));
+  const int dst = topo_.rank_of(7, 0, 0);
+  plain.isend(0, dst, 1 << 20, 0, MemSpace::Host);
+  plain.irecv(dst, 0, 1 << 20, 0, MemSpace::Host);
+  plain.resolve();
+
+  Engine fab(topo_, params_, NoiseModel(1, 0.0));
+  FatTreeConfig cfg;
+  cfg.nodes_per_pod = 4;
+  fab.set_fabric(cfg);
+  EXPECT_TRUE(fab.has_fabric());
+  fab.isend(0, dst, 1 << 20, 0, MemSpace::Host);
+  fab.irecv(dst, 0, 1 << 20, 0, MemSpace::Host);
+  fab.resolve();
+
+  EXPECT_NEAR(fab.clock(dst), plain.clock(dst) + 3 * cfg.per_hop_latency,
+              1e-12);
+}
+
+TEST_F(EngineFabricTest, TaperThrottlesCrossPodAggregates) {
+  // 8 concurrent cross-pod streams: a 4:1 tapered fabric must be much
+  // slower than non-blocking; a single stream is barely affected.
+  const double nb = cross_pod_time(1.0, 8);
+  const double tapered = cross_pod_time(4.0, 8);
+  EXPECT_GT(tapered, 1.5 * nb);
+
+  const double nb1 = cross_pod_time(1.0, 1);
+  const double tapered1 = cross_pod_time(4.0, 1);
+  EXPECT_LT(tapered1, 1.2 * nb1);
+}
+
+TEST_F(EngineFabricTest, SamePodTrafficBypassesTaper) {
+  Engine engine(topo_, params_, NoiseModel(1, 0.0));
+  FatTreeConfig cfg;
+  cfg.nodes_per_pod = 4;
+  cfg.taper = 8.0;
+  engine.set_fabric(cfg);
+  const std::int64_t bytes = 1 << 20;
+  // Node 0 -> node 1: same pod, spine never touched.
+  for (int i = 0; i < 8; ++i) {
+    const int src = topo_.rank_of(0, 0, i);
+    const int dst = topo_.rank_of(1, 0, i);
+    engine.isend(src, dst, bytes, i, MemSpace::Host);
+    engine.irecv(dst, src, bytes, i, MemSpace::Host);
+  }
+  engine.resolve();
+  // Bounded by NIC serialization, not the (heavily tapered) spine.
+  const double nic_floor =
+      8.0 * static_cast<double>(bytes) * params_.injection.inv_rate_cpu;
+  EXPECT_LT(engine.max_clock(), 2.0 * nic_floor);
+}
+
+TEST_F(EngineFabricTest, ResetClearsFabricState) {
+  Engine engine(topo_, params_, NoiseModel(1, 0.0));
+  FatTreeConfig cfg;
+  cfg.nodes_per_pod = 4;
+  cfg.taper = 4.0;
+  engine.set_fabric(cfg);
+  const int dst = topo_.rank_of(5, 0, 0);
+  engine.isend(0, dst, 1 << 20, 0, MemSpace::Host);
+  engine.irecv(dst, 0, 1 << 20, 0, MemSpace::Host);
+  engine.resolve();
+  const double first = engine.clock(dst);
+  engine.reset();
+  engine.isend(0, dst, 1 << 20, 0, MemSpace::Host);
+  engine.irecv(dst, 0, 1 << 20, 0, MemSpace::Host);
+  engine.resolve();
+  EXPECT_DOUBLE_EQ(engine.clock(dst), first);
+}
+
+TEST_F(EngineFabricTest, StrategiesRunUnchangedOnFabric) {
+  const core::CommPattern pattern = core::random_pattern(topo_, 8, 4096, 3);
+  for (const core::StrategyConfig& strat : core::table5_strategies()) {
+    const core::CommPlan plan =
+        core::build_plan(pattern, topo_, params_, strat);
+    Engine engine(topo_, params_, NoiseModel(2, 0.0));
+    FatTreeConfig cfg;
+    cfg.nodes_per_pod = 4;
+    cfg.taper = 2.0;
+    engine.set_fabric(cfg);
+    EXPECT_NO_THROW(core::run_plan(engine, plan)) << strat.name();
+    EXPECT_GT(engine.max_clock(), 0.0) << strat.name();
+  }
+}
+
+}  // namespace
+}  // namespace hetcomm

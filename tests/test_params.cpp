@@ -1,0 +1,138 @@
+#include "hetsim/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hetsim/engine.hpp"
+
+namespace hetcomm {
+namespace {
+
+TEST(ProtocolThresholds, SelectsBySizeForHost) {
+  const ProtocolThresholds th;  // short<=512, eager<=16384
+  EXPECT_EQ(th.select(MemSpace::Host, 1), Protocol::Short);
+  EXPECT_EQ(th.select(MemSpace::Host, 512), Protocol::Short);
+  EXPECT_EQ(th.select(MemSpace::Host, 513), Protocol::Eager);
+  EXPECT_EQ(th.select(MemSpace::Host, 16384), Protocol::Eager);
+  EXPECT_EQ(th.select(MemSpace::Host, 16385), Protocol::Rendezvous);
+}
+
+TEST(ProtocolThresholds, DeviceHasNoShortProtocol) {
+  const ProtocolThresholds th;
+  EXPECT_EQ(th.select(MemSpace::Device, 1), Protocol::Eager);
+  EXPECT_EQ(th.select(MemSpace::Device, 100000), Protocol::Rendezvous);
+}
+
+TEST(LassenParams, MatchesPaperTable2CpuRows) {
+  const ParamSet p = lassen_params();
+  // Spot-check the published values (paper Table 2).
+  const PostalParams& short_sock =
+      p.messages.get(MemSpace::Host, Protocol::Short, PathClass::OnSocket);
+  EXPECT_DOUBLE_EQ(short_sock.alpha, 3.67e-07);
+  EXPECT_DOUBLE_EQ(short_sock.beta, 1.32e-10);
+  const PostalParams& rend_off =
+      p.messages.get(MemSpace::Host, Protocol::Rendezvous, PathClass::OffNode);
+  EXPECT_DOUBLE_EQ(rend_off.alpha, 7.76e-06);
+  EXPECT_DOUBLE_EQ(rend_off.beta, 7.97e-11);
+}
+
+TEST(LassenParams, MatchesPaperTable2GpuRows) {
+  const ParamSet p = lassen_params();
+  const PostalParams& eager_node =
+      p.messages.get(MemSpace::Device, Protocol::Eager, PathClass::OnNode);
+  EXPECT_DOUBLE_EQ(eager_node.alpha, 2.02e-05);
+  EXPECT_DOUBLE_EQ(eager_node.beta, 2.15e-10);
+  // Device short lookups resolve to the eager row.
+  const PostalParams& short_as_eager =
+      p.messages.get(MemSpace::Device, Protocol::Short, PathClass::OnNode);
+  EXPECT_DOUBLE_EQ(short_as_eager.alpha, eager_node.alpha);
+}
+
+TEST(LassenParams, MatchesPaperTable3Copies) {
+  const ParamSet p = lassen_params();
+  EXPECT_DOUBLE_EQ(p.copies.h2d_1proc.alpha, 1.30e-05);
+  EXPECT_DOUBLE_EQ(p.copies.d2h_1proc.beta, 1.96e-11);
+  EXPECT_DOUBLE_EQ(p.copies.h2d_4proc.beta, 5.52e-10);
+  EXPECT_EQ(p.copies.shared_procs, 4);
+}
+
+TEST(LassenParams, MatchesPaperTable4Injection) {
+  const ParamSet p = lassen_params();
+  EXPECT_DOUBLE_EQ(p.injection.inv_rate_cpu, 4.19e-11);
+  EXPECT_NEAR(p.injection.rate(MemSpace::Host), 2.3866e10, 1e7);
+}
+
+TEST(LassenParams, GpuOnNodeSlowerThanCpuOnNode) {
+  // The paper's central observation: on-node device-aware transfers carry a
+  // much larger latency than host transfers.
+  const ParamSet p = lassen_params();
+  const double gpu = p.messages.get(MemSpace::Device, Protocol::Eager,
+                                    PathClass::OnNode).alpha;
+  const double cpu = p.messages.get(MemSpace::Host, Protocol::Eager,
+                                    PathClass::OnNode).alpha;
+  EXPECT_GT(gpu, 10.0 * cpu);
+}
+
+TEST(PostalParams, TimeIsAffine) {
+  const PostalParams pp{1e-6, 1e-9};
+  EXPECT_DOUBLE_EQ(pp.time(0), 1e-6);
+  EXPECT_DOUBLE_EQ(pp.time(1000), 1e-6 + 1e-6);
+}
+
+TEST(MessageParamTable, ForMessagePicksProtocolBySize) {
+  const ParamSet p = lassen_params();
+  const PostalParams& small = p.messages.for_message(
+      MemSpace::Host, PathClass::OffNode, 100, p.thresholds);
+  EXPECT_DOUBLE_EQ(small.alpha, 1.89e-06);  // short, off-node
+  const PostalParams& large = p.messages.for_message(
+      MemSpace::Host, PathClass::OffNode, 1 << 20, p.thresholds);
+  EXPECT_DOUBLE_EQ(large.alpha, 7.76e-06);  // rendezvous, off-node
+}
+
+TEST(CopyParams, InterpolationEndpoints) {
+  const ParamSet p = lassen_params();
+  const PostalParams one = copy_params_for(p.copies, CopyDir::HostToDevice, 1);
+  EXPECT_DOUBLE_EQ(one.alpha, 1.30e-05);
+  const PostalParams four = copy_params_for(p.copies, CopyDir::HostToDevice, 4);
+  EXPECT_DOUBLE_EQ(four.alpha, 1.52e-05);
+  // Beyond the measured sharing level: aggregate throughput stays flat
+  // (per-process beta scales with np) and latency grows with the number of
+  // time-sliced MPS clients.
+  const PostalParams eight = copy_params_for(p.copies, CopyDir::HostToDevice, 8);
+  EXPECT_DOUBLE_EQ(eight.alpha, 2.0 * four.alpha);
+  EXPECT_DOUBLE_EQ(eight.beta, 2.0 * four.beta);
+}
+
+TEST(CopyParams, InterpolationMonotoneBetweenEndpoints) {
+  const ParamSet p = lassen_params();
+  const PostalParams one = copy_params_for(p.copies, CopyDir::DeviceToHost, 1);
+  const PostalParams two = copy_params_for(p.copies, CopyDir::DeviceToHost, 2);
+  const PostalParams four = copy_params_for(p.copies, CopyDir::DeviceToHost, 4);
+  EXPECT_GT(two.beta, one.beta);
+  EXPECT_LT(two.beta, four.beta);
+  EXPECT_THROW((void)copy_params_for(p.copies, CopyDir::DeviceToHost, 0),
+               std::invalid_argument);
+}
+
+TEST(InjectionParams, UnsetRateThrows) {
+  InjectionParams inj;
+  EXPECT_THROW((void)inj.rate(MemSpace::Host), std::logic_error);
+}
+
+TEST(FutureMachines, FrontierHasFasterNetwork) {
+  const ParamSet lassen = lassen_params();
+  const ParamSet frontier = frontier_params();
+  EXPECT_LT(frontier.injection.inv_rate_cpu, lassen.injection.inv_rate_cpu);
+  EXPECT_LT(frontier.messages.get(MemSpace::Host, Protocol::Rendezvous,
+                                  PathClass::OffNode).beta,
+            lassen.messages.get(MemSpace::Host, Protocol::Rendezvous,
+                                PathClass::OffNode).beta);
+}
+
+TEST(FutureMachines, DeltaHasMoreExpensiveCopies) {
+  const ParamSet lassen = lassen_params();
+  const ParamSet delta = delta_params();
+  EXPECT_GT(delta.copies.h2d_1proc.beta, lassen.copies.h2d_1proc.beta);
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,0 +1,66 @@
+#include "sparse/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetcomm::sparse {
+namespace {
+
+TEST(RowPartition, ContiguousEvenSplit) {
+  const RowPartition p = RowPartition::contiguous(100, 4);
+  EXPECT_EQ(p.parts(), 4);
+  EXPECT_EQ(p.rows(), 100);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p.size(i), 25);
+  EXPECT_EQ(p.first_row(2), 50);
+  EXPECT_EQ(p.last_row(2), 75);
+}
+
+TEST(RowPartition, RemainderSpreadOverFirstParts) {
+  const RowPartition p = RowPartition::contiguous(10, 3);
+  EXPECT_EQ(p.size(0), 4);
+  EXPECT_EQ(p.size(1), 3);
+  EXPECT_EQ(p.size(2), 3);
+  EXPECT_EQ(p.rows(), 10);
+}
+
+TEST(RowPartition, MorePartsThanRows) {
+  const RowPartition p = RowPartition::contiguous(2, 5);
+  EXPECT_EQ(p.size(0), 1);
+  EXPECT_EQ(p.size(1), 1);
+  EXPECT_EQ(p.size(4), 0);
+  EXPECT_EQ(p.owner_of(1), 1);
+}
+
+TEST(RowPartition, OwnerOfIsConsistentWithRanges) {
+  const RowPartition p = RowPartition::contiguous(97, 7);
+  for (std::int64_t r = 0; r < 97; ++r) {
+    const int owner = p.owner_of(r);
+    EXPECT_GE(r, p.first_row(owner));
+    EXPECT_LT(r, p.last_row(owner));
+  }
+}
+
+TEST(RowPartition, ExplicitOffsetsValidated) {
+  EXPECT_NO_THROW(RowPartition({0, 3, 3, 10}));
+  EXPECT_THROW((void)RowPartition({1, 3}), std::invalid_argument);
+  EXPECT_THROW((void)RowPartition({0, 5, 3}), std::invalid_argument);
+  EXPECT_THROW((void)RowPartition({0}), std::invalid_argument);
+}
+
+TEST(RowPartition, EmptyPartsSkippedByOwnerOf) {
+  const RowPartition p({0, 0, 5, 5, 10});
+  EXPECT_EQ(p.owner_of(0), 1);
+  EXPECT_EQ(p.owner_of(4), 1);
+  EXPECT_EQ(p.owner_of(5), 3);
+}
+
+TEST(RowPartition, OutOfRangeThrows) {
+  const RowPartition p = RowPartition::contiguous(10, 2);
+  EXPECT_THROW((void)p.owner_of(-1), std::out_of_range);
+  EXPECT_THROW((void)p.owner_of(10), std::out_of_range);
+  EXPECT_THROW((void)p.first_row(2), std::out_of_range);
+  EXPECT_THROW((void)RowPartition::contiguous(-1, 2), std::invalid_argument);
+  EXPECT_THROW((void)RowPartition::contiguous(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm::sparse

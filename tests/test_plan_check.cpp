@@ -1,0 +1,119 @@
+#include "core/plan_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/generators.hpp"
+
+namespace hetcomm::core {
+namespace {
+
+class PlanCheckTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(4)};
+  ParamSet params_ = lassen_params();
+
+  CommPattern pattern() const {
+    CommPattern p(topo_.num_gpus());
+    p.add(0, 4, 3000);
+    p.add(0, 5, 3000);
+    p.add(1, 9, 7000);
+    p.add(0, 2, 500);
+    p.set_node_dedup(0, 1, 4000);  // 2000 B of overlap between gpu 4 and 5
+    return p;
+  }
+};
+
+TEST_F(PlanCheckTest, EveryBuiltinStrategyPasses) {
+  const CommPattern p = pattern();
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    const CommPlan plan = build_plan(p, topo_, params_, cfg);
+    const PlanCheckResult r =
+        check_plan(plan, p, topo_, cfg.transport == MemSpace::Host);
+    EXPECT_TRUE(r.ok) << cfg.name() << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST_F(PlanCheckTest, EveryStrategyPassesOnSpmvPatternWithDedup) {
+  const sparse::CsrMatrix m = sparse::banded_fem(1600, 240, 10, 3, false);
+  const sparse::RowPartition part =
+      sparse::RowPartition::contiguous(1600, topo_.num_gpus());
+  const CommPattern p = sparse::spmv_comm_pattern(m, part, topo_);
+  for (const StrategyConfig& cfg : table5_strategies()) {
+    const CommPlan plan = build_plan(p, topo_, params_, cfg);
+    const PlanCheckResult r =
+        check_plan(plan, p, topo_, cfg.transport == MemSpace::Host);
+    EXPECT_TRUE(r.ok) << cfg.name() << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST_F(PlanCheckTest, DetectsMissingH2dCopy) {
+  const CommPattern p = pattern();
+  CommPlan plan = build_plan(p, topo_, params_,
+                             {StrategyKind::Standard, MemSpace::Host});
+  // Drop the H2D phase.
+  plan.phases.pop_back();
+  const PlanCheckResult r = check_plan(plan, p, topo_, true);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("H2D"), std::string::npos);
+}
+
+TEST_F(PlanCheckTest, DetectsInflatedWireVolume) {
+  const CommPattern p = pattern();
+  CommPlan plan = build_plan(p, topo_, params_,
+                             {StrategyKind::ThreeStep, MemSpace::Host});
+  // Tamper: double one inter-node message.
+  for (PlanPhase& phase : plan.phases) {
+    if (phase.label != "global") continue;
+    phase.ops.front().bytes *= 2;
+  }
+  const PlanCheckResult r = check_plan(plan, p, topo_, true);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(PlanCheckTest, DetectsCopyInDeviceAwarePlan) {
+  const CommPattern p = pattern();
+  CommPlan plan = build_plan(p, topo_, params_,
+                             {StrategyKind::Standard, MemSpace::Device});
+  PlanPhase extra;
+  extra.label = "bogus";
+  extra.ops.push_back(PlanOp::copy(0, 0, CopyDir::DeviceToHost, 10));
+  plan.phases.push_back(extra);
+  const PlanCheckResult r = check_plan(plan, p, topo_, false);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(PlanCheckTest, DetectsSelfMessage) {
+  const CommPattern p = pattern();
+  CommPlan plan = build_plan(p, topo_, params_,
+                             {StrategyKind::Standard, MemSpace::Host});
+  plan.phases[1].ops.push_back(PlanOp::message(3, 3, 10, 99, MemSpace::Host));
+  const PlanCheckResult r = check_plan(plan, p, topo_, true);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(PlanCheckTest, DetectsBadEndpoints) {
+  const CommPattern p = pattern();
+  CommPlan plan;
+  plan.strategy_name = "hand-built";
+  PlanPhase phase;
+  phase.ops.push_back(
+      PlanOp::message(0, topo_.num_ranks() + 5, 10, 0, MemSpace::Host));
+  plan.phases.push_back(phase);
+  const PlanCheckResult r = check_plan(plan, p, topo_, true);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(PlanCheckTest, EmptyPlanOnEmptyPatternPasses) {
+  const CommPattern p(topo_.num_gpus());
+  const CommPlan plan = build_plan(p, topo_, params_,
+                                   {StrategyKind::SplitMD, MemSpace::Host});
+  EXPECT_TRUE(check_plan(plan, p, topo_, true).ok);
+}
+
+}  // namespace
+}  // namespace hetcomm::core

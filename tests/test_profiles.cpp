@@ -1,0 +1,82 @@
+#include "sparse/suitesparse_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/comm_pattern.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/partition.hpp"
+
+namespace hetcomm::sparse {
+namespace {
+
+TEST(Profiles, SixFigure51Matrices) {
+  const auto& profiles = figure51_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "audikw_1");
+  EXPECT_EQ(profiles[3].name, "thermal2");
+}
+
+TEST(Profiles, PublishedSizesRecorded) {
+  const MatrixProfile& audi = profile_by_name("audikw_1");
+  EXPECT_EQ(audi.rows, 943695);
+  EXPECT_EQ(audi.nnz, 77651847);
+  EXPECT_GT(audi.arrow_head, 0);
+  const MatrixProfile& thermal = profile_by_name("thermal2");
+  EXPECT_GT(thermal.long_range_per_row, 0);
+  EXPECT_THROW((void)profile_by_name("nonexistent"), std::invalid_argument);
+}
+
+TEST(Profiles, GeneratedStandinMatchesScaledSize) {
+  const MatrixProfile& ldoor = profile_by_name("ldoor");
+  const CsrMatrix m = generate_standin(ldoor, 0.01, 42);
+  EXPECT_NEAR(static_cast<double>(m.rows()),
+              static_cast<double>(ldoor.rows) * 0.01, 100.0);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_TRUE(m.pattern_symmetric());
+  // Mean degree matches the published nnz/n character within a factor ~2.
+  const double target = static_cast<double>(ldoor.nnz) /
+                        static_cast<double>(ldoor.rows);
+  EXPECT_GT(m.mean_degree(), target / 3.0);
+  EXPECT_LT(m.mean_degree(), target * 2.0);
+}
+
+TEST(Profiles, ThermalIsMuchSparserThanAudi) {
+  const CsrMatrix audi = generate_standin(profile_by_name("audikw_1"), 0.005, 1);
+  const CsrMatrix thermal =
+      generate_standin(profile_by_name("thermal2"), 0.005, 1);
+  EXPECT_GT(audi.mean_degree(), 5.0 * thermal.mean_degree());
+}
+
+TEST(Profiles, AudiArrowCreatesHighFanout) {
+  // The dense head makes part 0 talk to far more parts than a pure band.
+  const CsrMatrix audi = generate_standin(profile_by_name("audikw_1"), 0.01, 2);
+  const CsrMatrix serena = generate_standin(profile_by_name("Serena"), 0.01, 2);
+  const int parts = 16;
+  const core::CommPattern pa =
+      spmv_comm_pattern(audi, RowPartition::contiguous(audi.rows(), parts));
+  const core::CommPattern ps = spmv_comm_pattern(
+      serena, RowPartition::contiguous(serena.rows(), parts));
+  // audikw_1's head part exchanges with (almost) everyone.
+  EXPECT_GE(static_cast<int>(pa.recvs_to(0).size()), parts - 2);
+  (void)ps;
+}
+
+TEST(Profiles, ScaleValidation) {
+  const MatrixProfile& p = profile_by_name("Serena");
+  EXPECT_THROW((void)generate_standin(p, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)generate_standin(p, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Profiles, GpuSweepsAreNonEmptyAndSorted) {
+  for (const MatrixProfile& p : figure51_profiles()) {
+    ASSERT_FALSE(p.gpu_counts.empty()) << p.name;
+    for (std::size_t i = 1; i < p.gpu_counts.size(); ++i) {
+      EXPECT_LT(p.gpu_counts[i - 1], p.gpu_counts[i]) << p.name;
+    }
+    // All sweeps are multiples of Lassen's 4 GPUs/node.
+    for (const int g : p.gpu_counts) EXPECT_EQ(g % 4, 0) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace hetcomm::sparse

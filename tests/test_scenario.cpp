@@ -1,0 +1,96 @@
+#include "core/models/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetcomm::core::models {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(17)};  // enough for 16 destinations
+};
+
+TEST_F(ScenarioTest, EvenDistributionStats) {
+  Scenario sc;
+  sc.num_dest_nodes = 4;
+  sc.num_messages = 32;
+  sc.msg_bytes = 1024;
+  const PatternStats st = scenario_stats(topo_, sc);
+  EXPECT_EQ(st.total_internode_messages, 32);
+  EXPECT_EQ(st.total_internode_bytes, 32 * 1024);
+  EXPECT_EQ(st.s_node, 32 * 1024);
+  EXPECT_EQ(st.s_proc, 8 * 1024);       // 8 messages per GPU
+  EXPECT_EQ(st.m_proc, 8);
+  EXPECT_EQ(st.m_proc_node, 4);         // every GPU hits every node
+  EXPECT_EQ(st.s_node_node, 8 * 1024);  // 8 messages per destination node
+  EXPECT_EQ(st.num_internode_nodes, 4);
+  EXPECT_EQ(st.typical_msg_bytes, 1024);
+}
+
+TEST_F(ScenarioTest, HighMessageCountStats) {
+  Scenario sc;
+  sc.num_dest_nodes = 16;
+  sc.num_messages = 256;
+  sc.msg_bytes = 512;
+  const PatternStats st = scenario_stats(topo_, sc);
+  EXPECT_EQ(st.m_proc, 64);
+  EXPECT_EQ(st.m_proc_node, 16);
+  EXPECT_EQ(st.s_node, 256 * 512);
+  EXPECT_EQ(st.s_node_node, 16 * 512);
+}
+
+TEST_F(ScenarioTest, SingleActiveGpuReducesPerProcessFanout) {
+  Scenario even;
+  even.num_dest_nodes = 4;
+  even.num_messages = 64;
+  Scenario single = even;
+  single.single_active_gpu = true;
+
+  const PatternStats st_even = scenario_stats(topo_, even);
+  const PatternStats st_single = scenario_stats(topo_, single);
+  // Same total volume, same per-process volume...
+  EXPECT_EQ(st_even.total_internode_bytes, st_single.total_internode_bytes);
+  EXPECT_EQ(st_even.s_proc, st_single.s_proc);
+  // ... but each GPU talks to one node instead of all four (2-Step 1).
+  EXPECT_EQ(st_even.m_proc_node, 4);
+  EXPECT_EQ(st_single.m_proc_node, 1);
+}
+
+TEST_F(ScenarioTest, MessagesSpreadAcrossDestinationGpus) {
+  Scenario sc;
+  sc.num_dest_nodes = 2;
+  sc.num_messages = 16;
+  const CommPattern p = make_scenario_pattern(topo_, sc);
+  // Destination GPUs on node 1 all receive something.
+  int active_dests = 0;
+  for (const int gpu : topo_.gpus_on_node(1)) {
+    if (p.recv_bytes(gpu) > 0) ++active_dests;
+  }
+  EXPECT_EQ(active_dests, topo_.gpn());
+}
+
+TEST_F(ScenarioTest, OnlyNodeZeroSends) {
+  Scenario sc;
+  sc.num_dest_nodes = 3;
+  sc.num_messages = 24;
+  const CommPattern p = make_scenario_pattern(topo_, sc);
+  for (int gpu = topo_.gpn(); gpu < topo_.num_gpus(); ++gpu) {
+    EXPECT_EQ(p.send_bytes(gpu), 0) << "gpu " << gpu;
+  }
+}
+
+TEST_F(ScenarioTest, ValidatesInput) {
+  const Topology tiny(presets::lassen(2));
+  Scenario sc;
+  sc.num_dest_nodes = 4;
+  EXPECT_THROW((void)make_scenario_pattern(tiny, sc), std::invalid_argument);
+  sc.num_dest_nodes = 1;
+  sc.num_messages = 0;
+  EXPECT_THROW((void)make_scenario_pattern(tiny, sc), std::invalid_argument);
+  sc.num_messages = 1;
+  sc.msg_bytes = 0;
+  EXPECT_THROW((void)make_scenario_pattern(tiny, sc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm::core::models

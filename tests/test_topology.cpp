@@ -1,0 +1,151 @@
+#include "hetsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hetcomm {
+namespace {
+
+TEST(MachineShape, LassenPresetDimensions) {
+  const MachineShape shape = presets::lassen(4);
+  EXPECT_EQ(shape.num_nodes, 4);
+  EXPECT_EQ(shape.sockets_per_node, 2);
+  EXPECT_EQ(shape.gpus_per_socket, 2);
+  EXPECT_EQ(shape.cores_per_socket, 20);
+  EXPECT_EQ(shape.gpus_per_node(), 4);
+  EXPECT_EQ(shape.cores_per_node(), 40);
+  EXPECT_EQ(shape.total_gpus(), 16);
+  EXPECT_EQ(shape.total_ranks(), 160);
+}
+
+TEST(MachineShape, SummitHasThreeGpusPerSocket) {
+  const MachineShape shape = presets::summit(1);
+  EXPECT_EQ(shape.gpus_per_node(), 6);
+}
+
+TEST(MachineShape, FrontierSingleSocket) {
+  const MachineShape shape = presets::frontier(2);
+  EXPECT_EQ(shape.sockets_per_node, 1);
+  EXPECT_EQ(shape.cores_per_node(), 64);
+  EXPECT_EQ(shape.gpus_per_node(), 4);
+}
+
+TEST(MachineShape, ValidateRejectsNonPositive) {
+  MachineShape shape;
+  shape.num_nodes = 0;
+  EXPECT_THROW((void)shape.validate(), std::invalid_argument);
+  shape = MachineShape{};
+  shape.cores_per_socket = 0;
+  EXPECT_THROW((void)shape.validate(), std::invalid_argument);
+}
+
+TEST(MachineShape, ValidateRejectsMoreGpusThanCores) {
+  MachineShape shape{1, 1, 4, 2};
+  EXPECT_THROW((void)shape.validate(), std::invalid_argument);
+}
+
+TEST(Topology, RankLocationRoundTrip) {
+  const Topology topo(presets::lassen(3));
+  for (int rank = 0; rank < topo.num_ranks(); ++rank) {
+    const RankLocation loc = topo.rank_location(rank);
+    EXPECT_EQ(topo.rank_of(loc.node, loc.socket, loc.core), rank);
+  }
+}
+
+TEST(Topology, GpuLocationRoundTrip) {
+  const Topology topo(presets::lassen(3));
+  for (int gpu = 0; gpu < topo.num_gpus(); ++gpu) {
+    const GpuLocation loc = topo.gpu_location(gpu);
+    EXPECT_EQ(topo.gpu_of(loc.node, loc.socket, loc.index_on_socket), gpu);
+  }
+}
+
+TEST(Topology, LocalRankWithinNode) {
+  const Topology topo(presets::lassen(2));
+  const RankLocation loc = topo.rank_location(45);  // node 1, rank 5 local
+  EXPECT_EQ(loc.node, 1);
+  EXPECT_EQ(loc.local_rank, 5);
+  EXPECT_EQ(loc.socket, 0);
+  EXPECT_EQ(loc.core, 5);
+}
+
+TEST(Topology, GpuOwnersAreDistinct) {
+  const Topology topo(presets::lassen(2));
+  std::set<int> owners;
+  for (int gpu = 0; gpu < topo.num_gpus(); ++gpu) {
+    owners.insert(topo.owner_rank_of_gpu(gpu));
+  }
+  EXPECT_EQ(static_cast<int>(owners.size()), topo.num_gpus());
+}
+
+TEST(Topology, OwnerIsOnGpusSocket) {
+  const Topology topo(presets::summit(2));
+  for (int gpu = 0; gpu < topo.num_gpus(); ++gpu) {
+    const GpuLocation g = topo.gpu_location(gpu);
+    const RankLocation r = topo.rank_location(topo.owner_rank_of_gpu(gpu));
+    EXPECT_EQ(g.node, r.node);
+    EXPECT_EQ(g.socket, r.socket);
+  }
+}
+
+TEST(Topology, GpuOwnedByRankInverse) {
+  const Topology topo(presets::lassen(2));
+  for (int gpu = 0; gpu < topo.num_gpus(); ++gpu) {
+    EXPECT_EQ(topo.gpu_owned_by_rank(topo.owner_rank_of_gpu(gpu)), gpu);
+  }
+  // A non-owner core owns no GPU.
+  EXPECT_EQ(topo.gpu_owned_by_rank(topo.rank_of(0, 0, 10)), -1);
+}
+
+TEST(Topology, ClassifyPaths) {
+  const Topology topo(presets::lassen(2));
+  EXPECT_EQ(topo.classify(topo.rank_of(0, 0, 0), topo.rank_of(0, 0, 1)),
+            PathClass::OnSocket);
+  EXPECT_EQ(topo.classify(topo.rank_of(0, 0, 0), topo.rank_of(0, 1, 0)),
+            PathClass::OnNode);
+  EXPECT_EQ(topo.classify(topo.rank_of(0, 0, 0), topo.rank_of(1, 0, 0)),
+            PathClass::OffNode);
+}
+
+TEST(Topology, ClassifyGpus) {
+  const Topology topo(presets::lassen(2));
+  EXPECT_EQ(topo.classify_gpus(0, 1), PathClass::OnSocket);
+  EXPECT_EQ(topo.classify_gpus(0, 2), PathClass::OnNode);
+  EXPECT_EQ(topo.classify_gpus(0, 4), PathClass::OffNode);
+}
+
+TEST(Topology, RanksOnNodeAreContiguous) {
+  const Topology topo(presets::lassen(3));
+  const std::vector<int> ranks = topo.ranks_on_node(1);
+  ASSERT_EQ(static_cast<int>(ranks.size()), topo.ppn());
+  EXPECT_EQ(ranks.front(), 40);
+  EXPECT_EQ(ranks.back(), 79);
+}
+
+TEST(Topology, GpusOnNode) {
+  const Topology topo(presets::lassen(3));
+  const std::vector<int> gpus = topo.gpus_on_node(2);
+  ASSERT_EQ(static_cast<int>(gpus.size()), 4);
+  EXPECT_EQ(gpus.front(), 8);
+  EXPECT_EQ(gpus.back(), 11);
+}
+
+TEST(Topology, OutOfRangeThrows) {
+  const Topology topo(presets::lassen(1));
+  EXPECT_THROW((void)topo.rank_location(-1), std::out_of_range);
+  EXPECT_THROW((void)topo.rank_location(topo.num_ranks()), std::out_of_range);
+  EXPECT_THROW((void)topo.gpu_location(topo.num_gpus()), std::out_of_range);
+  EXPECT_THROW((void)topo.ranks_on_node(1), std::out_of_range);
+  EXPECT_THROW((void)topo.rank_of(0, 2, 0), std::out_of_range);
+  EXPECT_THROW((void)topo.gpu_of(0, 0, 2), std::out_of_range);
+}
+
+TEST(Topology, PathClassNames) {
+  EXPECT_STREQ(to_string(PathClass::OnSocket), "on-socket");
+  EXPECT_STREQ(to_string(PathClass::OnNode), "on-node");
+  EXPECT_STREQ(to_string(PathClass::OffNode), "off-node");
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,0 +1,88 @@
+#include "hetsim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hetsim/engine.hpp"
+
+namespace hetcomm {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  Topology topo_{presets::lassen(2)};
+  ParamSet params_ = lassen_params();
+
+  Trace make_trace() {
+    Engine engine(topo_, params_, NoiseModel(1, 0.0));
+    engine.set_tracing(true);
+    engine.copy(0, 0, CopyDir::DeviceToHost, 4096, 1);
+    engine.isend(0, topo_.rank_of(1, 0, 0), 4096, 1, MemSpace::Host);
+    engine.irecv(topo_.rank_of(1, 0, 0), 0, 4096, 1, MemSpace::Host);
+    engine.isend(1, 2, 128, 2, MemSpace::Device);
+    engine.irecv(2, 1, 128, 2, MemSpace::Device);
+    engine.resolve();
+    return engine.trace();
+  }
+};
+
+TEST_F(TraceExportTest, ChromeTraceIsWellFormedJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, make_trace(), topo_);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(out.find("eager"), std::string::npos);
+  EXPECT_NE(out.find("D2H"), std::string::npos);
+  // Balanced braces/brackets (crude JSON sanity).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(TraceExportTest, ChromeTraceHasOneEventPerOperation) {
+  const Trace trace = make_trace();
+  std::ostringstream os;
+  write_chrome_trace(os, trace, topo_);
+  const std::string out = os.str();
+  std::size_t events = 0;
+  for (std::size_t pos = out.find("\"name\""); pos != std::string::npos;
+       pos = out.find("\"name\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, trace.messages.size() + trace.copies.size());
+}
+
+TEST_F(TraceExportTest, AsciiGanttRendersBars) {
+  std::ostringstream os;
+  write_ascii_gantt(os, make_trace(), {60, 10});
+  const std::string out = os.str();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("timeline horizon"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, AsciiGanttTruncatesLongTraces) {
+  Engine engine(topo_, params_, NoiseModel(1, 0.0));
+  engine.set_tracing(true);
+  for (int i = 0; i < 30; ++i) {
+    engine.isend(0, 1, 64, i, MemSpace::Host);
+    engine.irecv(1, 0, 64, i, MemSpace::Host);
+  }
+  engine.resolve();
+  std::ostringstream os;
+  write_ascii_gantt(os, engine.trace(), {40, 5});
+  EXPECT_NE(os.str().find("more events"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, EmptyTraceHandled) {
+  std::ostringstream gantt, chrome;
+  write_ascii_gantt(gantt, Trace{});
+  EXPECT_NE(gantt.str().find("empty"), std::string::npos);
+  write_chrome_trace(chrome, Trace{}, topo_);
+  EXPECT_NE(chrome.str().find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,0 +1,17 @@
+// hetcomm CLI entry point; all logic lives in src/cli (testable).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const hetcomm::cli::Options opts = hetcomm::cli::Options::parse(args);
+    return hetcomm::cli::run(opts, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "hetcomm: " << e.what() << "\n";
+    return 2;
+  }
+}
