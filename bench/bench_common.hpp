@@ -3,39 +3,102 @@
 //
 // Every bench binary regenerates one table or figure of the paper.  Common
 // command-line flags:
-//   --csv     emit CSV instead of aligned tables
-//   --quick   reduce iteration counts / sweep sizes (CI-friendly)
-//   --reps N  override repetition count
+//   --csv       emit CSV instead of aligned tables
+//   --quick     reduce iteration counts / sweep sizes (CI-friendly)
+//   --reps N    override repetition count (positive integer)
+//   --jobs N    sweep worker threads (positive; default: hardware)
+//   --seed S    base noise seed for reproducible runs
+//   --progress  per-cell progress lines on stderr
+//
+// Unknown flags and malformed values are hard errors (exit 2) -- a typo'd
+// sweep must not silently run with default settings.
 
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "benchutil/table.hpp"
+#include "runtime/sweep.hpp"
 
 namespace hetcomm::benchutil {
 
 struct BenchOptions {
   bool csv = false;
   bool quick = false;
-  int reps = -1;  ///< -1 = bench default
+  bool progress = false;
+  int reps = -1;               ///< -1 = bench default
+  int jobs = 0;                ///< sweep workers; 0 = hardware concurrency
+  std::uint64_t seed = 0x5eedULL;
+
+  static constexpr const char* kUsage =
+      "flags: --csv --quick --progress --reps N --jobs N --seed S";
+
+  [[noreturn]] static void fail(const std::string& message) {
+    std::cerr << "bench: " << message << "\n" << kUsage << "\n";
+    std::exit(2);
+  }
+
+  /// Strict positive-integer parse: the whole token must be a number >= 1
+  /// (no "--reps x" silently becoming 0 via atoi).
+  static long long parse_positive(const char* text, const char* flag) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v < 1) {
+      fail(std::string(flag) + " needs a positive integer, got '" + text + "'");
+    }
+    return v;
+  }
+
+  static std::uint64_t parse_seed(const char* text) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0') {
+      fail(std::string("--seed needs an unsigned integer, got '") + text + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+  }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opts;
+    const auto value = [&](int& i, const char* flag) -> const char* {
+      if (i + 1 >= argc) fail(std::string("missing value for ") + flag);
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--csv") == 0) {
         opts.csv = true;
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         opts.quick = true;
-      } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
-        opts.reps = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--progress") == 0) {
+        opts.progress = true;
+      } else if (std::strcmp(argv[i], "--reps") == 0) {
+        opts.reps = static_cast<int>(parse_positive(value(i, "--reps"), "--reps"));
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        opts.jobs = static_cast<int>(parse_positive(value(i, "--jobs"), "--jobs"));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        opts.seed = parse_seed(value(i, "--seed"));
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::cout << "flags: --csv --quick --reps N\n";
+        std::cout << kUsage << "\n";
         std::exit(0);
+      } else {
+        fail(std::string("unknown flag '") + argv[i] + "'");
       }
     }
     return opts;
+  }
+
+  /// SweepOptions carrying this run's --jobs / --progress settings.
+  [[nodiscard]] runtime::SweepOptions sweep_options() const {
+    runtime::SweepOptions so;
+    so.jobs = jobs;
+    so.progress = progress;
+    return so;
   }
 
   void emit(const Table& table, const std::string& title) const {

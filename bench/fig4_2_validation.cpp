@@ -13,6 +13,7 @@
 #include "core/executor.hpp"
 #include "core/models/strategy_models.hpp"
 #include "core/strategy.hpp"
+#include "runtime/sweep.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -38,28 +39,58 @@ int main(int argc, char** argv) {
 
   MeasureOptions mopts;
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 25);
+  mopts.seed = opts.seed;
   mopts.noise_sigma = 0.02;
 
   const std::vector<int> gpu_counts =
       opts.quick ? std::vector<int>{16, 32} : std::vector<int>{8, 16, 32, 64};
+  const std::vector<StrategyConfig> strategies = table5_strategies();
 
-  for (const StrategyConfig& cfg : table5_strategies()) {
-    Table table({"GPUs", "measured [s]", "modeled [s]", "model/measured"});
-    for (const int g : gpu_counts) {
-      const Topology topo(presets::lassen(g / 4));
-      const sparse::RowPartition part =
-          sparse::RowPartition::contiguous(matrix.rows(), g);
-      const CommPattern pattern =
-            sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
-      const CommPlan plan = build_plan(pattern, topo, params, cfg);
-      const double measured = measure(plan, topo, params, mopts).max_avg;
-      const double modeled = models::predict(
-          cfg, compute_stats(pattern, topo), params, topo);
-      table.add_row({std::to_string(g), Table::sci(measured),
-                     Table::sci(modeled),
-                     Table::num(measured > 0 ? modeled / measured : 0, 2)});
+  // Grid: strategy x GPU count.  Cells run across the sweep pool; results
+  // land in grid order regardless of completion order.
+  struct Cell {
+    std::size_t si = 0;
+    std::size_t gi = 0;
+  };
+  std::vector<Cell> grid;
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    for (std::size_t gi = 0; gi < gpu_counts.size(); ++gi) {
+      grid.push_back({si, gi});
     }
-    opts.emit(table, "Figure 4.2 -- " + cfg.name());
+  }
+
+  struct CellResult {
+    double measured = 0.0;
+    double modeled = 0.0;
+  };
+  const std::vector<CellResult> results = runtime::sweep(
+      grid,
+      [&](const Cell& cell) {
+        const int g = gpu_counts[cell.gi];
+        const Topology topo(presets::lassen(g / 4));
+        const sparse::RowPartition part =
+            sparse::RowPartition::contiguous(matrix.rows(), g);
+        const CommPattern pattern =
+            sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
+        const CommPlan plan =
+            build_plan(pattern, topo, params, strategies[cell.si]);
+        CellResult r;
+        r.measured = measure(plan, topo, params, mopts).max_avg;
+        r.modeled = models::predict(strategies[cell.si],
+                                    compute_stats(pattern, topo), params, topo);
+        return r;
+      },
+      opts.sweep_options());
+
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    Table table({"GPUs", "measured [s]", "modeled [s]", "model/measured"});
+    for (std::size_t gi = 0; gi < gpu_counts.size(); ++gi) {
+      const CellResult& r = results[si * gpu_counts.size() + gi];
+      table.add_row({std::to_string(gpu_counts[gi]), Table::sci(r.measured),
+                     Table::sci(r.modeled),
+                     Table::num(r.measured > 0 ? r.modeled / r.measured : 0, 2)});
+    }
+    opts.emit(table, "Figure 4.2 -- " + strategies[si].name());
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
+#include "runtime/sweep.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
@@ -36,6 +37,13 @@ std::vector<Curve> curves() {
   return out;
 }
 
+// One (dest nodes x messages x duplicate removal) block of the figure.
+struct Block {
+  int nodes = 0;
+  int messages = 0;
+  double dup = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,32 +53,38 @@ int main(int argc, char** argv) {
 
   const std::vector<long long> sizes =
       opts.quick ? pow2_sizes(16, 1 << 16) : pow2_sizes(1, 1 << 20);
+  const std::vector<Curve> cs = curves();
 
+  std::vector<Block> blocks;
   for (const int nodes : {4, 16}) {
     for (const int messages : {32, 256}) {
       for (const double dup : {0.0, 0.25}) {
+        blocks.push_back({nodes, messages, dup});
+      }
+    }
+  }
+
+  // Each sweep cell evaluates one whole block (all sizes x curves) and
+  // returns its table rows; blocks are emitted afterwards in grid order.
+  using Rows = std::vector<std::vector<std::string>>;
+  const std::vector<Rows> block_rows = runtime::sweep(
+      blocks,
+      [&](const Block& block) {
         models::PredictOptions popts;
-        popts.duplicate_fraction = dup;
-
-        std::vector<std::string> headers{"size"};
-        const std::vector<Curve> cs = curves();
-        for (const Curve& c : cs) headers.push_back(c.name + " [s]");
-        headers.push_back("min (excl. 2-step 1)");
-        Table table(std::move(headers));
-
+        popts.duplicate_fraction = block.dup;
+        Rows rows;
         for (const long long size : sizes) {
           std::vector<std::string> row{Table::bytes(size)};
           double best = 1e99;
           std::string best_name = "?";
           for (const Curve& c : cs) {
             models::Scenario sc;
-            sc.num_dest_nodes = nodes;
-            sc.num_messages = messages;
+            sc.num_dest_nodes = block.nodes;
+            sc.num_messages = block.messages;
             sc.msg_bytes = size;
             sc.single_active_gpu = c.single_active_gpu;
             const PatternStats st = models::scenario_stats(topo, sc);
-            const double t =
-                models::predict(c.config, st, params, topo, popts);
+            const double t = models::predict(c.config, st, params, topo, popts);
             row.push_back(Table::sci(t));
             if (c.eligible_for_min && t < best) {
               best = t;
@@ -78,14 +92,25 @@ int main(int argc, char** argv) {
             }
           }
           row.push_back(best_name);
-          table.add_row(std::move(row));
+          rows.push_back(std::move(row));
         }
-        opts.emit(table, "Figure 4.3 -- " + std::to_string(nodes) +
-                             " dest nodes, " + std::to_string(messages) +
-                             " messages" +
-                             (dup > 0 ? ", 25% duplicate data removed" : ""));
-      }
+        return rows;
+      },
+      opts.sweep_options());
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    std::vector<std::string> headers{"size"};
+    for (const Curve& c : cs) headers.push_back(c.name + " [s]");
+    headers.push_back("min (excl. 2-step 1)");
+    Table table(std::move(headers));
+    for (const std::vector<std::string>& row : block_rows[bi]) {
+      table.add_row(row);
     }
+    const Block& b = blocks[bi];
+    opts.emit(table, "Figure 4.3 -- " + std::to_string(b.nodes) +
+                         " dest nodes, " + std::to_string(b.messages) +
+                         " messages" +
+                         (b.dup > 0 ? ", 25% duplicate data removed" : ""));
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "runtime/sweep.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
 
   MeasureOptions mopts;
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 15);
+  mopts.seed = opts.seed;
   mopts.noise_sigma = 0.02;
+
+  const std::vector<StrategyConfig> strategies = table5_strategies();
 
   int split_md_wins = 0;
   int total_points = 0;
@@ -54,35 +58,58 @@ int main(int argc, char** argv) {
     }
     Table table(std::move(headers));
 
+    // Grid: strategy x GPU count, fanned across the sweep pool.  The first
+    // strategy's cells additionally collect the pattern statistics footer.
+    struct Cell {
+      std::size_t si = 0;
+      std::size_t gi = 0;
+    };
+    std::vector<Cell> grid;
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+      for (std::size_t gi = 0; gi < gpu_counts.size(); ++gi) {
+        grid.push_back({si, gi});
+      }
+    }
+
+    std::vector<std::string> footer(gpu_counts.size());
+    struct CellResult {
+      double seconds = 0.0;
+    };
+    const std::vector<CellResult> results = runtime::sweep(
+        grid,
+        [&](const Cell& cell) {
+          const int g = gpu_counts[cell.gi];
+          const Topology topo(presets::lassen(g / 4));
+          const sparse::RowPartition part =
+              sparse::RowPartition::contiguous(matrix.rows(), g);
+          const CommPattern pattern =
+              sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
+          const CommPlan plan =
+              build_plan(pattern, topo, params, strategies[cell.si]);
+          CellResult r;
+          r.seconds = measure(plan, topo, params, mopts).max_avg;
+          if (cell.si == 0) {  // pattern statistics, once per GPU count
+            const PatternStats st = compute_stats(pattern, topo);
+            footer[cell.gi] =
+                std::to_string(g) + " GPUs: Recv Nodes=" +
+                std::to_string(st.num_internode_nodes) + ", volume=" +
+                Table::bytes(st.total_internode_bytes) + ", msgs=" +
+                std::to_string(st.total_internode_messages);
+          }
+          return r;
+        },
+        opts.sweep_options());
+
     std::vector<double> best(gpu_counts.size(), 1e99);
     std::vector<std::string> best_name(gpu_counts.size());
-    std::vector<std::string> footer(gpu_counts.size());
-
-    std::vector<std::vector<double>> results(table5_strategies().size());
-    const std::vector<StrategyConfig> strategies = table5_strategies();
     for (std::size_t si = 0; si < strategies.size(); ++si) {
       std::vector<std::string> row{strategies[si].name()};
       for (std::size_t gi = 0; gi < gpu_counts.size(); ++gi) {
-        const int g = gpu_counts[gi];
-        const Topology topo(presets::lassen(g / 4));
-        const sparse::RowPartition part =
-            sparse::RowPartition::contiguous(matrix.rows(), g);
-        const CommPattern pattern =
-            sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
-        const CommPlan plan = build_plan(pattern, topo, params,
-                                         strategies[si]);
-        const double t = measure(plan, topo, params, mopts).max_avg;
+        const double t = results[si * gpu_counts.size() + gi].seconds;
         row.push_back(Table::sci(t));
         if (t < best[gi]) {
           best[gi] = t;
           best_name[gi] = strategies[si].name();
-        }
-        if (si == 0) {  // pattern statistics, once per GPU count
-          const PatternStats st = compute_stats(pattern, topo);
-          footer[gi] = std::to_string(g) + " GPUs: Recv Nodes=" +
-                       std::to_string(st.num_internode_nodes) + ", volume=" +
-                       Table::bytes(st.total_internode_bytes) + ", msgs=" +
-                       std::to_string(st.total_internode_messages);
         }
       }
       table.add_row(std::move(row));

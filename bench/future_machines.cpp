@@ -13,6 +13,7 @@
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
 #include "core/strategy.hpp"
+#include "runtime/sweep.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -28,6 +29,10 @@ struct MachineCase {
   ParamSet params;
 };
 
+const std::vector<StrategyKind> kKinds = {
+    StrategyKind::Standard, StrategyKind::ThreeStep, StrategyKind::TwoStep,
+    StrategyKind::SplitMD, StrategyKind::SplitDD};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,42 +43,51 @@ int main(int argc, char** argv) {
       {"Frontier-like", presets::frontier(1), frontier_params()},
       {"Delta-like", presets::delta(1), delta_params()},
   };
+  const std::vector<long long> sizes =
+      opts.quick ? pow2_sizes(64, 1 << 14) : pow2_sizes(16, 1 << 18);
 
   // ---- Modeled Figure 4.3-style scenario on each machine. ----
-  for (const MachineCase& mc : machines) {
-    MachineShape shape = mc.shape;
-    shape.num_nodes = 17;
-    const Topology topo(shape);
+  // One sweep cell per machine, producing that machine's table rows.
+  using Rows = std::vector<std::vector<std::string>>;
+  const std::vector<Rows> modeled = runtime::sweep(
+      machines,
+      [&](const MachineCase& mc) {
+        MachineShape shape = mc.shape;
+        shape.num_nodes = 17;
+        const Topology topo(shape);
 
-    models::Scenario sc;
-    sc.num_dest_nodes = 16;
-    sc.num_messages = 256;
+        models::Scenario sc;
+        sc.num_dest_nodes = 16;
+        sc.num_messages = 256;
 
+        Rows rows;
+        for (const long long size : sizes) {
+          sc.msg_bytes = size;
+          const PatternStats st = models::scenario_stats(topo, sc);
+          std::vector<std::string> row{Table::bytes(size)};
+          double best = 1e99;
+          std::string best_name;
+          for (const StrategyKind kind : kKinds) {
+            const StrategyConfig cfg{kind, MemSpace::Host};
+            const double t = models::predict(cfg, st, mc.params, topo);
+            row.push_back(Table::sci(t));
+            if (t < best) {
+              best = t;
+              best_name = to_string(kind);
+            }
+          }
+          row.push_back(best_name);
+          rows.push_back(std::move(row));
+        }
+        return rows;
+      },
+      opts.sweep_options());
+
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
     Table table({"size", "standard (staged)", "3-step (staged)",
                  "2-step (staged)", "split+MD", "split+DD", "min"});
-    for (const long long size :
-         opts.quick ? pow2_sizes(64, 1 << 14) : pow2_sizes(16, 1 << 18)) {
-      sc.msg_bytes = size;
-      const PatternStats st = models::scenario_stats(topo, sc);
-      std::vector<std::string> row{Table::bytes(size)};
-      double best = 1e99;
-      std::string best_name;
-      for (const StrategyKind kind :
-           {StrategyKind::Standard, StrategyKind::ThreeStep,
-            StrategyKind::TwoStep, StrategyKind::SplitMD,
-            StrategyKind::SplitDD}) {
-        const StrategyConfig cfg{kind, MemSpace::Host};
-        const double t = models::predict(cfg, st, mc.params, topo);
-        row.push_back(Table::sci(t));
-        if (t < best) {
-          best = t;
-          best_name = to_string(kind);
-        }
-      }
-      row.push_back(best_name);
-      table.add_row(std::move(row));
-    }
-    opts.emit(table, "Future machines (modeled) -- " + mc.name +
+    for (const std::vector<std::string>& row : modeled[mi]) table.add_row(row);
+    opts.emit(table, "Future machines (modeled) -- " + machines[mi].name +
                          ", 256 msgs to 16 nodes, staged strategies");
   }
 
@@ -88,33 +102,47 @@ int main(int argc, char** argv) {
   const std::int64_t bytes_per_value = std::llround(8.0 / scale);
   MeasureOptions mopts;
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
+  mopts.seed = opts.seed;
   mopts.noise_sigma = 0.02;
+
+  // Grid: machine x strategy, measured cells fanned across the pool.
+  struct Cell {
+    std::size_t mi = 0;
+    std::size_t ki = 0;
+  };
+  std::vector<Cell> grid;
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+    for (std::size_t ki = 0; ki < kKinds.size(); ++ki) grid.push_back({mi, ki});
+  }
+  const std::vector<double> measured = runtime::sweep(
+      grid,
+      [&](const Cell& cell) {
+        const MachineCase& mc = machines[cell.mi];
+        MachineShape shape = mc.shape;
+        shape.num_nodes = 16;
+        const Topology topo(shape);
+        const sparse::RowPartition part =
+            sparse::RowPartition::contiguous(matrix.rows(), topo.num_gpus());
+        const CommPattern pattern =
+            sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
+        const CommPlan plan = build_plan(pattern, topo, mc.params,
+                                         {kKinds[cell.ki], MemSpace::Host});
+        return measure(plan, topo, mc.params, mopts).max_avg;
+      },
+      opts.sweep_options());
 
   Table table({"machine", "standard", "3-step", "2-step", "split+MD",
                "split+DD", "min"});
-  for (const MachineCase& mc : machines) {
-    MachineShape shape = mc.shape;
-    shape.num_nodes = 16;
-    const Topology topo(shape);
-    const sparse::RowPartition part =
-        sparse::RowPartition::contiguous(matrix.rows(), topo.num_gpus());
-    const CommPattern pattern =
-            sparse::spmv_comm_pattern(matrix, part, topo, bytes_per_value);
-
-    std::vector<std::string> row{mc.name};
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+    std::vector<std::string> row{machines[mi].name};
     double best = 1e99;
     std::string best_name;
-    for (const StrategyKind kind :
-         {StrategyKind::Standard, StrategyKind::ThreeStep,
-          StrategyKind::TwoStep, StrategyKind::SplitMD,
-          StrategyKind::SplitDD}) {
-      const CommPlan plan =
-          build_plan(pattern, topo, mc.params, {kind, MemSpace::Host});
-      const double t = measure(plan, topo, mc.params, mopts).max_avg;
+    for (std::size_t ki = 0; ki < kKinds.size(); ++ki) {
+      const double t = measured[mi * kKinds.size() + ki];
       row.push_back(Table::sci(t));
       if (t < best) {
         best = t;
-        best_name = to_string(kind);
+        best_name = to_string(kKinds[ki]);
       }
     }
     row.push_back(best_name);

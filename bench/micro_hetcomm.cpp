@@ -10,6 +10,7 @@
 #include "core/strategy.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/suitesparse_profiles.hpp"
 
 namespace {
 
@@ -88,6 +89,80 @@ void BM_MeasureFullStrategy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MeasureFullStrategy);
+
+// ---- DES sweep-runtime throughput (the ISSUE-1 refactor's payoff) -------
+//
+// Fixed workload: the audikw_1 stand-in SpMV plan on a 4-node Lassen
+// (the Figure 4.2 validation point), split+MD.  Tracked in BENCH JSON as
+// reps/sec so regressions in the sweep runtime show up over time.
+
+struct AudikwFixture {
+  Topology topo{presets::lassen(4)};
+  ParamSet params = lassen_params();
+  CommPlan plan;
+
+  AudikwFixture() {
+    const double scale = 0.005;
+    const sparse::CsrMatrix matrix = sparse::generate_standin(
+        sparse::profile_by_name("audikw_1"), scale, 7);
+    const sparse::RowPartition part =
+        sparse::RowPartition::contiguous(matrix.rows(), topo.num_gpus());
+    const CommPattern pattern = sparse::spmv_comm_pattern(
+        matrix, part, topo, static_cast<std::int64_t>(8.0 / scale));
+    plan = build_plan(pattern, topo, params,
+                      {StrategyKind::SplitMD, MemSpace::Host});
+  }
+
+  static const AudikwFixture& get() {
+    static const AudikwFixture fixture;
+    return fixture;
+  }
+};
+
+// Old execution path: a freshly constructed engine for every repetition.
+void BM_DesThroughputFreshEngine(benchmark::State& state) {
+  const AudikwFixture& f = AudikwFixture::get();
+  std::int64_t reps = 0;
+  for (auto _ : state) {
+    Engine engine(f.topo, f.params, NoiseModel(mix_seed(1, ++reps), 0.02));
+    benchmark::DoNotOptimize(run_plan(engine, f.plan));
+  }
+  state.SetItemsProcessed(state.iterations());  // items = repetitions
+}
+BENCHMARK(BM_DesThroughputFreshEngine);
+
+// Reuse path: one engine, reset(seed) between repetitions.
+void BM_DesThroughputReusedEngine(benchmark::State& state) {
+  const AudikwFixture& f = AudikwFixture::get();
+  Engine engine(f.topo, f.params, NoiseModel(1, 0.02));
+  std::int64_t reps = 0;
+  for (auto _ : state) {
+    engine.reset(mix_seed(1, ++reps));
+    benchmark::DoNotOptimize(run_plan(engine, f.plan));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DesThroughputReusedEngine);
+
+// Full measure() throughput at jobs in {1, 4, hardware}; Arg is the jobs
+// value passed to MeasureOptions (0 = hardware concurrency).
+void BM_DesThroughputMeasureJobs(benchmark::State& state) {
+  const AudikwFixture& f = AudikwFixture::get();
+  MeasureOptions mopts;
+  mopts.reps = 32;
+  mopts.noise_sigma = 0.02;
+  mopts.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(f.plan, f.topo, f.params, mopts));
+  }
+  state.SetItemsProcessed(state.iterations() * mopts.reps);
+}
+BENCHMARK(BM_DesThroughputMeasureJobs)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(0)  // hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
+#include "runtime/sweep.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
@@ -98,16 +99,28 @@ int main(int argc, char** argv) {
             << "predicted-time ratio at calibrated Lassen parameters: "
             << Table::num(base, 3) << " (<1 means split wins)\n";
 
+  // One sweep cell per knob; rows assemble in knob (grid) order.
+  const std::vector<Knob> ks = knobs();
+  struct Swing {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  const std::vector<Swing> swings = runtime::sweep(
+      ks,
+      [&](const Knob& knob) {
+        ParamSet lo = lassen_params();
+        knob.scale(lo, 0.5);
+        ParamSet hi = lassen_params();
+        knob.scale(hi, 2.0);
+        return Swing{ratio_for(lo), ratio_for(hi)};
+      },
+      opts.sweep_options());
+
   Table table({"parameter", "x0.5 ratio", "x2.0 ratio", "swing"});
-  for (const Knob& knob : knobs()) {
-    ParamSet lo = lassen_params();
-    knob.scale(lo, 0.5);
-    ParamSet hi = lassen_params();
-    knob.scale(hi, 2.0);
-    const double r_lo = ratio_for(lo);
-    const double r_hi = ratio_for(hi);
-    table.add_row({knob.name, Table::num(r_lo, 3), Table::num(r_hi, 3),
-                   Table::num(std::abs(r_hi - r_lo), 3)});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    table.add_row({ks[i].name, Table::num(swings[i].lo, 3),
+                   Table::num(swings[i].hi, 3),
+                   Table::num(std::abs(swings[i].hi - swings[i].lo), 3)});
   }
   opts.emit(table, "Sensitivity tornado -- split+MD vs standard");
   std::cout << "\nReading: the ratio is most sensitive to CPU message\n"

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 #include "core/pattern_io.hpp"
 #include "core/strategy.hpp"
 #include "hetsim/engine.hpp"
+#include "runtime/sweep.hpp"
 #include "hetsim/trace_export.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/matrix_market.hpp"
@@ -52,6 +54,7 @@ std::string usage() {
       "  --gpus N             partition width for matrix inputs\n"
       "  --strategy NAME      for `trace` (e.g. \"split+MD\")\n"
       "  --taper T            attach a T:1 tapered fat-tree fabric\n"
+      "  --jobs N             worker threads (default: hardware concurrency)\n"
       "  --reps N --seed S --csv\n";
 }
 
@@ -93,6 +96,8 @@ Options Options::parse(const std::vector<std::string>& args) {
       opts.taper = to_double(value(), "--taper");
     } else if (flag == "--reps") {
       opts.reps = static_cast<int>(to_int(value(), "--reps"));
+    } else if (flag == "--jobs") {
+      opts.jobs = static_cast<int>(to_int(value(), "--jobs"));
     } else if (flag == "--seed") {
       opts.seed = static_cast<std::uint64_t>(to_int(value(), "--seed"));
     } else if (flag == "--csv") {
@@ -103,6 +108,9 @@ Options Options::parse(const std::vector<std::string>& args) {
   }
   if (opts.nodes < 1) throw std::invalid_argument("--nodes must be >= 1");
   if (opts.reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  if (opts.jobs < 0) {
+    throw std::invalid_argument("--jobs must be >= 1 (or 0 for hardware)");
+  }
   const int sources = (opts.pattern_file.empty() ? 0 : 1) +
                       (opts.matrix_file.empty() ? 0 : 1) +
                       (opts.standin.empty() ? 0 : 1);
@@ -176,57 +184,47 @@ void emit(const Options& opts, std::ostream& os, const Table& table,
   }
 }
 
-core::MeasureResult measure_one(const Options& opts, const Topology& topo,
-                                const ParamSet& params,
-                                const core::CommPlan& plan) {
-  core::MeasureResult result;
-  result.summary = plan.summarize(topo);
-  result.per_rank_mean.assign(static_cast<std::size_t>(topo.num_ranks()), 0.0);
-  double makespan_sum = 0.0;
-  for (int rep = 0; rep < opts.reps; ++rep) {
-    Engine engine(topo, params,
-                  NoiseModel(opts.seed + static_cast<std::uint64_t>(rep),
-                             0.02));
-    if (opts.taper > 0.0) {
-      FatTreeConfig cfg;
-      cfg.taper = opts.taper;
-      cfg.nodes_per_pod = std::max(1, std::min(18, topo.num_nodes() / 2));
-      engine.set_fabric(cfg);
-    }
-    core::run_plan(engine, plan);
-    double makespan = 0.0;
-    for (int r = 0; r < topo.num_ranks(); ++r) {
-      result.per_rank_mean[static_cast<std::size_t>(r)] += engine.clock(r);
-      makespan = std::max(makespan, engine.clock(r));
-    }
-    makespan_sum += makespan;
+core::MeasureOptions measure_options(const Options& opts,
+                                     const Topology& topo) {
+  core::MeasureOptions mopts;
+  mopts.reps = opts.reps;
+  mopts.seed = opts.seed;
+  mopts.noise_sigma = 0.02;
+  if (opts.taper > 0.0) {
+    FatTreeConfig cfg;
+    cfg.taper = opts.taper;
+    cfg.nodes_per_pod = std::max(1, std::min(18, topo.num_nodes() / 2));
+    mopts.fabric = cfg;
   }
-  for (double& t : result.per_rank_mean) t /= opts.reps;
-  result.max_avg = *std::max_element(result.per_rank_mean.begin(),
-                                     result.per_rank_mean.end());
-  result.makespan_mean = makespan_sum / opts.reps;
-  return result;
+  return mopts;
 }
 
 int cmd_compare(const Options& opts, std::ostream& os) {
   const Topology topo = make_topology(opts);
   const ParamSet params = make_params(opts);
   const core::CommPattern pattern = make_workload(opts, topo);
+  const core::MeasureOptions mopts = measure_options(opts, topo);
 
   Table table({"strategy", "time [s]", "net msgs", "net bytes", "vs best"});
   struct Row {
     std::string name;
-    double time;
+    double time = 0.0;
     core::PlanSummary summary;
   };
-  std::vector<Row> rows;
+  // One sweep cell per strategy; each cell compiles and simulates its plan.
+  const std::vector<core::StrategyConfig> strategies =
+      core::table5_strategies();
+  const std::vector<Row> rows = runtime::sweep(
+      strategies,
+      [&](const core::StrategyConfig& cfg) {
+        const core::CommPlan plan =
+            core::build_plan(pattern, topo, params, cfg);
+        const core::MeasureResult r = core::measure(plan, topo, params, mopts);
+        return Row{cfg.name(), r.max_avg, r.summary};
+      },
+      runtime::SweepOptions{opts.jobs, /*progress=*/false, nullptr});
   double best = 1e99;
-  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
-    const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
-    const core::MeasureResult r = measure_one(opts, topo, params, plan);
-    rows.push_back({cfg.name(), r.max_avg, r.summary});
-    best = std::min(best, r.max_avg);
-  }
+  for (const Row& r : rows) best = std::min(best, r.time);
   for (const Row& r : rows) {
     table.add_row({r.name, Table::sci(r.time),
                    std::to_string(r.summary.internode_messages),
@@ -267,10 +265,19 @@ int cmd_model(const Options& opts, std::ostream& os) {
   stats_table.add_row({"dedup s_node [B]", std::to_string(st.dedup_s_node)});
   emit(opts, os, stats_table, "pattern statistics");
 
+  // Model evaluation fans across the sweep pool too -- cheap per cell, but
+  // the same --jobs plumbing as `compare`, and rows stay in Table 5 order.
+  const std::vector<core::StrategyConfig> strategies =
+      core::table5_strategies();
+  const std::vector<double> predicted = runtime::sweep(
+      strategies,
+      [&](const core::StrategyConfig& cfg) {
+        return core::models::predict(cfg, st, params, topo);
+      },
+      runtime::SweepOptions{opts.jobs, /*progress=*/false, nullptr});
   Table table({"strategy", "predicted [s]"});
-  for (const auto& [cfg, sec] :
-       core::models::predict_all(st, params, topo)) {
-    table.add_row({cfg.name(), Table::sci(sec)});
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    table.add_row({strategies[i].name(), Table::sci(predicted[i])});
   }
   emit(opts, os, table, "Table 6 model predictions");
   return 0;

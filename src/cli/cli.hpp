@@ -15,6 +15,7 @@
 //   --gpus N          partition width for matrix inputs (default all GPUs)
 //   --strategy NAME   (trace only; names per StrategyConfig::name())
 //   --taper T         attach a tapered fat-tree fabric
+//   --jobs N          sweep/measure worker threads (default: hardware)
 //   --reps N  --seed S  --csv
 
 #include <iosfwd>
@@ -38,6 +39,7 @@ struct Options {
   std::string strategy = "split+MD";
   double taper = 0.0;  ///< 0 = no fabric
   int reps = 15;
+  int jobs = 0;        ///< worker threads; 0 = hardware concurrency
   std::uint64_t seed = 1;
   bool csv = false;
 

@@ -1,8 +1,12 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
 
 namespace hetcomm::core {
 
@@ -37,6 +41,9 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   if (options.reps < 1) {
     throw std::invalid_argument("measure: reps must be >= 1");
   }
+  if (options.jobs < 0) {
+    throw std::invalid_argument("measure: jobs must be >= 0 (0 = hardware)");
+  }
 
   MeasureResult result;
   result.summary = plan.summarize(topo);
@@ -44,14 +51,50 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   result.makespan_min = std::numeric_limits<double>::infinity();
   result.makespan_max = 0.0;
 
-  for (int rep = 0; rep < options.reps; ++rep) {
-    Engine engine(topo, params,
-                  NoiseModel(options.seed + static_cast<std::uint64_t>(rep),
-                             options.noise_sigma));
-    if (options.trace_last_rep && rep == options.reps - 1) {
-      engine.set_tracing(true);
+  int jobs = options.jobs == 0 ? runtime::hardware_jobs() : options.jobs;
+  jobs = std::min(jobs, options.reps);
+
+  // Per-repetition clocks, keyed by repetition so the reduction below is
+  // independent of which worker ran which repetition.
+  std::vector<std::vector<double>> rep_clocks(
+      static_cast<std::size_t>(options.reps));
+  Trace last_trace;  // written only by the repetition reps-1
+
+  // One reusable engine per worker, constructed lazily on first use.
+  std::vector<std::unique_ptr<Engine>> engines(static_cast<std::size_t>(jobs));
+
+  const auto run_rep = [&](std::int64_t rep, int worker) {
+    std::unique_ptr<Engine>& slot = engines[static_cast<std::size_t>(worker)];
+    if (!slot) {
+      slot = std::make_unique<Engine>(topo, params,
+                                      NoiseModel(0, options.noise_sigma));
+      if (options.fabric) slot->set_fabric(*options.fabric);
     }
-    const std::vector<double> clocks = run_plan(engine, plan);
+    Engine& engine = *slot;
+    engine.reset(mix_seed(options.seed, static_cast<std::uint64_t>(rep)));
+    const bool traced =
+        options.trace_last_rep && rep == static_cast<std::int64_t>(options.reps) - 1;
+    engine.set_tracing(traced);
+    rep_clocks[static_cast<std::size_t>(rep)] = run_plan(engine, plan);
+    if (traced) {
+      last_trace = engine.trace();
+      engine.set_tracing(false);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  runtime::ThreadPool pool(jobs);
+  pool.parallel_for(options.reps, run_rep);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.reps_per_second =
+      result.wall_seconds > 0.0 ? options.reps / result.wall_seconds : 0.0;
+
+  // Serial reduction in repetition order: bit-identical at any jobs count.
+  for (int rep = 0; rep < options.reps; ++rep) {
+    const std::vector<double>& clocks =
+        rep_clocks[static_cast<std::size_t>(rep)];
     double makespan = 0.0;
     for (std::size_t r = 0; r < clocks.size(); ++r) {
       result.per_rank_mean[r] += clocks[r];
@@ -67,6 +110,7 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   for (double& t : result.per_rank_mean) t *= inv;
   result.max_avg =
       *std::max_element(result.per_rank_mean.begin(), result.per_rank_mean.end());
+  result.trace = std::move(last_trace);
   return result;
 }
 

@@ -3,20 +3,44 @@
 // statistics the way the paper reports them: per-process times averaged over
 // repetitions, then the maximum over processes ("maximum average time
 // required for communication by any single process", §4.5/§5).
+//
+// measure() is the repetition runtime: it keeps one reusable Engine per
+// worker thread (reset(seed) between repetitions instead of reconstructing),
+// derives each repetition's noise seed as mix_seed(options.seed, rep), and
+// reduces per-repetition results in repetition order -- so the aggregate is
+// bit-identical for any `jobs` value, including jobs=1.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/plan.hpp"
 #include "hetsim/engine.hpp"
+#include "hetsim/network.hpp"
+#include "hetsim/trace.hpp"
 
 namespace hetcomm::core {
 
 struct MeasureOptions {
+  MeasureOptions() = default;
+  /// Pre-runtime callers spell out the first four options positionally;
+  /// keep that working without -Wmissing-field-initializers noise.
+  MeasureOptions(int reps_, std::uint64_t seed_, double noise_sigma_,
+                 bool trace_last_rep_) noexcept
+      : reps(reps_),
+        seed(seed_),
+        noise_sigma(noise_sigma_),
+        trace_last_rep(trace_last_rep_) {}
+
   int reps = 25;              ///< repetitions (the paper uses 1000)
   std::uint64_t seed = 0x5eedULL;
   double noise_sigma = 0.02;  ///< lognormal noise; 0 = deterministic
   bool trace_last_rep = false;
+  /// Worker threads for repetitions: 1 = serial (default), 0 = hardware
+  /// concurrency.  Results are bit-identical for every value.
+  int jobs = 1;
+  /// Attach a tapered fat-tree fabric to every engine (what-if studies).
+  std::optional<FatTreeConfig> fabric;
 };
 
 struct MeasureResult {
@@ -26,14 +50,19 @@ struct MeasureResult {
   double makespan_max = 0.0;
   std::vector<double> per_rank_mean;
   PlanSummary summary;
+  Trace trace;                ///< last repetition's events (trace_last_rep)
+  double wall_seconds = 0.0;  ///< wall time spent simulating repetitions
+  double reps_per_second = 0.0;
 };
 
 /// Run `plan` once on `engine` (which must be reset by the caller) and
 /// return each rank's final clock.
 std::vector<double> run_plan(Engine& engine, const CommPlan& plan);
 
-/// Repeatedly execute `plan` on a fresh engine built from (topo, params),
-/// with reseeded noise per repetition, and aggregate.
+/// Repeatedly execute `plan` with per-repetition reseeded noise -- on
+/// per-worker reused engines, fanned across `options.jobs` threads -- and
+/// aggregate.  Deterministic: the result depends only on (plan, topo,
+/// params, reps, seed, noise_sigma, fabric), never on the thread count.
 [[nodiscard]] MeasureResult measure(const CommPlan& plan, const Topology& topo,
                                     const ParamSet& params,
                                     const MeasureOptions& options = {});

@@ -263,9 +263,15 @@ void Engine::reset() {
   if (fabric_) fabric_->reset();
   sends_.clear();
   recvs_.clear();
+  next_seq_ = 0;
   trace_.clear();
   network_bytes_ = 0;
   network_messages_ = 0;
+}
+
+void Engine::reset(std::uint64_t noise_seed) {
+  reset();
+  noise_.reseed(noise_seed);
 }
 
 PostalParams copy_params_for(const CopyParamTable& table, CopyDir dir,

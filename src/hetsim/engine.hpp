@@ -34,11 +34,15 @@ class Engine {
   Engine(Topology topology, ParamSet params,
          NoiseModel noise = NoiseModel{});
 
-  // Non-copyable (owns mutable resource state), movable.
+  // Non-copyable (owns mutable resource state), movable.  The defaulted
+  // moves are safe: every member is value-owned (vectors, optional fabric,
+  // trace) and nothing holds a pointer or reference back into the engine,
+  // so a moved-to engine is fully usable mid-sweep.  A moved-FROM engine is
+  // valid-but-empty; reconstruct or assign before reusing it.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-  Engine(Engine&&) = default;
-  Engine& operator=(Engine&&) = default;
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
 
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] const ParamSet& params() const noexcept { return params_; }
@@ -78,8 +82,16 @@ class Engine {
   void set_clock(int rank, double t);
   /// Maximum clock over all ranks (makespan so far).
   [[nodiscard]] double max_clock() const;
-  /// Reset all clocks, resources and traces to time zero.
+  /// Reset all clocks, resources, counters and traces to time zero,
+  /// reusing every allocation.  After reset() the engine is
+  /// indistinguishable (event-for-event) from a freshly constructed one
+  /// with the same topology/params/noise; an attached fabric survives with
+  /// its links drained.  Tracing enablement is preserved.
   void reset();
+  /// reset(), then reseed the noise stream -- the reuse path of
+  /// core::measure(): one engine serves thousands of repetitions without
+  /// reallocating resource or queue state.
+  void reset(std::uint64_t noise_seed);
 
   /// Attach a fat-tree fabric (default: NIC-only non-blocking network).
   /// Cross-pod messages then queue on shared, possibly tapered pod links

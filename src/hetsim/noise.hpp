@@ -13,6 +13,20 @@
 
 namespace hetcomm {
 
+/// SplitMix64-style hash of (base seed, sequence number) into an
+/// independent per-repetition seed.  Unlike `base + rep`, distinct
+/// (base, rep) pairs never collide into the same stream, adjacent
+/// repetitions are decorrelated, and the seed depends only on the
+/// repetition index -- never on which worker thread runs it -- which is
+/// what makes multi-threaded measurement bit-identical to serial.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t base,
+                                               std::uint64_t sequence) noexcept {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (sequence + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class NoiseModel {
  public:
   /// `sigma` is the lognormal shape parameter; 0 disables noise entirely.

@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-size worker pool for fanning independent simulation work across
+// threads (repetitions inside core::measure(), sweep cells inside
+// runtime::SweepRunner).
+//
+// Determinism contract: the pool hands out task indices dynamically, so
+// *which* worker runs a task is scheduling-dependent -- callers must make
+// results independent of that by writing each task's output to a
+// preallocated slot keyed by task index and deriving any randomness from
+// the task index, never from the worker.  Workers are identified by a dense
+// index in [0, num_threads()) so callers can keep per-worker scratch state
+// (e.g. one reusable hetsim::Engine per worker).
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hetcomm::runtime {
+
+/// Usable hardware concurrency: std::thread::hardware_concurrency(), but
+/// never less than 1 (the standard allows it to report 0).
+[[nodiscard]] int hardware_jobs() noexcept;
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` workers (0 = hardware_jobs()).  The calling thread
+  /// of parallel_for() acts as worker 0, so only `threads - 1` OS threads
+  /// are spawned and a 1-thread pool runs everything inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Task signature: fn(task_index, worker_index).
+  using Task = std::function<void(std::int64_t, int)>;
+
+  /// Run tasks 0..count-1 across the pool and block until all complete.
+  /// If any task throws, remaining unclaimed tasks are skipped and the
+  /// first exception is rethrown here (after every worker has drained).
+  /// Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::int64_t count, const Task& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;  ///< owned; out-of-line so <mutex> stays out of the header
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hetcomm::runtime

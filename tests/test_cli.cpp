@@ -24,6 +24,15 @@ TEST(CliParse, DefaultsAndFlags) {
   EXPECT_TRUE(opts.csv);
 }
 
+TEST(CliParse, JobsFlag) {
+  EXPECT_EQ(parse({"compare"}).jobs, 0);  // default: hardware concurrency
+  EXPECT_EQ(parse({"compare", "--jobs", "3"}).jobs, 3);
+  EXPECT_THROW((void)parse({"compare", "--jobs"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--jobs", "-1"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--jobs", "two"}),
+               std::invalid_argument);
+}
+
 TEST(CliParse, RejectsBadInput) {
   EXPECT_THROW((void)parse({}), std::invalid_argument);
   EXPECT_THROW((void)parse({"frobnicate"}), std::invalid_argument);

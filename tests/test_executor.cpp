@@ -81,6 +81,122 @@ TEST_F(ExecutorTest, RejectsBadReps) {
   EXPECT_THROW((void)measure(plan, topo_, params_, opts), std::invalid_argument);
 }
 
+TEST_F(ExecutorTest, RejectsNegativeJobs) {
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::Standard, MemSpace::Host});
+  MeasureOptions opts;
+  opts.jobs = -2;
+  EXPECT_THROW((void)measure(plan, topo_, params_, opts), std::invalid_argument);
+}
+
+TEST_F(ExecutorTest, ResultsAreBitIdenticalAcrossJobsCounts) {
+  // The determinism contract of the sweep runtime: with noise enabled, the
+  // per-rep seed depends only on (base seed, rep index) and the reduction
+  // runs serially in rep order, so jobs=1 and jobs=8 must agree exactly --
+  // not approximately -- on every statistic.
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::SplitMD, MemSpace::Host});
+  MeasureOptions serial;
+  serial.reps = 24;
+  serial.seed = 0xfeedULL;
+  serial.noise_sigma = 0.05;
+  serial.jobs = 1;
+  MeasureOptions wide = serial;
+  wide.jobs = 8;
+
+  const MeasureResult a = measure(plan, topo_, params_, serial);
+  const MeasureResult b = measure(plan, topo_, params_, wide);
+  EXPECT_EQ(a.max_avg, b.max_avg);
+  EXPECT_EQ(a.makespan_mean, b.makespan_mean);
+  EXPECT_EQ(a.makespan_min, b.makespan_min);
+  EXPECT_EQ(a.makespan_max, b.makespan_max);
+  ASSERT_EQ(a.per_rank_mean.size(), b.per_rank_mean.size());
+  for (std::size_t i = 0; i < a.per_rank_mean.size(); ++i) {
+    EXPECT_EQ(a.per_rank_mean[i], b.per_rank_mean[i]) << "rank " << i;
+  }
+}
+
+TEST_F(ExecutorTest, JobsZeroMeansHardwareConcurrency) {
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::ThreeStep, MemSpace::Host});
+  MeasureOptions serial;
+  serial.reps = 8;
+  serial.noise_sigma = 0.03;
+  serial.jobs = 1;
+  MeasureOptions hardware = serial;
+  hardware.jobs = 0;
+  const MeasureResult a = measure(plan, topo_, params_, serial);
+  const MeasureResult b = measure(plan, topo_, params_, hardware);
+  EXPECT_EQ(a.max_avg, b.max_avg);
+  EXPECT_EQ(a.makespan_mean, b.makespan_mean);
+}
+
+TEST_F(ExecutorTest, TraceLastRepCapturesTheFinalRepetition) {
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::Standard, MemSpace::Host});
+  MeasureOptions opts;
+  opts.reps = 6;
+  opts.noise_sigma = 0.02;
+  opts.trace_last_rep = true;
+  opts.jobs = 4;  // the traced rep must survive multi-threaded execution
+  const MeasureResult r = measure(plan, topo_, params_, opts);
+  EXPECT_FALSE(r.trace.messages.empty());
+
+  MeasureOptions off = opts;
+  off.trace_last_rep = false;
+  EXPECT_TRUE(measure(plan, topo_, params_, off).trace.messages.empty());
+}
+
+TEST_F(ExecutorTest, TraceIsIndependentOfJobsCount) {
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::TwoStep, MemSpace::Host});
+  MeasureOptions opts;
+  opts.reps = 10;
+  opts.noise_sigma = 0.04;
+  opts.trace_last_rep = true;
+  opts.jobs = 1;
+  MeasureOptions wide = opts;
+  wide.jobs = 8;
+  const Trace a = measure(plan, topo_, params_, opts).trace;
+  const Trace b = measure(plan, topo_, params_, wide).trace;
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].start, b.messages[i].start) << "message " << i;
+    EXPECT_EQ(a.messages[i].completion, b.messages[i].completion)
+        << "message " << i;
+  }
+}
+
+TEST_F(ExecutorTest, MeasureReportsThroughput) {
+  const CommPlan plan = build_plan(pattern(), topo_, params_,
+                                   {StrategyKind::Standard, MemSpace::Host});
+  MeasureOptions opts;
+  opts.reps = 4;
+  const MeasureResult r = measure(plan, topo_, params_, opts);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.reps_per_second, 0.0);
+}
+
+TEST_F(ExecutorTest, FabricOptionSlowsTaperedTraffic) {
+  // A heavily tapered fat tree must not be free: inter-node traffic through
+  // the fabric takes at least as long as the flat network.
+  CommPattern p(topo_.num_gpus());
+  for (int i = 0; i < 64; ++i) p.add(i % 4, 8 + (i % 8), 65536);
+  const CommPlan plan = build_plan(p, topo_, params_,
+                                   {StrategyKind::Standard, MemSpace::Host});
+  MeasureOptions flat;
+  flat.reps = 2;
+  flat.noise_sigma = 0.0;
+  MeasureOptions tapered = flat;
+  FatTreeConfig cfg;
+  cfg.taper = 8.0;
+  cfg.nodes_per_pod = 2;
+  tapered.fabric = cfg;
+  const double t_flat = measure(plan, topo_, params_, flat).max_avg;
+  const double t_tapered = measure(plan, topo_, params_, tapered).max_avg;
+  EXPECT_GE(t_tapered, t_flat);
+}
+
 TEST_F(ExecutorTest, StagedStandardSlowerThanNoCopiesForTinyTraffic) {
   // Staging pays two copy latencies (~1.3e-5 s); for a tiny message the
   // device path's eager latency (~9e-6 off-node) is cheaper.
