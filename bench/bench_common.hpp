@@ -9,6 +9,7 @@
 //   --jobs N    sweep worker threads (positive; default: hardware)
 //   --seed S    base noise seed for reproducible runs
 //   --progress  per-cell progress lines on stderr
+//   --engine E  execution path: compiled (default) or interpreted
 //
 // Unknown flags and malformed values are hard errors (exit 2) -- a typo'd
 // sweep must not silently run with default settings.
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "benchutil/table.hpp"
+#include "core/executor.hpp"
 #include "runtime/sweep.hpp"
 
 namespace hetcomm::benchutil {
@@ -33,9 +35,12 @@ struct BenchOptions {
   int reps = -1;               ///< -1 = bench default
   int jobs = 0;                ///< sweep workers; 0 = hardware concurrency
   std::uint64_t seed = 0x5eedULL;
+  /// Both engines are bit-identical; interpreted exists for A/B timing.
+  core::ExecMode engine = core::ExecMode::Compiled;
 
   static constexpr const char* kUsage =
-      "flags: --csv --quick --progress --reps N --jobs N --seed S";
+      "flags: --csv --quick --progress --reps N --jobs N --seed S "
+      "--engine {compiled,interpreted}";
 
   [[noreturn]] static void fail(const std::string& message) {
     std::cerr << "bench: " << message << "\n" << kUsage << "\n";
@@ -52,6 +57,18 @@ struct BenchOptions {
       fail(std::string(flag) + " needs a positive integer, got '" + text + "'");
     }
     return v;
+  }
+
+  /// Only the exact spellings are accepted -- "compile", "Compiled" or
+  /// other near-misses abort with usage text rather than running the
+  /// default path under a misleading label.
+  static core::ExecMode parse_engine(const char* text) {
+    if (std::strcmp(text, "compiled") == 0) return core::ExecMode::Compiled;
+    if (std::strcmp(text, "interpreted") == 0) {
+      return core::ExecMode::Interpreted;
+    }
+    fail(std::string("--engine must be 'compiled' or 'interpreted', got '") +
+         text + "'");
   }
 
   static std::uint64_t parse_seed(const char* text) {
@@ -83,6 +100,8 @@ struct BenchOptions {
         opts.jobs = static_cast<int>(parse_positive(value(i, "--jobs"), "--jobs"));
       } else if (std::strcmp(argv[i], "--seed") == 0) {
         opts.seed = parse_seed(value(i, "--seed"));
+      } else if (std::strcmp(argv[i], "--engine") == 0) {
+        opts.engine = parse_engine(value(i, "--engine"));
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::cout << kUsage << "\n";
         std::exit(0);

@@ -1,0 +1,284 @@
+#include "core/compiled_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "hetsim/engine.hpp"
+
+namespace hetcomm::core {
+
+namespace {
+
+void check_rank(int rank, int num_ranks, const char* what) {
+  if (rank < 0 || rank >= num_ranks) {
+    throw std::out_of_range(std::string("CompiledPlan: ") + what + " rank " +
+                            std::to_string(rank) + " out of range [0," +
+                            std::to_string(num_ranks) + ")");
+  }
+}
+
+}  // namespace
+
+CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
+                           const ParamSet& params)
+    : num_ranks_(topo.num_ranks()),
+      num_gpus_(topo.num_gpus()),
+      num_nodes_(topo.num_nodes()) {
+  params.validate();
+  phases_.reserve(plan.phases.size());
+  std::vector<int> recv_depth(static_cast<std::size_t>(num_ranks_), 0);
+
+  for (const PlanPhase& phase : plan.phases) {
+    CompiledPhase out;
+    out.steps.reserve(phase.ops.size());
+    std::fill(recv_depth.begin(), recv_depth.end(), 0);
+
+    for (const PlanOp& op : phase.ops) {
+      switch (op.type) {
+        case OpType::Message: {
+          check_rank(op.src_rank, num_ranks_, "message src");
+          check_rank(op.dst_rank, num_ranks_, "message dst");
+          if (op.bytes < 0) {
+            throw std::invalid_argument(
+                "CompiledPlan: negative message size");
+          }
+          CompiledPhase::MessageSchedule msg;
+          msg.src = op.src_rank;
+          msg.dst = op.dst_rank;
+          msg.bytes = op.bytes;
+          const PathClass path = topo.classify(op.src_rank, op.dst_rank);
+          const Protocol proto = params.thresholds.select(op.space, op.bytes);
+          const PostalParams& pp = params.messages.get(op.space, proto, path);
+          // Exactly the interpreter's expressions, term order included, so
+          // the precomputed doubles are bit-equal to what resolve() derives
+          // per repetition.
+          const double size = static_cast<double>(op.bytes);
+          msg.send_occupancy = pp.alpha + pp.beta * size;
+          msg.drain_occupancy = pp.beta * size;
+          msg.rendezvous = proto == Protocol::Rendezvous;
+          msg.off_node = path == PathClass::OffNode;
+          if (msg.off_node) {
+            const double inv_rate = op.space == MemSpace::Host
+                                        ? params.injection.inv_rate_cpu
+                                        : params.injection.inv_rate_gpu;
+            msg.src_node = topo.node_of_rank(op.src_rank);
+            msg.dst_node = topo.node_of_rank(op.dst_rank);
+            msg.nic_occupancy =
+                inv_rate * size + params.overheads.nic_message_overhead;
+            out.network_bytes += op.bytes;
+            ++out.network_messages;
+          }
+          out.steps.push_back(
+              {StepKind::Message,
+               static_cast<std::uint32_t>(out.messages.size())});
+          out.messages.push_back(msg);
+          out.message_meta.push_back({op.tag, op.space, proto, path});
+          ++recv_depth[static_cast<std::size_t>(op.dst_rank)];
+          break;
+        }
+        case OpType::Copy: {
+          check_rank(op.rank, num_ranks_, "copy");
+          if (op.gpu < 0 || op.gpu >= num_gpus_) {
+            throw std::out_of_range("CompiledPlan: bad copy gpu " +
+                                    std::to_string(op.gpu));
+          }
+          if (op.bytes < 0) {
+            throw std::invalid_argument("CompiledPlan: negative copy size");
+          }
+          if (op.sharing_procs < 1) {
+            throw std::invalid_argument(
+                "CompiledPlan: copy sharing_procs must be >= 1");
+          }
+          CompiledPhase::CopyOp copy;
+          copy.rank = op.rank;
+          copy.gpu = op.gpu;
+          copy.dir = op.dir;
+          copy.sharing_procs = op.sharing_procs;
+          copy.bytes = op.bytes;
+          const PostalParams cp =
+              copy_params_for(params.copies, op.dir, op.sharing_procs);
+          const PostalParams raw = copy_params_for(params.copies, op.dir, 1);
+          copy.occupancy =
+              params.overheads.dma_op_overhead +
+              raw.beta * static_cast<double>(op.bytes) / op.sharing_procs;
+          copy.duration_base = cp.time(op.bytes);
+          out.steps.push_back(
+              {StepKind::Copy, static_cast<std::uint32_t>(out.copies.size())});
+          out.copies.push_back(copy);
+          break;
+        }
+        case OpType::Pack: {
+          check_rank(op.rank, num_ranks_, "pack");
+          if (op.bytes < 0) {
+            throw std::invalid_argument("CompiledPlan: negative pack size");
+          }
+          CompiledPhase::PackOp pack;
+          pack.rank = op.rank;
+          pack.duration_base = params.overheads.pack_per_byte *
+                               static_cast<double>(op.bytes);
+          out.steps.push_back(
+              {StepKind::Pack, static_cast<std::uint32_t>(out.packs.size())});
+          out.packs.push_back(pack);
+          break;
+        }
+      }
+    }
+
+    // Queue-search cost folds the phase's (rep-invariant) posted-receive
+    // depth at the destination into each message's noised completion term:
+    // completion_base = (alpha + beta*s) + q_search * depth[dst], the same
+    // association order the interpreter uses.
+    for (CompiledPhase::MessageSchedule& msg : out.messages) {
+      msg.completion_base =
+          msg.send_occupancy +
+          params.overheads.queue_search_per_entry *
+              recv_depth[static_cast<std::size_t>(msg.dst)];
+    }
+
+    // FIFO send/receive matching by (src, dst, tag).  Every Message op
+    // posts its send and its matching receive together (run_plan's
+    // contract), and FIFO pairing per key preserves posting order on both
+    // sides, so the k-th send of a key always pairs with the k-th receive
+    // of that key -- which is the same op.  The matching is therefore the
+    // identity permutation; resolve()'s per-repetition map rebuild is what
+    // this hoists away.
+    out.recv_of_send.resize(out.messages.size());
+    std::iota(out.recv_of_send.begin(), out.recv_of_send.end(), 0u);
+
+    phases_.push_back(std::move(out));
+  }
+}
+
+std::int64_t CompiledPlan::total_messages() const noexcept {
+  std::int64_t n = 0;
+  for (const CompiledPhase& p : phases_) {
+    n += static_cast<std::int64_t>(p.messages.size());
+  }
+  return n;
+}
+
+}  // namespace hetcomm::core
+
+namespace hetcomm {
+
+// Defined here (not engine.cpp) so the hetsim layer never depends on core's
+// plan types; Engine::execute is a member, so it keeps access to the
+// engine's resources and scratch.
+void Engine::execute(const core::CompiledPlan& plan) {
+  if (plan.num_ranks() != topo_.num_ranks() ||
+      plan.num_gpus() != topo_.num_gpus() ||
+      plan.num_nodes() != topo_.num_nodes()) {
+    throw std::invalid_argument(
+        "Engine::execute: plan compiled for a different machine shape");
+  }
+  if (has_pending()) {
+    throw std::logic_error(
+        "Engine::execute: engine holds pending isend/irecv operations; "
+        "resolve() or reset() first");
+  }
+
+  const double post_overhead = params_.overheads.post_overhead;
+  for (const core::CompiledPhase& phase : plan.phases()) {
+    const std::size_t num_messages = phase.messages.size();
+    post_send_scratch_.resize(num_messages);
+    post_recv_scratch_.resize(num_messages);
+
+    // ---- Posting pass, in op order.  Copies and packs draw noise here,
+    // exactly where the interpreted path draws it. ----
+    for (const core::CompiledStep& step : phase.steps) {
+      switch (step.kind) {
+        case core::StepKind::Message: {
+          const core::CompiledPhase::MessageSchedule& msg =
+              phase.messages[step.index];
+          clock_[msg.src] += post_overhead;  // isend posting
+          post_send_scratch_[step.index] = clock_[msg.src];
+          clock_[msg.dst] += post_overhead;  // irecv posting
+          post_recv_scratch_[step.index] = clock_[msg.dst];
+          break;
+        }
+        case core::StepKind::Copy: {
+          const core::CompiledPhase::CopyOp& op = phase.copies[step.index];
+          BusyServer& dma = op.dir == CopyDir::HostToDevice
+                                ? dma_h2d_[op.gpu]
+                                : dma_d2h_[op.gpu];
+          const double start = dma.acquire(clock_[op.rank], op.occupancy);
+          const double duration = noise_.perturb(op.duration_base);
+          clock_[op.rank] = start + duration;
+          if (tracing_) {
+            trace_.copies.push_back({op.rank, op.gpu, op.dir, op.bytes,
+                                     op.sharing_procs, start,
+                                     clock_[op.rank]});
+          }
+          break;
+        }
+        case core::StepKind::Pack: {
+          const core::CompiledPhase::PackOp& op = phase.packs[step.index];
+          clock_[op.rank] += noise_.perturb(op.duration_base);
+          break;
+        }
+      }
+    }
+    if (num_messages == 0) continue;
+
+    // ---- Ready times; schedule order by (ready, posting order). ----
+    ready_scratch_.resize(num_messages);
+    sched_order_scratch_.resize(num_messages);
+    for (std::uint32_t i = 0; i < num_messages; ++i) {
+      ready_scratch_[i] =
+          phase.messages[i].rendezvous
+              ? std::max(post_send_scratch_[i],
+                         post_recv_scratch_[phase.recv_of_send[i]])
+              : post_send_scratch_[i];
+      sched_order_scratch_[i] = i;
+    }
+    // Posting order is send-seq order, so this is the same strict total
+    // order resolve() sorts by; the schedule sequence (and with it the
+    // noise-draw sequence) is bit-identical.
+    std::sort(sched_order_scratch_.begin(), sched_order_scratch_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ready_scratch_[a] != ready_scratch_[b]) {
+                  return ready_scratch_[a] < ready_scratch_[b];
+                }
+                return a < b;
+              });
+
+    // ---- Schedule: only queueing, one noise draw, clock advancement. ----
+    for (const std::uint32_t i : sched_order_scratch_) {
+      const core::CompiledPhase::MessageSchedule& msg = phase.messages[i];
+      const double ready = ready_scratch_[i];
+      double t = send_port_[msg.src].acquire(ready, msg.send_occupancy);
+      if (msg.off_node) {
+        t = nic_out_[msg.src_node].acquire(t, msg.nic_occupancy);
+        if (fabric_) {
+          t = fabric_->acquire(msg.src_node, msg.dst_node, msg.bytes, t);
+        }
+        t = nic_in_[msg.dst_node].acquire(t, msg.nic_occupancy);
+      }
+      t = recv_port_[msg.dst].acquire(t, msg.drain_occupancy);
+
+      const double hop_latency =
+          (msg.off_node && fabric_)
+              ? fabric_->hop_latency(msg.src_node, msg.dst_node)
+              : 0.0;
+      const double completion =
+          t + noise_.perturb(msg.completion_base) + hop_latency;
+      const double sender_done =
+          msg.rendezvous ? completion : send_port_[msg.src].free_at();
+      clock_[msg.src] = std::max(clock_[msg.src], sender_done);
+      clock_[msg.dst] = std::max(clock_[msg.dst], completion);
+
+      if (tracing_) {
+        const core::CompiledPhase::MessageMeta& meta = phase.message_meta[i];
+        trace_.messages.push_back({msg.src, msg.dst, msg.bytes, meta.tag,
+                                   meta.space, meta.protocol, meta.path,
+                                   ready, t, completion});
+      }
+    }
+    network_bytes_ += phase.network_bytes;
+    network_messages_ += phase.network_messages;
+  }
+}
+
+}  // namespace hetcomm

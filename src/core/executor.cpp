@@ -10,7 +10,20 @@
 
 namespace hetcomm::core {
 
-std::vector<double> run_plan(Engine& engine, const CommPlan& plan) {
+namespace {
+
+void check_clock_span(const Engine& engine, std::span<double> clocks_out) {
+  if (clocks_out.size() !=
+      static_cast<std::size_t>(engine.topology().num_ranks())) {
+    throw std::invalid_argument("run_plan: clocks_out must hold one slot per rank");
+  }
+}
+
+}  // namespace
+
+void run_plan(Engine& engine, const CommPlan& plan,
+              std::span<double> clocks_out) {
+  check_clock_span(engine, clocks_out);
   for (const PlanPhase& phase : plan.phases) {
     for (const PlanOp& op : phase.ops) {
       switch (op.type) {
@@ -28,12 +41,23 @@ std::vector<double> run_plan(Engine& engine, const CommPlan& plan) {
     }
     if (engine.has_pending()) engine.resolve();
   }
+  const std::vector<double>& clocks = engine.clocks();
+  std::copy(clocks.begin(), clocks.end(), clocks_out.begin());
+}
 
-  std::vector<double> clocks(static_cast<std::size_t>(engine.topology().num_ranks()));
-  for (std::size_t r = 0; r < clocks.size(); ++r) {
-    clocks[r] = engine.clock(static_cast<int>(r));
-  }
+std::vector<double> run_plan(Engine& engine, const CommPlan& plan) {
+  std::vector<double> clocks(
+      static_cast<std::size_t>(engine.topology().num_ranks()));
+  run_plan(engine, plan, clocks);
   return clocks;
+}
+
+void run_plan(Engine& engine, const CompiledPlan& plan,
+              std::span<double> clocks_out) {
+  check_clock_span(engine, clocks_out);
+  engine.execute(plan);
+  const std::vector<double>& clocks = engine.clocks();
+  std::copy(clocks.begin(), clocks.end(), clocks_out.begin());
 }
 
 MeasureResult measure(const CommPlan& plan, const Topology& topo,
@@ -54,10 +78,20 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   int jobs = options.jobs == 0 ? runtime::hardware_jobs() : options.jobs;
   jobs = std::min(jobs, options.reps);
 
-  // Per-repetition clocks, keyed by repetition so the reduction below is
-  // independent of which worker ran which repetition.
-  std::vector<std::vector<double>> rep_clocks(
-      static_cast<std::size_t>(options.reps));
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+
+  // Compile the rep-invariant work once; the immutable CompiledPlan is
+  // shared by const reference across every worker thread.
+  std::optional<CompiledPlan> compiled;
+  if (options.engine == ExecMode::Compiled) {
+    compiled.emplace(plan, topo, params);
+  }
+
+  // Per-repetition clocks in one flat reps x num_ranks buffer (a single
+  // allocation instead of one per repetition), keyed by repetition so the
+  // reduction below is independent of which worker ran which repetition.
+  std::vector<double> rep_clocks(static_cast<std::size_t>(options.reps) *
+                                 num_ranks);
   Trace last_trace;  // written only by the repetition reps-1
 
   // One reusable engine per worker, constructed lazily on first use.
@@ -75,7 +109,14 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     const bool traced =
         options.trace_last_rep && rep == static_cast<std::int64_t>(options.reps) - 1;
     engine.set_tracing(traced);
-    rep_clocks[static_cast<std::size_t>(rep)] = run_plan(engine, plan);
+    const std::span<double> clocks_out(
+        rep_clocks.data() + static_cast<std::size_t>(rep) * num_ranks,
+        num_ranks);
+    if (compiled) {
+      run_plan(engine, *compiled, clocks_out);
+    } else {
+      run_plan(engine, plan, clocks_out);
+    }
     if (traced) {
       last_trace = engine.trace();
       engine.set_tracing(false);
@@ -93,10 +134,10 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
 
   // Serial reduction in repetition order: bit-identical at any jobs count.
   for (int rep = 0; rep < options.reps; ++rep) {
-    const std::vector<double>& clocks =
-        rep_clocks[static_cast<std::size_t>(rep)];
+    const double* clocks =
+        rep_clocks.data() + static_cast<std::size_t>(rep) * num_ranks;
     double makespan = 0.0;
-    for (std::size_t r = 0; r < clocks.size(); ++r) {
+    for (std::size_t r = 0; r < num_ranks; ++r) {
       result.per_rank_mean[r] += clocks[r];
       makespan = std::max(makespan, clocks[r]);
     }

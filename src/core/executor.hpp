@@ -12,14 +12,29 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/compiled_plan.hpp"
 #include "core/plan.hpp"
 #include "hetsim/engine.hpp"
 #include "hetsim/network.hpp"
 #include "hetsim/trace.hpp"
 
 namespace hetcomm::core {
+
+/// How measure() drives each repetition.  Both paths are bit-identical
+/// (clocks, traces, statistics); Compiled hoists the rep-invariant work
+/// (matching, classification, parameter lookups) into a CompiledPlan built
+/// once per measure() call and is several times faster per repetition.
+enum class ExecMode : std::uint8_t {
+  Compiled,     ///< compile once, Engine::execute() per repetition
+  Interpreted,  ///< re-interpret the CommPlan op-by-op per repetition
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecMode m) noexcept {
+  return m == ExecMode::Compiled ? "compiled" : "interpreted";
+}
 
 struct MeasureOptions {
   MeasureOptions() = default;
@@ -41,6 +56,9 @@ struct MeasureOptions {
   int jobs = 1;
   /// Attach a tapered fat-tree fabric to every engine (what-if studies).
   std::optional<FatTreeConfig> fabric;
+  /// Execution path; Compiled is the default fast path, Interpreted is the
+  /// reference path (bench `--engine interpreted` A/Bs them).
+  ExecMode engine = ExecMode::Compiled;
 };
 
 struct MeasureResult {
@@ -55,14 +73,28 @@ struct MeasureResult {
   double reps_per_second = 0.0;
 };
 
-/// Run `plan` once on `engine` (which must be reset by the caller) and
-/// return each rank's final clock.
+/// Run `plan` once on `engine` (which must be reset by the caller),
+/// writing rank r's final clock into `clocks_out[r]`.  `clocks_out.size()`
+/// must equal the engine's rank count (throws std::invalid_argument
+/// otherwise).  Allocation-free after engine warm-up.
+void run_plan(Engine& engine, const CommPlan& plan,
+              std::span<double> clocks_out);
+
+/// Convenience overload returning a freshly allocated clock vector.
 std::vector<double> run_plan(Engine& engine, const CommPlan& plan);
+
+/// Compiled counterpart of run_plan(): execute a pre-compiled plan and
+/// write the final per-rank clocks into `clocks_out`.
+void run_plan(Engine& engine, const CompiledPlan& plan,
+              std::span<double> clocks_out);
 
 /// Repeatedly execute `plan` with per-repetition reseeded noise -- on
 /// per-worker reused engines, fanned across `options.jobs` threads -- and
 /// aggregate.  Deterministic: the result depends only on (plan, topo,
-/// params, reps, seed, noise_sigma, fabric), never on the thread count.
+/// params, reps, seed, noise_sigma, fabric), never on the thread count and
+/// never on the execution mode (compiled and interpreted are bit-identical).
+/// In Compiled mode the plan is compiled once per call and the immutable
+/// CompiledPlan is shared across all workers.
 [[nodiscard]] MeasureResult measure(const CommPlan& plan, const Topology& topo,
                                     const ParamSet& params,
                                     const MeasureOptions& options = {});

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -102,80 +101,101 @@ void Engine::pack(int rank, std::int64_t bytes) {
                                  static_cast<double>(bytes));
 }
 
+void Engine::fail_resolve(const std::string& what) {
+  // A failed resolve drops every pending operation so the engine is not
+  // left unusable-yet-has_pending(); clocks keep the posting overheads
+  // already charged, so reset() is the full-recovery path.
+  sends_.clear();
+  recvs_.clear();
+  throw std::logic_error("Engine::resolve: " + what);
+}
+
 void Engine::resolve() {
   // ---- Match sends to receives by (src, dst, tag), FIFO within a key. ----
+  // Allocation-free matching: instead of building a std::map of per-key
+  // receive lists each call, sort index arrays (member scratch) of both
+  // sides by (key, seq) and walk them in lockstep -- within one key the
+  // seq order gives FIFO pairing, and any key imbalance is an unmatched
+  // operation.  The pairing is identical to the historical map-based
+  // matcher; only its cost changed.
   using Key = std::tuple<int, int, int>;  // (src, dst, tag)
-  std::map<Key, std::vector<std::size_t>> recv_by_key;
-  for (std::size_t i = 0; i < recvs_.size(); ++i) {
-    const PendingOp& r = recvs_[i];
-    recv_by_key[{r.peer, r.self, r.tag}].push_back(i);
-  }
-  // FIFO: earliest-posted receive matches first.
-  for (auto& [key, idxs] : recv_by_key) {
-    std::sort(idxs.begin(), idxs.end(), [&](std::size_t a, std::size_t b) {
-      return recvs_[a].seq < recvs_[b].seq;
-    });
-  }
+  const auto send_key = [](const PendingOp& s) {
+    return Key{s.self, s.peer, s.tag};
+  };
+  const auto recv_key = [](const PendingOp& r) {
+    return Key{r.peer, r.self, r.tag};  // receive stores (dst, src)
+  };
 
-  std::vector<Matched> matched;
-  matched.reserve(sends_.size());
-  // Sends in posting order for deterministic FIFO matching.
-  std::vector<std::size_t> send_order(sends_.size());
-  for (std::size_t i = 0; i < send_order.size(); ++i) send_order[i] = i;
-  std::sort(send_order.begin(), send_order.end(),
-            [&](std::size_t a, std::size_t b) {
+  send_order_scratch_.resize(sends_.size());
+  for (std::uint32_t i = 0; i < sends_.size(); ++i) send_order_scratch_[i] = i;
+  std::sort(send_order_scratch_.begin(), send_order_scratch_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Key ka = send_key(sends_[a]), kb = send_key(sends_[b]);
+              if (ka != kb) return ka < kb;
               return sends_[a].seq < sends_[b].seq;
             });
+  recv_order_scratch_.resize(recvs_.size());
+  for (std::uint32_t i = 0; i < recvs_.size(); ++i) recv_order_scratch_[i] = i;
+  std::sort(recv_order_scratch_.begin(), recv_order_scratch_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Key ka = recv_key(recvs_[a]), kb = recv_key(recvs_[b]);
+              if (ka != kb) return ka < kb;
+              return recvs_[a].seq < recvs_[b].seq;
+            });
 
-  std::map<Key, std::size_t> next_recv;
-  for (std::size_t si : send_order) {
-    const PendingOp& s = sends_[si];
-    const Key key{s.self, s.peer, s.tag};
-    auto it = recv_by_key.find(key);
-    std::size_t& cursor = next_recv[key];
-    if (it == recv_by_key.end() || cursor >= it->second.size()) {
-      throw std::logic_error(
-          "Engine::resolve: unmatched send " + std::to_string(s.self) + "->" +
-          std::to_string(s.peer) + " tag " + std::to_string(s.tag));
+  matched_scratch_.clear();
+  std::size_t si = 0, ri = 0;
+  while (si < sends_.size() && ri < recvs_.size()) {
+    const PendingOp& s = sends_[send_order_scratch_[si]];
+    const PendingOp& r = recvs_[recv_order_scratch_[ri]];
+    const Key ks = send_key(s), kr = recv_key(r);
+    if (ks < kr) {
+      fail_resolve("unmatched send " + std::to_string(s.self) + "->" +
+                   std::to_string(s.peer) + " tag " + std::to_string(s.tag));
     }
-    const PendingOp& r = recvs_[it->second[cursor++]];
+    if (kr < ks) {
+      fail_resolve("unmatched receive " + std::to_string(r.peer) + "->" +
+                   std::to_string(r.self) + " tag " + std::to_string(r.tag));
+    }
     if (r.bytes != s.bytes) {
-      throw std::logic_error(
-          "Engine::resolve: size mismatch " + std::to_string(s.self) + "->" +
-          std::to_string(s.peer) + " tag " + std::to_string(s.tag) + ": send " +
-          std::to_string(s.bytes) + "B vs recv " + std::to_string(r.bytes) +
-          "B");
+      fail_resolve("size mismatch " + std::to_string(s.self) + "->" +
+                   std::to_string(s.peer) + " tag " + std::to_string(s.tag) +
+                   ": send " + std::to_string(s.bytes) + "B vs recv " +
+                   std::to_string(r.bytes) + "B");
     }
     const Protocol proto = params_.thresholds.select(s.space, s.bytes);
     const double ready = proto == Protocol::Rendezvous
                              ? std::max(s.post_time, r.post_time)
                              : s.post_time;
-    matched.push_back({s, r, ready});
+    matched_scratch_.push_back({s, r, ready});
+    ++si;
+    ++ri;
   }
-
-  // Any receive left unmatched is a strategy bug.
-  std::size_t matched_recvs = 0;
-  for (const auto& [key, cursor] : next_recv) matched_recvs += cursor;
-  if (matched_recvs != recvs_.size()) {
-    throw std::logic_error("Engine::resolve: " +
-                           std::to_string(recvs_.size() - matched_recvs) +
-                           " unmatched receive(s)");
+  if (si < sends_.size()) {
+    const PendingOp& s = sends_[send_order_scratch_[si]];
+    fail_resolve("unmatched send " + std::to_string(s.self) + "->" +
+                 std::to_string(s.peer) + " tag " + std::to_string(s.tag));
+  }
+  if (ri < recvs_.size()) {
+    fail_resolve(std::to_string(recvs_.size() - ri) +
+                 " unmatched receive(s)");
   }
 
   // ---- Schedule in global ready order (deterministic tie-break). ----
-  std::sort(matched.begin(), matched.end(), [](const Matched& a,
-                                               const Matched& b) {
-    if (a.ready != b.ready) return a.ready < b.ready;
-    return a.send.seq < b.send.seq;
-  });
+  // (ready, send.seq) is a strict total order -- seqs are unique -- so the
+  // sorted schedule is independent of the matching order above.
+  std::sort(matched_scratch_.begin(), matched_scratch_.end(),
+            [](const Matched& a, const Matched& b) {
+              if (a.ready != b.ready) return a.ready < b.ready;
+              return a.send.seq < b.send.seq;
+            });
 
   // Queue-search cost: proportional to how many receives each rank has
   // posted in this resolution batch (a proxy for posted-queue length).
-  std::vector<int> recv_queue_depth(static_cast<std::size_t>(topo_.num_ranks()),
-                                    0);
-  for (const PendingOp& r : recvs_) ++recv_queue_depth[r.self];
+  recv_depth_scratch_.assign(static_cast<std::size_t>(topo_.num_ranks()), 0);
+  for (const PendingOp& r : recvs_) ++recv_depth_scratch_[r.self];
 
-  for (Matched& m : matched) schedule(m, recv_queue_depth);
+  for (Matched& m : matched_scratch_) schedule(m, recv_depth_scratch_);
 
   sends_.clear();
   recvs_.clear();

@@ -29,6 +29,10 @@
 
 namespace hetcomm {
 
+namespace core {
+class CompiledPlan;  // compiled (rep-invariant) form of a core::CommPlan
+}  // namespace core
+
 class Engine {
  public:
   Engine(Topology topology, ParamSet params,
@@ -70,8 +74,27 @@ class Engine {
 
   /// Match and schedule all pending sends/receives, then advance each
   /// rank's clock past its own completed operations.  Throws
-  /// std::logic_error if any operation remains unmatched.
+  /// std::logic_error if any operation remains unmatched or sizes
+  /// mismatch; on failure every pending operation is dropped (so
+  /// has_pending() is false and a reused per-worker engine is not
+  /// poisoned), but clocks already carry the posting overheads -- call
+  /// reset() before reusing the engine for a fresh run.  Matching and
+  /// scheduling run entirely on member-owned scratch: after warm-up,
+  /// resolve() performs no heap allocation.
   void resolve();
+
+  /// Execute a compiled plan: the rep-invariant work (send/recv matching,
+  /// path classification, protocol selection, alpha/beta lookups, queue
+  /// depths) was hoisted into the CompiledPlan at compile time, so this
+  /// inner loop only draws noise, queues on contended resources, and
+  /// advances clocks.  Event-for-event identical -- clocks, traces,
+  /// counters, noise stream -- to posting the original CommPlan through
+  /// isend/irecv/copy/pack + resolve().  The engine must have been
+  /// constructed with the same Topology and ParamSet the plan was
+  /// compiled against (checked structurally; a mismatch throws
+  /// std::invalid_argument), and must not hold pending operations.
+  /// Defined in core/compiled_plan.cpp; callers link hetcore.
+  void execute(const core::CompiledPlan& plan);
 
   /// True if any isend/irecv has been posted and not yet resolved.
   [[nodiscard]] bool has_pending() const noexcept {
@@ -79,6 +102,10 @@ class Engine {
   }
 
   [[nodiscard]] double clock(int rank) const;
+  /// All per-rank clocks, indexed by rank (no copy).
+  [[nodiscard]] const std::vector<double>& clocks() const noexcept {
+    return clock_;
+  }
   void set_clock(int rank, double t);
   /// Maximum clock over all ranks (makespan so far).
   [[nodiscard]] double max_clock() const;
@@ -131,6 +158,7 @@ class Engine {
 
   void check_rank(int rank) const;
   void schedule(Matched& m, std::vector<int>& recv_queue_depth);
+  void fail_resolve(const std::string& what);  ///< clear pending, then throw
 
   Topology topo_;
   ParamSet params_;
@@ -148,6 +176,18 @@ class Engine {
   std::vector<PendingOp> sends_;
   std::vector<PendingOp> recvs_;
   int next_seq_ = 0;
+
+  // Per-resolve / per-execute scratch.  Member-owned so repeated calls on a
+  // reused engine clear-and-refill instead of reallocating; sized lazily on
+  // first use, capacity retained across reset().  Never read across calls.
+  std::vector<std::uint32_t> send_order_scratch_;  ///< sends by (key, seq)
+  std::vector<std::uint32_t> recv_order_scratch_;  ///< recvs by (key, seq)
+  std::vector<Matched> matched_scratch_;
+  std::vector<int> recv_depth_scratch_;        ///< posted recvs per rank
+  std::vector<double> post_send_scratch_;      ///< compiled: send post times
+  std::vector<double> post_recv_scratch_;      ///< compiled: recv post times
+  std::vector<double> ready_scratch_;          ///< compiled: transfer ready
+  std::vector<std::uint32_t> sched_order_scratch_;  ///< compiled: schedule order
 
   bool tracing_ = false;
   Trace trace_;

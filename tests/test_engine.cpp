@@ -183,6 +183,45 @@ TEST_F(EngineTest, SizeMismatchThrows) {
   EXPECT_THROW((void)engine.resolve(), std::logic_error);
 }
 
+TEST_F(EngineTest, FailedResolveDropsPendingOperations) {
+  // A failed resolve() must not leave the unmatched operations queued, or
+  // the next phase would silently try to match against stale posts.
+  Engine engine(topo_, params_);
+  engine.isend(0, 1, 100, 7, MemSpace::Host);
+  EXPECT_THROW((void)engine.resolve(), std::logic_error);
+  EXPECT_FALSE(engine.has_pending());
+
+  engine.isend(0, 1, 100, 3, MemSpace::Host);
+  engine.irecv(1, 0, 200, 3, MemSpace::Host);  // size mismatch
+  EXPECT_THROW((void)engine.resolve(), std::logic_error);
+  EXPECT_FALSE(engine.has_pending());
+
+  // The engine remains usable: a well-formed exchange resolves cleanly.
+  engine.isend(0, 1, 100, 3, MemSpace::Host);
+  engine.irecv(1, 0, 100, 3, MemSpace::Host);
+  engine.resolve();
+  EXPECT_GT(engine.clock(1), 0.0);
+}
+
+TEST_F(EngineTest, ResetAfterFailedResolveMatchesFreshEngine) {
+  Engine a(topo_, params_, NoiseModel(11, 0.05));
+  a.irecv(1, 0, 64, 0, MemSpace::Host);  // unmatched receive
+  EXPECT_THROW((void)a.resolve(), std::logic_error);
+  a.reset(11);
+  a.isend(0, 1, 4096, 0, MemSpace::Host);
+  a.irecv(1, 0, 4096, 0, MemSpace::Host);
+  a.resolve();
+
+  Engine b(topo_, params_, NoiseModel(11, 0.05));
+  b.isend(0, 1, 4096, 0, MemSpace::Host);
+  b.irecv(1, 0, 4096, 0, MemSpace::Host);
+  b.resolve();
+
+  for (int r = 0; r < topo_.num_ranks(); ++r) {
+    EXPECT_EQ(a.clock(r), b.clock(r)) << "rank " << r;
+  }
+}
+
 TEST_F(EngineTest, NetworkCountersTrackOffNodeTraffic) {
   Engine engine(topo_, params_);
   engine.isend(0, 1, 100, 0, MemSpace::Host);  // on-socket
