@@ -1,135 +1,17 @@
 #pragma once
 // Shared helpers for the hetcomm benchmark harness.
 //
-// Every bench binary regenerates one table or figure of the paper.  Common
-// command-line flags:
-//   --csv       emit CSV instead of aligned tables
-//   --quick     reduce iteration counts / sweep sizes (CI-friendly)
-//   --reps N    override repetition count (positive integer)
-//   --jobs N    sweep worker threads (positive; default: hardware)
-//   --seed S    base noise seed for reproducible runs
-//   --progress  per-cell progress lines on stderr
-//   --engine E  execution path: compiled (default) or interpreted
-//
-// Unknown flags and malformed values are hard errors (exit 2) -- a typo'd
-// sweep must not silently run with default settings.
+// The strict flag grammar (and its testable throwing parser) lives in
+// benchutil/bench_options.hpp; this header only adds bench-local sugar.
 
-#include <cerrno>
-#include <cstdint>
-#include <cstdlib>
-#include <cstring>
-#include <iostream>
-#include <string>
 #include <vector>
 
+#include "benchutil/bench_options.hpp"
 #include "benchutil/table.hpp"
 #include "core/executor.hpp"
 #include "runtime/sweep.hpp"
 
 namespace hetcomm::benchutil {
-
-struct BenchOptions {
-  bool csv = false;
-  bool quick = false;
-  bool progress = false;
-  int reps = -1;               ///< -1 = bench default
-  int jobs = 0;                ///< sweep workers; 0 = hardware concurrency
-  std::uint64_t seed = 0x5eedULL;
-  /// Both engines are bit-identical; interpreted exists for A/B timing.
-  core::ExecMode engine = core::ExecMode::Compiled;
-
-  static constexpr const char* kUsage =
-      "flags: --csv --quick --progress --reps N --jobs N --seed S "
-      "--engine {compiled,interpreted}";
-
-  [[noreturn]] static void fail(const std::string& message) {
-    std::cerr << "bench: " << message << "\n" << kUsage << "\n";
-    std::exit(2);
-  }
-
-  /// Strict positive-integer parse: the whole token must be a number >= 1
-  /// (no "--reps x" silently becoming 0 via atoi).
-  static long long parse_positive(const char* text, const char* flag) {
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0' || v < 1) {
-      fail(std::string(flag) + " needs a positive integer, got '" + text + "'");
-    }
-    return v;
-  }
-
-  /// Only the exact spellings are accepted -- "compile", "Compiled" or
-  /// other near-misses abort with usage text rather than running the
-  /// default path under a misleading label.
-  static core::ExecMode parse_engine(const char* text) {
-    if (std::strcmp(text, "compiled") == 0) return core::ExecMode::Compiled;
-    if (std::strcmp(text, "interpreted") == 0) {
-      return core::ExecMode::Interpreted;
-    }
-    fail(std::string("--engine must be 'compiled' or 'interpreted', got '") +
-         text + "'");
-  }
-
-  static std::uint64_t parse_seed(const char* text) {
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0') {
-      fail(std::string("--seed needs an unsigned integer, got '") + text + "'");
-    }
-    return static_cast<std::uint64_t>(v);
-  }
-
-  static BenchOptions parse(int argc, char** argv) {
-    BenchOptions opts;
-    const auto value = [&](int& i, const char* flag) -> const char* {
-      if (i + 1 >= argc) fail(std::string("missing value for ") + flag);
-      return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--csv") == 0) {
-        opts.csv = true;
-      } else if (std::strcmp(argv[i], "--quick") == 0) {
-        opts.quick = true;
-      } else if (std::strcmp(argv[i], "--progress") == 0) {
-        opts.progress = true;
-      } else if (std::strcmp(argv[i], "--reps") == 0) {
-        opts.reps = static_cast<int>(parse_positive(value(i, "--reps"), "--reps"));
-      } else if (std::strcmp(argv[i], "--jobs") == 0) {
-        opts.jobs = static_cast<int>(parse_positive(value(i, "--jobs"), "--jobs"));
-      } else if (std::strcmp(argv[i], "--seed") == 0) {
-        opts.seed = parse_seed(value(i, "--seed"));
-      } else if (std::strcmp(argv[i], "--engine") == 0) {
-        opts.engine = parse_engine(value(i, "--engine"));
-      } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::cout << kUsage << "\n";
-        std::exit(0);
-      } else {
-        fail(std::string("unknown flag '") + argv[i] + "'");
-      }
-    }
-    return opts;
-  }
-
-  /// SweepOptions carrying this run's --jobs / --progress settings.
-  [[nodiscard]] runtime::SweepOptions sweep_options() const {
-    runtime::SweepOptions so;
-    so.jobs = jobs;
-    so.progress = progress;
-    return so;
-  }
-
-  void emit(const Table& table, const std::string& title) const {
-    if (csv) {
-      std::cout << "# " << title << "\n";
-      table.print_csv(std::cout);
-    } else {
-      banner(std::cout, title);
-      table.print(std::cout);
-    }
-  }
-};
 
 /// Log-spaced message sizes from `lo` to `hi` (powers of two).
 inline std::vector<long long> pow2_sizes(long long lo, long long hi) {

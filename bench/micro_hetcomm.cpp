@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "benchutil/bench_options.hpp"
 #include "core/compiled_plan.hpp"
 #include "core/executor.hpp"
 #include "core/models/strategy_models.hpp"
@@ -261,16 +262,66 @@ BENCHMARK(BM_MeasureEngineMode)
     ->Arg(1)   // interpreted
     ->Unit(benchmark::kMillisecond);
 
+// Observability overhead A/B: measure() with metrics collection off vs on
+// (compiled path, jobs=1).  The enabled-overhead budget is <2%.
+void BM_MeasureMetricsOverhead(benchmark::State& state) {
+  const Fig51Fixture& f = Fig51Fixture::get();
+  MeasureOptions mopts;
+  mopts.reps = 32;
+  mopts.noise_sigma = 0.02;
+  mopts.jobs = 1;
+  mopts.collect_metrics = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure(f.plan, f.topo, f.params, mopts));
+  }
+  state.SetItemsProcessed(state.iterations() * mopts.reps);
+  state.SetLabel(mopts.collect_metrics ? "metrics-on" : "metrics-off");
+}
+BENCHMARK(BM_MeasureMetricsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Run the fig5_1-scale fixture once with metrics collection and write the
+// hetcomm.metrics.v1 report (both engine modes, so the file also documents
+// their equivalence).  Used by CI's perf-smoke step.
+int write_metrics_report(const std::string& path) {
+  const Fig51Fixture& f = Fig51Fixture::get();
+  std::vector<obs::RunReport> reports;
+  for (const ExecMode mode : {ExecMode::Compiled, ExecMode::Interpreted}) {
+    MeasureOptions mopts;
+    mopts.reps = 32;
+    mopts.noise_sigma = 0.02;
+    mopts.jobs = 0;  // hardware concurrency; simulated metrics are invariant
+    mopts.engine = mode;
+    mopts.collect_metrics = true;
+    MeasureResult result = measure(f.plan, f.topo, f.params, mopts);
+    result.metrics->name = std::string("fig5_1_audikw_split_md/") +
+                           to_string(mode);
+    reports.push_back(std::move(*result.metrics));
+  }
+  try {
+    benchutil::write_metrics_file(path, reports);
+  } catch (const std::exception& e) {
+    std::cerr << "micro_hetcomm: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
-// BENCHMARK_MAIN() plus a `--json FILE` spelling for CI: expanded into
-// google-benchmark's --benchmark_out/--benchmark_out_format pair so the
+// BENCHMARK_MAIN() plus two CI spellings: `--json FILE` expands into
+// google-benchmark's --benchmark_out/--benchmark_out_format pair (so the
 // perf-smoke step can upload BENCH_micro_hetcomm.json without hard-coding
-// benchmark library flag names in the workflow.
+// benchmark library flag names in the workflow), and `--metrics FILE`
+// writes a hetcomm.metrics.v1 run report for the fig5_1-scale fixture
+// before the benchmarks run.
 int main(int argc, char** argv) {
   std::vector<std::string> expanded;
   expanded.reserve(static_cast<std::size_t>(argc) + 1);
   expanded.emplace_back(argv[0]);
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
@@ -279,9 +330,19 @@ int main(int argc, char** argv) {
       }
       expanded.push_back(std::string("--benchmark_out=") + argv[++i]);
       expanded.emplace_back("--benchmark_out_format=json");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::cerr << "micro_hetcomm: --metrics needs a file path\n";
+        return 2;
+      }
+      metrics_path = argv[++i];
     } else {
       expanded.emplace_back(argv[i]);
     }
+  }
+  if (!metrics_path.empty()) {
+    const int rc = write_metrics_report(metrics_path);
+    if (rc != 0) return rc;
   }
   std::vector<char*> args;
   args.reserve(expanded.size());

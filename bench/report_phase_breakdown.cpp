@@ -18,7 +18,8 @@ using namespace hetcomm::benchutil;
 using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const BenchOptions opts =
+      BenchOptions::parse(argc, argv, /*metrics_supported=*/true);
   const ParamSet params = lassen_params();
   const int gpus = opts.quick ? 32 : 128;
   const Topology topo(presets::lassen(gpus / 4));
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
   mopts.noise_sigma = 0.02;
   mopts.engine = opts.engine;
+  mopts.jobs = opts.jobs;
+  mopts.collect_metrics = opts.wants_metrics();
 
+  std::vector<obs::RunReport> reports;
   for (const StrategyConfig& cfg : table5_strategies()) {
     const CommPlan plan = build_plan(pattern, topo, params, cfg);
     const std::vector<PhaseCost> costs =
@@ -49,6 +53,13 @@ int main(int argc, char** argv) {
     }
     table.add_row({"total", Table::sci(total), "100%"});
     opts.emit(table, "Phase breakdown -- " + cfg.name());
+
+    if (opts.wants_metrics()) {
+      MeasureResult mr = measure(plan, topo, params, mopts);
+      mr.metrics->name = cfg.name();
+      reports.push_back(std::move(*mr.metrics));
+    }
   }
+  if (opts.wants_metrics()) write_metrics_file(opts.metrics_path, reports);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "benchutil/bench_options.hpp"
 #include "benchutil/table.hpp"
 #include "core/advisor.hpp"
 #include "core/executor.hpp"
@@ -47,14 +48,15 @@ double to_double(const std::string& v, const char* flag) {
 
 std::string usage() {
   return
-      "usage: hetcomm <compare|advise|model|params|trace> [flags]\n"
+      "usage: hetcomm <compare|advise|model|params|trace|report> [flags]\n"
       "  --machine lassen|summit|frontier|delta   (default lassen)\n"
       "  --nodes N            machine size          (default 8)\n"
       "  --pattern F.pattern | --matrix F.mtx | --standin NAME\n"
       "  --gpus N             partition width for matrix inputs\n"
-      "  --strategy NAME      for `trace` (e.g. \"split+MD\")\n"
+      "  --strategy NAME      for `trace`/`report` (e.g. \"split+MD\")\n"
       "  --taper T            attach a T:1 tapered fat-tree fabric\n"
       "  --jobs N             worker threads (default: hardware concurrency)\n"
+      "  --metrics FILE       for `report`: also write the JSON run report\n"
       "  --reps N --seed S --csv\n";
 }
 
@@ -66,7 +68,7 @@ Options Options::parse(const std::vector<std::string>& args) {
   opts.command = args[0];
   if (opts.command != "compare" && opts.command != "advise" &&
       opts.command != "model" && opts.command != "params" &&
-      opts.command != "trace") {
+      opts.command != "trace" && opts.command != "report") {
     throw std::invalid_argument("unknown command '" + opts.command + "'\n" +
                                 usage());
   }
@@ -102,6 +104,11 @@ Options Options::parse(const std::vector<std::string>& args) {
       opts.seed = static_cast<std::uint64_t>(to_int(value(), "--seed"));
     } else if (flag == "--csv") {
       opts.csv = true;
+    } else if (flag == "--metrics") {
+      opts.metrics_file = value();
+      if (opts.metrics_file.empty()) {
+        throw std::invalid_argument("--metrics needs a non-empty file path");
+      }
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + usage());
     }
@@ -334,6 +341,71 @@ int cmd_trace(const Options& opts, std::ostream& os) {
   return 0;
 }
 
+// Fig 4.2-style breakdown from *measured* simulation metrics: where each
+// phase of one strategy's plan spends the makespan, what traffic each path
+// class carries, and where transfers queue.
+int cmd_report(const Options& opts, std::ostream& os) {
+  const Topology topo = make_topology(opts);
+  const ParamSet params = make_params(opts);
+  const core::CommPattern pattern = make_workload(opts, topo);
+  const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
+  const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
+
+  core::MeasureOptions mopts = measure_options(opts, topo);
+  mopts.jobs = opts.jobs;
+  mopts.collect_metrics = true;
+  core::MeasureResult result = core::measure(plan, topo, params, mopts);
+  obs::RunReport& report = *result.metrics;
+  report.name = cfg.name() + " (" + opts.machine + ", " +
+                std::to_string(opts.nodes) + " nodes)";
+
+  os << "strategy: " << cfg.name() << ", " << report.reps
+     << " reps, makespan mean " << Table::sci(report.makespan.mean)
+     << " s (p99 " << Table::sci(report.makespan.p99) << " s), max-avg "
+     << Table::sci(report.max_avg) << " s\n";
+
+  Table phases({"phase", "mean [s]", "p50 [s]", "p99 [s]", "share"});
+  for (const obs::PhaseStat& p : report.phases) {
+    phases.add_row({std::to_string(p.phase), Table::sci(p.makespan.mean),
+                    Table::sci(p.makespan.p50), Table::sci(p.makespan.p99),
+                    Table::num(100.0 * p.share, 1) + "%"});
+  }
+  emit(opts, os, phases, "phase breakdown (measured)");
+
+  Table traffic({"path", "protocol", "messages", "bytes"});
+  for (const obs::TrafficStat& t : report.traffic) {
+    traffic.add_row({t.path, t.proto, std::to_string(t.messages),
+                     std::to_string(t.bytes)});
+  }
+  traffic.add_row({"total", "", std::to_string(report.total_messages),
+                   std::to_string(report.total_bytes)});
+  emit(opts, os, traffic, "traffic by path class");
+
+  Table contention(
+      {"resource", "waits", "wait p50 [s]", "wait p99 [s]", "busy [s]"});
+  for (const obs::ResourceStat& r : report.resources) {
+    contention.add_row({r.resource, std::to_string(r.waits),
+                        Table::sci(r.wait_p50), Table::sci(r.wait_p99),
+                        Table::sci(r.occupancy_seconds)});
+  }
+  emit(opts, os, contention, "contention by resource");
+
+  if (!report.copies.empty()) {
+    Table copies({"dir", "sharing", "count", "bytes", "time [s]"});
+    for (const obs::CopyStat& c : report.copies) {
+      copies.add_row({c.dir, c.sharing, std::to_string(c.count),
+                      std::to_string(c.bytes), Table::sci(c.seconds)});
+    }
+    emit(opts, os, copies, "host<->device copies");
+  }
+
+  if (!opts.metrics_file.empty()) {
+    benchutil::write_metrics_file(opts.metrics_file, {report});
+    os << "metrics report written to " << opts.metrics_file << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run(const Options& opts, std::ostream& os) {
@@ -342,6 +414,7 @@ int run(const Options& opts, std::ostream& os) {
   if (opts.command == "model") return cmd_model(opts, os);
   if (opts.command == "params") return cmd_params(opts, os);
   if (opts.command == "trace") return cmd_trace(opts, os);
+  if (opts.command == "report") return cmd_report(opts, os);
   throw std::logic_error("unreachable command");
 }
 

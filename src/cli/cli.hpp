@@ -7,15 +7,19 @@
 //   model    print the Table 6 model decomposition for a pattern
 //   params   print a machine's calibrated parameter set
 //   trace    execute one strategy and dump a Chrome-tracing JSON / Gantt
+//   report   measure one strategy with metrics and print the per-phase /
+//            per-path / contention breakdown (optionally write the
+//            hetcomm.metrics.v1 JSON with --metrics FILE)
 //
 // Common flags:
 //   --machine lassen|summit|frontier|delta   (default lassen)
 //   --nodes N                                (default 8)
 //   --pattern FILE.pattern | --matrix FILE.mtx | --standin NAME
 //   --gpus N          partition width for matrix inputs (default all GPUs)
-//   --strategy NAME   (trace only; names per StrategyConfig::name())
+//   --strategy NAME   (trace, report; names per StrategyConfig::name())
 //   --taper T         attach a tapered fat-tree fabric
 //   --jobs N          sweep/measure worker threads (default: hardware)
+//   --metrics FILE    (report) also write the JSON run report
 //   --reps N  --seed S  --csv
 
 #include <iosfwd>
@@ -42,6 +46,7 @@ struct Options {
   int jobs = 0;        ///< worker threads; 0 = hardware concurrency
   std::uint64_t seed = 1;
   bool csv = false;
+  std::string metrics_file;  ///< report: also write the JSON run report
 
   /// Parse argv (excluding the program name).  Throws std::invalid_argument
   /// with a usage-style message on errors.

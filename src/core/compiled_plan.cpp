@@ -6,6 +6,7 @@
 #include <string>
 
 #include "hetsim/engine.hpp"
+#include "obs/engine_metrics.hpp"
 
 namespace hetcomm::core {
 
@@ -116,6 +117,7 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
           }
           CompiledPhase::PackOp pack;
           pack.rank = op.rank;
+          pack.bytes = op.bytes;
           pack.duration_base = params.overheads.pack_per_byte *
                                static_cast<double>(op.bytes);
           out.steps.push_back(
@@ -203,9 +205,21 @@ void Engine::execute(const core::CompiledPlan& plan) {
           BusyServer& dma = op.dir == CopyDir::HostToDevice
                                 ? dma_h2d_[op.gpu]
                                 : dma_d2h_[op.gpu];
-          const double start = dma.acquire(clock_[op.rank], op.occupancy);
+          const double ready = clock_[op.rank];
+          const double start = dma.acquire(ready, op.occupancy);
           const double duration = noise_.perturb(op.duration_base);
           clock_[op.rank] = start + duration;
+          if (metrics_inv_ || metrics_smp_) {
+            const obs::SimResource res = op.dir == CopyDir::HostToDevice
+                                             ? obs::SimResource::DmaH2D
+                                             : obs::SimResource::DmaD2H;
+            if (metrics_inv_) metrics_inv_->on_occupancy(res, op.occupancy);
+            if (metrics_smp_) {
+              metrics_smp_->on_wait(res, ready, start);
+              metrics_smp_->on_copy(op.dir, op.sharing_procs, op.bytes,
+                                    duration);
+            }
+          }
           if (tracing_) {
             trace_.copies.push_back({op.rank, op.gpu, op.dir, op.bytes,
                                      op.sharing_procs, start,
@@ -215,12 +229,19 @@ void Engine::execute(const core::CompiledPlan& plan) {
         }
         case core::StepKind::Pack: {
           const core::CompiledPhase::PackOp& op = phase.packs[step.index];
-          clock_[op.rank] += noise_.perturb(op.duration_base);
+          const double duration = noise_.perturb(op.duration_base);
+          clock_[op.rank] += duration;
+          if (metrics_smp_) metrics_smp_->on_pack(op.bytes, duration);
           break;
         }
       }
     }
-    if (num_messages == 0) continue;
+    if (num_messages == 0) {
+      // Phase-end clocks ride the sampled tier: max_clock() over every rank
+      // is too hot for steady-state repetitions (see core::measure).
+      if (metrics_smp_) metrics_smp_->on_phase_end(max_clock());
+      continue;
+    }
 
     // ---- Ready times; schedule order by (ready, posting order). ----
     ready_scratch_.resize(num_messages);
@@ -249,14 +270,58 @@ void Engine::execute(const core::CompiledPlan& plan) {
       const core::CompiledPhase::MessageSchedule& msg = phase.messages[i];
       const double ready = ready_scratch_[i];
       double t = send_port_[msg.src].acquire(ready, msg.send_occupancy);
-      if (msg.off_node) {
-        t = nic_out_[msg.src_node].acquire(t, msg.nic_occupancy);
-        if (fabric_) {
-          t = fabric_->acquire(msg.src_node, msg.dst_node, msg.bytes, t);
-        }
-        t = nic_in_[msg.dst_node].acquire(t, msg.nic_occupancy);
+      if (metrics_inv_) {
+        const core::CompiledPhase::MessageMeta& meta = phase.message_meta[i];
+        metrics_inv_->on_message(meta.path, meta.protocol, msg.bytes);
+        metrics_inv_->on_occupancy(obs::SimResource::SendPort,
+                                   msg.send_occupancy);
       }
-      t = recv_port_[msg.dst].acquire(t, msg.drain_occupancy);
+      if (metrics_smp_) {
+        metrics_smp_->on_wait(obs::SimResource::SendPort, ready, t);
+      }
+      if (msg.off_node) {
+        const double t_out = nic_out_[msg.src_node].acquire(t,
+                                                            msg.nic_occupancy);
+        if (metrics_inv_) {
+          metrics_inv_->on_occupancy(obs::SimResource::NicOut,
+                                     msg.nic_occupancy);
+          metrics_inv_->on_nic_egress(msg.src_node, msg.bytes);
+        }
+        if (metrics_smp_) {
+          metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
+        }
+        t = t_out;
+        if (fabric_) {
+          const double t_fab =
+              fabric_->acquire(msg.src_node, msg.dst_node, msg.bytes, t);
+          // Fabric wait folds queueing and link serialization together (the
+          // fabric returns only the final acquire time).
+          if (metrics_smp_) {
+            metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
+          }
+          t = t_fab;
+        }
+        const double t_in = nic_in_[msg.dst_node].acquire(t,
+                                                          msg.nic_occupancy);
+        if (metrics_inv_) {
+          metrics_inv_->on_occupancy(obs::SimResource::NicIn,
+                                     msg.nic_occupancy);
+        }
+        if (metrics_smp_) {
+          metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
+        }
+        t = t_in;
+      }
+      const double t_drain = recv_port_[msg.dst].acquire(t,
+                                                         msg.drain_occupancy);
+      if (metrics_inv_) {
+        metrics_inv_->on_occupancy(obs::SimResource::RecvPort,
+                                   msg.drain_occupancy);
+      }
+      if (metrics_smp_) {
+        metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
+      }
+      t = t_drain;
 
       const double hop_latency =
           (msg.off_node && fabric_)
@@ -278,6 +343,7 @@ void Engine::execute(const core::CompiledPlan& plan) {
     }
     network_bytes_ += phase.network_bytes;
     network_messages_ += phase.network_messages;
+    if (metrics_smp_) metrics_smp_->on_phase_end(max_clock());
   }
 }
 

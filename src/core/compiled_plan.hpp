@@ -96,6 +96,7 @@ struct CompiledPhase {
   // -- Packs -------------------------------------------------------------
   struct PackOp {
     std::int32_t rank = -1;
+    std::int64_t bytes = 0;
     double duration_base = 0.0;  ///< pack_per_byte * s (noised)
   };
   std::vector<PackOp> packs;

@@ -40,6 +40,11 @@ void run_plan(Engine& engine, const CommPlan& plan,
       }
     }
     if (engine.has_pending()) engine.resolve();
+    // One phase-end sample per phase on the sampled tier, matching
+    // Engine::execute.
+    if (engine.sampled_metrics() != nullptr) {
+      engine.sampled_metrics()->on_phase_end(engine.max_clock());
+    }
   }
   const std::vector<double>& clocks = engine.clocks();
   std::copy(clocks.begin(), clocks.end(), clocks_out.begin());
@@ -97,6 +102,36 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   // One reusable engine per worker, constructed lazily on first use.
   std::vector<std::unique_ptr<Engine>> engines(static_cast<std::size_t>(jobs));
 
+  // Metrics plumbing (collect_metrics).  Each worker accumulates into its
+  // own sink; phase-end clocks land in a flat reps x phases buffer keyed by
+  // repetition, so aggregation below never depends on which worker ran
+  // which repetition.
+  const std::size_t num_phases = plan.phases.size();
+  // Noise-dependent statistics (queue waits, copy/pack durations, phase-end
+  // clocks) are sampled on repetitions where rep % sample_stride == 0 --
+  // with the stride at `reps`, exactly repetition 0.  One profiled
+  // repetition already pools hundreds of per-event wait samples at paper
+  // scale, and every repetition that records pays for a full rank-clock
+  // scan per phase, so bounding the sampled count is what holds the
+  // enabled-mode overhead under the <2% budget (plan-invariant counters
+  // record once; see Engine::set_metrics).  Keying the choice on the
+  // repetition index alone keeps the aggregate identical at any jobs
+  // count.
+  const std::int64_t sample_stride = std::max<std::int64_t>(1, options.reps);
+  const int sampled_reps = static_cast<int>(
+      (options.reps + sample_stride - 1) / sample_stride);
+  std::vector<obs::EngineMetrics> worker_metrics;
+  std::vector<double> phase_ends;
+  std::vector<std::int64_t> worker_rep_count;
+  std::vector<double> worker_busy_seconds;
+  if (options.collect_metrics) {
+    worker_metrics.resize(static_cast<std::size_t>(jobs));
+    phase_ends.assign(static_cast<std::size_t>(options.reps) * num_phases,
+                      0.0);
+    worker_rep_count.assign(static_cast<std::size_t>(jobs), 0);
+    worker_busy_seconds.assign(static_cast<std::size_t>(jobs), 0.0);
+  }
+
   const auto run_rep = [&](std::int64_t rep, int worker) {
     std::unique_ptr<Engine>& slot = engines[static_cast<std::size_t>(worker)];
     if (!slot) {
@@ -104,11 +139,29 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
                                       NoiseModel(0, options.noise_sigma));
       if (options.fabric) slot->set_fabric(*options.fabric);
     }
+    if (options.collect_metrics) {
+      // Plan-invariant slots record on repetition 0 only (exactly once per
+      // measure() call, whichever worker runs it); waits, copy/pack
+      // durations, and phase-end clocks record on the sampled repetitions.
+      // Steady-state repetitions detach the sink entirely, so they run the
+      // exact metrics-off code path -- that is what keeps the enabled-mode
+      // overhead inside the <2% budget.
+      const bool invariant_rep = rep == 0;
+      const bool sampled_rep = rep % sample_stride == 0;
+      slot->set_metrics(
+          invariant_rep || sampled_rep
+              ? &worker_metrics[static_cast<std::size_t>(worker)]
+              : nullptr,
+          invariant_rep, sampled_rep);
+    }
     Engine& engine = *slot;
     engine.reset(mix_seed(options.seed, static_cast<std::uint64_t>(rep)));
     const bool traced =
         options.trace_last_rep && rep == static_cast<std::int64_t>(options.reps) - 1;
     engine.set_tracing(traced);
+    const auto rep_start = options.collect_metrics
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
     const std::span<double> clocks_out(
         rep_clocks.data() + static_cast<std::size_t>(rep) * num_ranks,
         num_ranks);
@@ -116,6 +169,21 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       run_plan(engine, *compiled, clocks_out);
     } else {
       run_plan(engine, plan, clocks_out);
+    }
+    if (options.collect_metrics) {
+      obs::EngineMetrics& sink = worker_metrics[static_cast<std::size_t>(worker)];
+      // Move this repetition's phase-end clocks into the rep-keyed buffer;
+      // every other sink slot keeps accumulating across repetitions.
+      for (std::size_t p = 0; p < sink.phase_makespan.size(); ++p) {
+        phase_ends[static_cast<std::size_t>(rep) * num_phases + p] =
+            sink.phase_makespan[p];
+      }
+      sink.phase_makespan.clear();
+      ++worker_rep_count[static_cast<std::size_t>(worker)];
+      worker_busy_seconds[static_cast<std::size_t>(worker)] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        rep_start)
+              .count();
     }
     if (traced) {
       last_trace = engine.trace();
@@ -133,6 +201,10 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       result.wall_seconds > 0.0 ? options.reps / result.wall_seconds : 0.0;
 
   // Serial reduction in repetition order: bit-identical at any jobs count.
+  std::vector<double> makespans;
+  if (options.collect_metrics) {
+    makespans.reserve(static_cast<std::size_t>(options.reps));
+  }
   for (int rep = 0; rep < options.reps; ++rep) {
     const double* clocks =
         rep_clocks.data() + static_cast<std::size_t>(rep) * num_ranks;
@@ -144,6 +216,7 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     result.makespan_mean += makespan;
     result.makespan_min = std::min(result.makespan_min, makespan);
     result.makespan_max = std::max(result.makespan_max, makespan);
+    if (options.collect_metrics) makespans.push_back(makespan);
   }
 
   const double inv = 1.0 / options.reps;
@@ -152,6 +225,63 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   result.max_avg =
       *std::max_element(result.per_rank_mean.begin(), result.per_rank_mean.end());
   result.trace = std::move(last_trace);
+
+  if (options.collect_metrics) {
+    // Counter merges are commutative integer adds and histogram merges are
+    // commutative bin adds, so folding per-worker sinks in worker order
+    // yields the same aggregate however repetitions were partitioned.
+    obs::EngineMetrics aggregate;
+    for (const obs::EngineMetrics& wm : worker_metrics) aggregate.merge(wm);
+
+    obs::RunReport report;
+    report.engine = to_string(options.engine);
+    report.reps = options.reps;
+    report.jobs = jobs;
+    report.seed = options.seed;
+    report.noise_sigma = options.noise_sigma;
+    report.ranks = topo.num_ranks();
+    report.nodes = topo.num_nodes();
+    report.makespan = obs::summarize(makespans);
+    report.max_avg = result.max_avg;
+    report.wall_seconds = result.wall_seconds;
+    report.reps_per_second = result.reps_per_second;
+
+    // Per-phase makespan contributions: delta between consecutive phase-end
+    // clocks within each sampled repetition, summarized across the sampled
+    // repetitions (phase-end clocks ride the sampled tier).
+    std::vector<double> deltas(static_cast<std::size_t>(sampled_reps));
+    double share_total = 0.0;
+    for (std::size_t p = 0; p < num_phases; ++p) {
+      for (int s = 0; s < sampled_reps; ++s) {
+        const std::int64_t rep = static_cast<std::int64_t>(s) * sample_stride;
+        const std::size_t base =
+            static_cast<std::size_t>(rep) * num_phases;
+        const double prev = p == 0 ? 0.0 : phase_ends[base + p - 1];
+        deltas[static_cast<std::size_t>(s)] = phase_ends[base + p] - prev;
+      }
+      obs::PhaseStat stat;
+      stat.phase = static_cast<int>(p);
+      stat.makespan = obs::summarize(deltas);
+      report.phases.push_back(std::move(stat));
+      share_total += report.phases.back().makespan.mean;
+    }
+    if (share_total > 0.0) {
+      for (obs::PhaseStat& stat : report.phases) {
+        stat.share = stat.makespan.mean / share_total;
+      }
+    }
+
+    obs::fill_from_engine_metrics(report, aggregate, options.reps,
+                                  /*invariant_reps=*/1, sampled_reps);
+    report.sampled_reps = sampled_reps;
+    for (int w = 0; w < jobs; ++w) {
+      if (worker_rep_count[static_cast<std::size_t>(w)] == 0) continue;
+      report.workers.push_back(
+          {w, worker_rep_count[static_cast<std::size_t>(w)],
+           worker_busy_seconds[static_cast<std::size_t>(w)]});
+    }
+    result.metrics = std::move(report);
+  }
   return result;
 }
 

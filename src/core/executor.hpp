@@ -20,6 +20,7 @@
 #include "hetsim/engine.hpp"
 #include "hetsim/network.hpp"
 #include "hetsim/trace.hpp"
+#include "obs/run_report.hpp"
 
 namespace hetcomm::core {
 
@@ -59,6 +60,10 @@ struct MeasureOptions {
   /// Execution path; Compiled is the default fast path, Interpreted is the
   /// reference path (bench `--engine interpreted` A/Bs them).
   ExecMode engine = ExecMode::Compiled;
+  /// Collect per-phase/per-path metrics into MeasureResult::metrics.
+  /// Recording never perturbs the simulation: clocks, traces and statistics
+  /// are bit-identical with this on or off (and for every jobs value).
+  bool collect_metrics = false;
 };
 
 struct MeasureResult {
@@ -71,6 +76,11 @@ struct MeasureResult {
   Trace trace;                ///< last repetition's events (trace_last_rep)
   double wall_seconds = 0.0;  ///< wall time spent simulating repetitions
   double reps_per_second = 0.0;
+  /// Aggregated run report (collect_metrics).  `name` is left empty for the
+  /// caller to label.  Simulated-time sections depend only on the plan,
+  /// machine, seed and noise; the `workers` / wall-time sections describe
+  /// this host-side execution and naturally vary with `jobs`.
+  std::optional<obs::RunReport> metrics;
 };
 
 /// Run `plan` once on `engine` (which must be reset by the caller),

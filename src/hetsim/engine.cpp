@@ -6,6 +6,8 @@
 #include <string>
 #include <tuple>
 
+#include "obs/engine_metrics.hpp"
+
 namespace hetcomm {
 
 Engine::Engine(Topology topology, ParamSet params, NoiseModel noise)
@@ -73,10 +75,23 @@ void Engine::copy(int rank, int gpu, CopyDir dir, std::int64_t bytes,
 
   BusyServer& dma =
       dir == CopyDir::HostToDevice ? dma_h2d_[gpu] : dma_d2h_[gpu];
-  const double start = dma.acquire(clock_[rank], occupancy);
+  const double ready = clock_[rank];
+  const double start = dma.acquire(ready, occupancy);
   const double duration = noise_.perturb(cp.time(bytes));
   clock_[rank] = start + duration;
 
+  if (metrics_inv_ || metrics_smp_) {
+    const obs::SimResource res = dir == CopyDir::HostToDevice
+                                     ? obs::SimResource::DmaH2D
+                                     : obs::SimResource::DmaD2H;
+    // The DMA occupancy is deterministic (invariant tier); the wait and
+    // the noised duration are sampled statistics.
+    if (metrics_inv_) metrics_inv_->on_occupancy(res, occupancy);
+    if (metrics_smp_) {
+      metrics_smp_->on_wait(res, ready, start);
+      metrics_smp_->on_copy(dir, sharing_procs, bytes, duration);
+    }
+  }
   if (tracing_) {
     trace_.copies.push_back(
         {rank, gpu, dir, bytes, sharing_procs, start, clock_[rank]});
@@ -97,8 +112,18 @@ void Engine::compute(int rank, double seconds) {
 void Engine::pack(int rank, std::int64_t bytes) {
   check_rank(rank);
   if (bytes < 0) throw std::invalid_argument("Engine::pack: negative size");
-  clock_[rank] += noise_.perturb(params_.overheads.pack_per_byte *
-                                 static_cast<double>(bytes));
+  const double duration = noise_.perturb(params_.overheads.pack_per_byte *
+                                         static_cast<double>(bytes));
+  clock_[rank] += duration;
+  if (metrics_smp_) metrics_smp_->on_pack(bytes, duration);
+}
+
+void Engine::set_metrics(obs::EngineMetrics* sink, bool record_invariants,
+                         bool record_samples) {
+  metrics_ = sink;
+  metrics_inv_ = record_invariants ? sink : nullptr;
+  metrics_smp_ = record_samples ? sink : nullptr;
+  if (metrics_) metrics_->ensure_nodes(topo_.num_nodes());
 }
 
 void Engine::fail_resolve(const std::string& what) {
@@ -211,6 +236,14 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   // Sender-side occupancy: the sending process cannot initiate the next
   // message until this one's latency+transfer work is handed off.
   double t = send_port_[s.self].acquire(m.ready, pp.alpha + pp.beta * size);
+  if (metrics_inv_) {
+    metrics_inv_->on_message(path, proto, s.bytes);
+    metrics_inv_->on_occupancy(obs::SimResource::SendPort,
+                               pp.alpha + pp.beta * size);
+  }
+  if (metrics_smp_) {
+    metrics_smp_->on_wait(obs::SimResource::SendPort, m.ready, t);
+  }
 
   if (path == PathClass::OffNode) {
     const double inv_rate = s.space == MemSpace::Host
@@ -220,17 +253,41 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
     const int dst_node = topo_.node_of_rank(s.peer);
     const double nic_occupancy =
         inv_rate * size + params_.overheads.nic_message_overhead;
-    t = nic_out_[src_node].acquire(t, nic_occupancy);
-    if (fabric_) {
-      t = fabric_->acquire(src_node, dst_node, s.bytes, t);
+    const double t_out = nic_out_[src_node].acquire(t, nic_occupancy);
+    if (metrics_inv_) {
+      metrics_inv_->on_occupancy(obs::SimResource::NicOut, nic_occupancy);
+      metrics_inv_->on_nic_egress(src_node, s.bytes);
     }
-    t = nic_in_[dst_node].acquire(t, nic_occupancy);
+    if (metrics_smp_) metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
+    t = t_out;
+    if (fabric_) {
+      const double t_fab = fabric_->acquire(src_node, dst_node, s.bytes, t);
+      // Fabric wait folds queueing and link serialization together (the
+      // fabric returns only the final acquire time).
+      if (metrics_smp_) {
+        metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
+      }
+      t = t_fab;
+    }
+    const double t_in = nic_in_[dst_node].acquire(t, nic_occupancy);
+    if (metrics_inv_) {
+      metrics_inv_->on_occupancy(obs::SimResource::NicIn, nic_occupancy);
+    }
+    if (metrics_smp_) metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
+    t = t_in;
     network_bytes_ += s.bytes;
     ++network_messages_;
   }
 
   // Receiver-side drain occupancy.
-  t = recv_port_[s.peer].acquire(t, pp.beta * size);
+  const double t_drain = recv_port_[s.peer].acquire(t, pp.beta * size);
+  if (metrics_inv_) {
+    metrics_inv_->on_occupancy(obs::SimResource::RecvPort, pp.beta * size);
+  }
+  if (metrics_smp_) {
+    metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
+  }
+  t = t_drain;
 
   const double queue_cost = params_.overheads.queue_search_per_entry *
                             recv_queue_depth[s.peer];
@@ -269,7 +326,27 @@ void Engine::set_clock(int rank, double time) {
 }
 
 double Engine::max_clock() const {
-  return *std::max_element(clock_.begin(), clock_.end());
+  // Four independent accumulators: a single running max is a chain of
+  // data-dependent maxsd ops (3-4 cycles each), which dominates the metrics
+  // phase-end path on wide topologies.  Clocks are non-negative, so 0 is a
+  // safe identity.
+  const double* p = clock_.data();
+  const std::size_t n = clock_.size();
+  double m0 = 0.0;
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = m0 < p[i] ? p[i] : m0;
+    m1 = m1 < p[i + 1] ? p[i + 1] : m1;
+    m2 = m2 < p[i + 2] ? p[i + 2] : m2;
+    m3 = m3 < p[i + 3] ? p[i + 3] : m3;
+  }
+  for (; i < n; ++i) m0 = m0 < p[i] ? p[i] : m0;
+  m0 = m0 < m1 ? m1 : m0;
+  m2 = m2 < m3 ? m3 : m2;
+  return m0 < m2 ? m2 : m0;
 }
 
 void Engine::reset() {

@@ -33,6 +33,10 @@ namespace core {
 class CompiledPlan;  // compiled (rep-invariant) form of a core::CommPlan
 }  // namespace core
 
+namespace obs {
+struct EngineMetrics;  // fixed-slot metrics sink (obs/engine_metrics.hpp)
+}  // namespace obs
+
 class Engine {
  public:
   Engine(Topology topology, ParamSet params,
@@ -130,6 +134,35 @@ class Engine {
   void set_tracing(bool on) noexcept { tracing_ = on; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
 
+  /// Attach a caller-owned metrics sink (nullptr detaches; the default).
+  /// Recording only *reads* values the simulation already computed -- it
+  /// never touches clocks, resources, or the noise stream -- so results are
+  /// bit-identical with a sink attached or not.  The sink accumulates
+  /// across reset() calls (per-repetition reuse aggregates in place); the
+  /// caller resets it between runs when per-run numbers are wanted.
+  ///
+  /// The flags gate the sink's recording tiers (obs/engine_metrics.hpp):
+  /// `record_invariants` covers the plan-invariant slots (message/byte
+  /// counters, deterministic occupancies, NIC egress), identical every
+  /// repetition of the same plan, so a replaying caller records them once;
+  /// `record_samples` covers the noise-dependent statistics (queue waits,
+  /// copy/pack durations), which core::measure() samples on a
+  /// deterministic subset of repetitions.  Phase-end clocks ride the
+  /// sampled tier too: scanning every rank clock per phase is the single
+  /// most expensive recording step, so steady-state repetitions skip it.
+  /// Both flags default to on -- a plain set_metrics(&sink) records
+  /// everything.
+  void set_metrics(obs::EngineMetrics* sink, bool record_invariants = true,
+                   bool record_samples = true);
+  [[nodiscard]] obs::EngineMetrics* metrics() const noexcept {
+    return metrics_;
+  }
+  /// The sink iff the sampled tier is recording (see set_metrics), else
+  /// nullptr.  Phase-end recording outside Engine keys on this.
+  [[nodiscard]] obs::EngineMetrics* sampled_metrics() const noexcept {
+    return metrics_smp_;
+  }
+
   /// Total bytes that crossed the network (off-node messages), since reset.
   [[nodiscard]] std::int64_t network_bytes() const noexcept {
     return network_bytes_;
@@ -191,6 +224,12 @@ class Engine {
 
   bool tracing_ = false;
   Trace trace_;
+  obs::EngineMetrics* metrics_ = nullptr;  ///< caller-owned; may be null
+  /// Tier gates: the same sink while that tier should record, else null.
+  /// Hot paths test these pointers, so repetitions with a tier disabled
+  /// skip its recording work entirely (no extra loads or flag checks).
+  obs::EngineMetrics* metrics_inv_ = nullptr;  ///< plan-invariant slots
+  obs::EngineMetrics* metrics_smp_ = nullptr;  ///< sampled statistics
   std::int64_t network_bytes_ = 0;
   std::int64_t network_messages_ = 0;
 };

@@ -37,13 +37,40 @@ void emit_event(std::ostream& os, bool& first, const std::string& name,
      << ", \"dur\": " << std::max(0.0, end_sec - start_sec) * 1e6 << "}";
 }
 
+void emit_metadata(std::ostream& os, bool& first, const char* name, int track,
+                   const std::string& value) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"ph\": \"M\", \"pid\": 0, "
+     << "\"tid\": " << track << ", \"args\": {\"name\": \"" << value
+     << "\"}}";
+}
+
+void emit_counter(std::ostream& os, bool& first, const std::string& name,
+                  double time_sec, const char* series, double value) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"ph\": \"C\", \"pid\": 0, "
+     << "\"tid\": 0, \"ts\": " << time_sec * 1e6 << ", \"args\": {\""
+     << series << "\": " << value << "}}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Trace& trace,
                         const Topology& topo) {
-  (void)topo;
   os << "{\"traceEvents\": [\n";
   bool first = true;
+
+  // Metadata ("M"): name the process and every rank track so the viewer
+  // shows "rank 3 (node 0)" instead of bare thread ids.
+  emit_metadata(os, first, "process_name", 0, "hetcomm simulation");
+  for (int rank = 0; rank < topo.num_ranks(); ++rank) {
+    emit_metadata(os, first, "thread_name", rank,
+                  "rank " + std::to_string(rank) + " (node " +
+                      std::to_string(topo.node_of_rank(rank)) + ")");
+  }
+
   for (const MessageTrace& m : trace.messages) {
     emit_event(os, first, message_name(m), "message", m.dst, m.start,
                m.completion);
@@ -51,6 +78,49 @@ void write_chrome_trace(std::ostream& os, const Trace& trace,
   for (const CopyTrace& c : trace.copies) {
     emit_event(os, first, copy_name(c), "copy", c.rank, c.start, c.completion);
   }
+
+  // Counters ("C"), derived from the trace alone.  Messages in flight:
+  // +1 at each start, -1 at each completion, emitted in (time, insertion)
+  // order so equal timestamps resolve deterministically.
+  struct Step {
+    double time;
+    int delta;
+  };
+  std::vector<Step> steps;
+  steps.reserve(trace.messages.size() * 2);
+  for (const MessageTrace& m : trace.messages) {
+    steps.push_back({m.start, +1});
+    steps.push_back({m.completion, -1});
+  }
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const Step& a, const Step& b) { return a.time < b.time; });
+  int in_flight = 0;
+  for (const Step& s : steps) {
+    in_flight += s.delta;
+    emit_counter(os, first, "messages in flight", s.time, "messages",
+                 in_flight);
+  }
+
+  // Cumulative NIC egress per node, stepped at each off-node message start.
+  std::vector<const MessageTrace*> off_node;
+  for (const MessageTrace& m : trace.messages) {
+    if (m.path == PathClass::OffNode) off_node.push_back(&m);
+  }
+  std::stable_sort(off_node.begin(), off_node.end(),
+                   [](const MessageTrace* a, const MessageTrace* b) {
+                     return a->start < b->start;
+                   });
+  std::vector<double> injected(static_cast<std::size_t>(topo.num_nodes()),
+                               0.0);
+  for (const MessageTrace* m : off_node) {
+    const int node = topo.node_of_rank(m->src);
+    injected[static_cast<std::size_t>(node)] +=
+        static_cast<double>(m->bytes);
+    emit_counter(os, first,
+                 "bytes_injected node " + std::to_string(node), m->start,
+                 "bytes", injected[static_cast<std::size_t>(node)]);
+  }
+
   os << "\n], \"displayTimeUnit\": \"ns\"}\n";
 }
 
@@ -101,7 +171,8 @@ void write_ascii_gantt(std::ostream& os, const Trace& trace,
   }
   if (shown < static_cast<int>(rows.size())) {
     os << "... (" << rows.size() - static_cast<std::size_t>(shown)
-       << " more events)\n";
+       << " more events; showing " << shown << " of " << rows.size()
+       << ", raise GanttOptions::max_rows for all)\n";
   }
 }
 

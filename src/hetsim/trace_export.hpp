@@ -13,9 +13,15 @@
 
 namespace hetcomm {
 
-/// Write the trace as Chrome tracing JSON (trace-event format, "X" events,
-/// microsecond timestamps).  Messages appear on the receiving rank's track
-/// (span: start -> completion), copies on the copying rank's track.
+/// Write the trace as Chrome tracing JSON (trace-event format, microsecond
+/// timestamps).  Messages appear as "X" duration events on the receiving
+/// rank's track (span: start -> completion), copies on the copying rank's
+/// track.  "M" metadata events name the process and label every rank track
+/// "rank R (node N)" from the topology, and "C" counter events add derived
+/// counter tracks: "messages in flight" (+1 at each message start, -1 at
+/// completion) and "bytes_injected node N" (cumulative NIC egress per node,
+/// stepped at each off-node message start).  Counters are computed from the
+/// trace alone, so the export stays a pure function of (trace, topo).
 void write_chrome_trace(std::ostream& os, const Trace& trace,
                         const Topology& topo);
 

@@ -1,0 +1,185 @@
+#pragma once
+// Fixed-slot metrics sink for one Engine run (one repetition).
+//
+// The engine's hot path cannot afford name lookups or allocation, so the
+// per-run collector is a plain struct of arrays indexed by the simulator's
+// small enums: message/byte counters by (path class x protocol), contention
+// histograms and occupancy totals per contended resource kind, per-node NIC
+// egress bytes, copy totals by (direction x solo/shared), pack totals, and
+// the makespan at the end of every plan phase.  Attach with
+// Engine::set_metrics(&sink); a null sink (the default) keeps the engine's
+// hot path identical to a build without observability -- one predictable
+// branch per operation.
+//
+// The slots split into three recording tiers (see Engine::set_metrics):
+//
+//   * plan-invariant -- message/byte counters, deterministic occupancies
+//     and NIC egress bytes are the same every repetition (they depend only
+//     on the plan and parameters, never on the noise stream).  The engine
+//     records them only when record_invariants is set; core::measure()
+//     enables that for repetition 0 alone.
+//   * sampled -- queue waits and noised copy/pack durations vary with the
+//     noise stream but are statistics, not identities: they are recorded
+//     when record_samples is set, which core::measure() enables on a
+//     deterministic subset of repetitions (keyed by repetition index, so
+//     results are jobs-invariant).  Uncontended acquisitions (wait exactly
+//     zero, the common case) bump a single per-resource counter and are
+//     folded into the histogram at export time (wait_histogram()).
+//   * every repetition -- phase-end clocks, which feed the per-phase
+//     makespan mean/p50/p99 across all repetitions.
+//
+// The tiering is what keeps enabled-overhead under the <2% budget on
+// fig5_1-scale replay: steady-state repetitions record a handful of
+// phase-end clocks instead of thousands of counter updates.
+//
+// Recording never touches clocks, resources, or the noise stream, so
+// simulation results are bit-identical with metrics on or off; the
+// compiled and interpreted execution paths populate the sink identically
+// (tests/test_metrics.cpp holds both contracts).
+//
+// publish() converts the collected slots into stable registry names
+// ("msgs{path=on-node,proto=rendezvous}", "bytes_injected{nic=3}",
+// "queue_wait{resource=nic-out}", ...) for export.
+
+#include <cstdint>
+#include <vector>
+
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+#include "obs/metrics.hpp"
+
+namespace hetcomm::obs {
+
+/// Contended resource kinds of the engine, in pipeline order.
+enum class SimResource : std::uint8_t {
+  SendPort,    ///< per-rank outbound transport
+  NicOut,      ///< per-node NIC egress
+  FabricLink,  ///< tapered fat-tree pod links (when attached)
+  NicIn,       ///< per-node NIC ingress
+  RecvPort,    ///< per-rank inbound transport
+  DmaH2D,      ///< per-GPU DMA engine, host-to-device
+  DmaD2H,      ///< per-GPU DMA engine, device-to-host
+};
+inline constexpr int kNumSimResources = 7;
+
+[[nodiscard]] constexpr const char* to_string(SimResource r) noexcept {
+  switch (r) {
+    case SimResource::SendPort: return "send-port";
+    case SimResource::NicOut: return "nic-out";
+    case SimResource::FabricLink: return "fabric-link";
+    case SimResource::NicIn: return "nic-in";
+    case SimResource::RecvPort: return "recv-port";
+    case SimResource::DmaH2D: return "dma-h2d";
+    case SimResource::DmaD2H: return "dma-d2h";
+  }
+  return "?";
+}
+
+struct EngineMetrics {
+  static constexpr int kPaths = 3;   ///< PathClass values
+  static constexpr int kProtos = 3;  ///< Protocol values
+
+  // -- Messages, by (path class, protocol) -------------------------------
+  std::int64_t msgs[kPaths][kProtos] = {};
+  std::int64_t msg_bytes[kPaths][kProtos] = {};
+
+  // -- Contention, per resource kind -------------------------------------
+  /// Time each acquisition waited behind earlier traffic (start - ready),
+  /// excluding the zero-wait acquisitions counted in `zero_waits`; read
+  /// through wait_histogram() to get the folded distribution.
+  Histogram queue_wait[kNumSimResources];
+  /// Acquisitions that did not wait at all (start == ready).
+  std::int64_t zero_waits[kNumSimResources] = {};
+  /// Busy time pushed onto each resource kind (sum of occupancies).
+  double occupancy_seconds[kNumSimResources] = {};
+
+  // -- NIC egress, per node ----------------------------------------------
+  std::vector<std::int64_t> nic_bytes;  ///< bytes injected by each node
+
+  // -- Copies, by (direction, solo=0 / shared=1) -------------------------
+  std::int64_t copy_count[2][2] = {};
+  std::int64_t copy_bytes[2][2] = {};
+  double copy_seconds[2][2] = {};  ///< noised durations, as charged to clocks
+
+  // -- Packs --------------------------------------------------------------
+  std::int64_t packs = 0;
+  std::int64_t pack_bytes = 0;
+  double pack_seconds = 0.0;
+
+  // -- Phases --------------------------------------------------------------
+  /// Max clock over all ranks at the end of each executed plan phase, in
+  /// phase order.  Deltas between entries are the per-phase makespan
+  /// contributions (they sum to the final makespan exactly).
+  std::vector<double> phase_makespan;
+
+  /// Size the per-node slots; called by Engine::set_metrics.
+  void ensure_nodes(int num_nodes) {
+    if (static_cast<int>(nic_bytes.size()) < num_nodes) {
+      nic_bytes.resize(static_cast<std::size_t>(num_nodes), 0);
+    }
+  }
+
+  /// Zero every slot, keeping allocations (per-repetition reuse).
+  void reset() noexcept;
+
+  // ---- Hot-path recording helpers (allocation-free) ---------------------
+  void on_message(PathClass path, Protocol proto,
+                  std::int64_t bytes) noexcept {
+    const auto p = static_cast<int>(path);
+    const auto r = static_cast<int>(proto);
+    ++msgs[p][r];
+    msg_bytes[p][r] += bytes;
+  }
+  void on_wait(SimResource res, double ready, double start) noexcept {
+    if (start > ready) {
+      queue_wait[static_cast<int>(res)].observe(start - ready);
+    } else {
+      // Uncontended acquire returns `ready` bitwise -- one add instead of
+      // a full histogram observe for the common case.
+      ++zero_waits[static_cast<int>(res)];
+    }
+  }
+  void on_occupancy(SimResource res, double seconds) noexcept {
+    occupancy_seconds[static_cast<int>(res)] += seconds;
+  }
+  void on_nic_egress(int node, std::int64_t bytes) noexcept {
+    nic_bytes[static_cast<std::size_t>(node)] += bytes;
+  }
+  void on_copy(CopyDir dir, int sharing_procs, std::int64_t bytes,
+               double seconds) noexcept {
+    const int d = static_cast<int>(dir);
+    const int s = sharing_procs > 1 ? 1 : 0;
+    ++copy_count[d][s];
+    copy_bytes[d][s] += bytes;
+    copy_seconds[d][s] += seconds;
+  }
+  void on_pack(std::int64_t bytes, double seconds) noexcept {
+    ++packs;
+    pack_bytes += bytes;
+    pack_seconds += seconds;
+  }
+  void on_phase_end(double makespan) { phase_makespan.push_back(makespan); }
+
+  // ---- Aggregation and export -------------------------------------------
+  /// Merge another run's slots into this one (plain adds; phase makespans
+  /// must agree in count or either side may be empty).
+  void merge(const EngineMetrics& other);
+
+  /// Total messages / bytes over all paths and protocols.
+  [[nodiscard]] std::int64_t total_messages() const noexcept;
+  [[nodiscard]] std::int64_t total_bytes() const noexcept;
+
+  /// Queue-wait distribution for one resource (by SimResource index) with
+  /// the zero-wait acquisitions folded into bin 0.
+  [[nodiscard]] Histogram wait_histogram(int resource) const noexcept;
+
+  /// Publish every slot into `registry` under its stable name.  Counters
+  /// accumulate (publishing N runs sums them); histograms merge.
+  void publish(Registry& registry) const;
+
+  /// True when the two sinks hold identical counters and histograms
+  /// (used by the compiled-vs-interpreted equality tests).
+  [[nodiscard]] bool same_counts(const EngineMetrics& other) const noexcept;
+};
+
+}  // namespace hetcomm::obs

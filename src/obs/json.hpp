@@ -1,0 +1,122 @@
+#pragma once
+// Minimal JSON document model for the observability subsystem.
+//
+// The metrics run-report, the CI schema validator, and the trace-export
+// tests all need to read and write small JSON documents without an external
+// dependency.  JsonValue is an ordered DOM (object keys keep insertion
+// order, so emitted reports are stable and diffable) with a strict
+// recursive-descent parser: malformed input throws std::runtime_error with
+// a byte offset instead of yielding a half-parsed document.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hetcomm::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    Null,
+    Bool,
+    Int,     ///< exact 64-bit integer (counters, byte totals)
+    Double,  ///< everything else numeric
+    String,
+    Array,
+    Object,
+  };
+
+  JsonValue() noexcept : kind_(Kind::Null) {}
+  JsonValue(std::nullptr_t) noexcept : kind_(Kind::Null) {}  // NOLINT
+  JsonValue(bool b) noexcept : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  JsonValue(int v) noexcept : kind_(Kind::Int), int_(v) {}  // NOLINT
+  JsonValue(std::int64_t v) noexcept : kind_(Kind::Int), int_(v) {}  // NOLINT
+  JsonValue(double v) noexcept : kind_(Kind::Double), double_(v) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::String), string_(s) {}  // NOLINT
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  ///< Int promotes to double
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array/object element count (0 for scalars).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Array indexing; throws std::runtime_error when out of range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return array_; }
+
+  /// Object lookup: find() returns nullptr when absent, at() throws.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return object_;
+  }
+
+  /// Object mutation: sets (or overwrites) `key`, preserving first-insertion
+  /// order.  Only valid on objects.
+  JsonValue& set(std::string key, JsonValue value);
+  /// Array mutation; only valid on arrays.
+  JsonValue& push_back(JsonValue value);
+
+  /// Serialize.  indent > 0 pretty-prints with that many spaces per level;
+  /// 0 emits a single line.  Doubles round-trip (max_digits10).
+  void dump(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump_string(int indent = 2) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error).  Throws std::runtime_error with a byte offset on bad input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// JSON-escape `text` (quotes, backslashes, control characters) without the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace hetcomm::obs

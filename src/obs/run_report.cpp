@@ -1,0 +1,271 @@
+#include "obs/run_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetcomm::obs {
+
+namespace {
+
+/// Nearest-rank quantile of an already-sorted sample vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  s.p50 = sorted_quantile(sorted, 0.50);
+  s.p99 = sorted_quantile(sorted, 0.99);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  return s;
+}
+
+JsonValue Summary::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("count", count);
+  out.set("mean", mean);
+  out.set("p50", p50);
+  out.set("p99", p99);
+  out.set("min", min);
+  out.set("max", max);
+  return out;
+}
+
+void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
+                              int reps, int invariant_reps,
+                              int sampled_reps) {
+  if (reps <= 0) throw std::invalid_argument("fill_from_engine_metrics: reps");
+  if (invariant_reps <= 0 || invariant_reps > reps) {
+    throw std::invalid_argument("fill_from_engine_metrics: invariant_reps");
+  }
+  if (sampled_reps <= 0 || sampled_reps > reps) {
+    throw std::invalid_argument("fill_from_engine_metrics: sampled_reps");
+  }
+  // Tiered counter slots: every recording of a tier saw identical counts,
+  // so dividing by that tier's recording count is exact.
+  const auto per_rep = [invariant_reps](std::int64_t total) {
+    return total / invariant_reps;
+  };
+  const auto per_sampled = [sampled_reps](std::int64_t total) {
+    return total / sampled_reps;
+  };
+  const double inv_invariant = 1.0 / static_cast<double>(invariant_reps);
+  const double inv_sampled = 1.0 / static_cast<double>(sampled_reps);
+
+  report.traffic.clear();
+  for (int p = 0; p < EngineMetrics::kPaths; ++p) {
+    for (int r = 0; r < EngineMetrics::kProtos; ++r) {
+      if (metrics.msgs[p][r] == 0 && metrics.msg_bytes[p][r] == 0) continue;
+      TrafficStat t;
+      t.path = to_string(static_cast<PathClass>(p));
+      t.proto = to_string(static_cast<Protocol>(r));
+      t.messages = per_rep(metrics.msgs[p][r]);
+      t.bytes = per_rep(metrics.msg_bytes[p][r]);
+      report.traffic.push_back(std::move(t));
+    }
+  }
+  report.total_messages = per_rep(metrics.total_messages());
+  report.total_bytes = per_rep(metrics.total_bytes());
+
+  report.resources.clear();
+  for (int i = 0; i < kNumSimResources; ++i) {
+    const Histogram h = metrics.wait_histogram(i);
+    if (h.count() == 0 && metrics.occupancy_seconds[i] == 0.0) continue;
+    ResourceStat r;
+    r.resource = to_string(static_cast<SimResource>(i));
+    r.waits = h.count();
+    r.wait_mean = h.mean();
+    r.wait_p50 = h.quantile(0.50);
+    r.wait_p99 = h.quantile(0.99);
+    r.wait_max = h.max();
+    r.occupancy_seconds = metrics.occupancy_seconds[i] * inv_invariant;
+    report.resources.push_back(std::move(r));
+  }
+
+  report.nic.clear();
+  for (std::size_t n = 0; n < metrics.nic_bytes.size(); ++n) {
+    if (metrics.nic_bytes[n] == 0) continue;
+    report.nic.push_back(
+        {static_cast<int>(n), per_rep(metrics.nic_bytes[n])});
+  }
+
+  report.copies.clear();
+  for (int d = 0; d < 2; ++d) {
+    for (int s = 0; s < 2; ++s) {
+      if (metrics.copy_count[d][s] == 0) continue;
+      CopyStat c;
+      c.dir = to_string(static_cast<CopyDir>(d));
+      c.sharing = s == 0 ? "solo" : "shared";
+      c.count = per_sampled(metrics.copy_count[d][s]);
+      c.bytes = per_sampled(metrics.copy_bytes[d][s]);
+      c.seconds = metrics.copy_seconds[d][s] * inv_sampled;
+      report.copies.push_back(std::move(c));
+    }
+  }
+
+  report.packs = per_sampled(metrics.packs);
+  report.pack_bytes = per_sampled(metrics.pack_bytes);
+  report.pack_seconds = metrics.pack_seconds * inv_sampled;
+}
+
+JsonValue RunReport::metrics_json() const {
+  JsonValue out = JsonValue::object();
+  for (const TrafficStat& t : traffic) {
+    out.set(label("msgs", {{"path", t.path}, {"proto", t.proto}}), t.messages);
+    out.set(label("bytes", {{"path", t.path}, {"proto", t.proto}}), t.bytes);
+  }
+  for (const ResourceStat& r : resources) {
+    JsonValue wait = JsonValue::object();
+    wait.set("count", r.waits);
+    wait.set("mean", r.wait_mean);
+    wait.set("p50", r.wait_p50);
+    wait.set("p99", r.wait_p99);
+    wait.set("max", r.wait_max);
+    out.set(label("queue_wait", {{"resource", r.resource}}), std::move(wait));
+    out.set(label("occupancy_seconds", {{"resource", r.resource}}),
+            r.occupancy_seconds);
+  }
+  for (const NicStat& n : nic) {
+    out.set(label("bytes_injected", {{"nic", std::to_string(n.node)}}),
+            n.bytes_injected);
+  }
+  for (const CopyStat& c : copies) {
+    out.set(label("copies", {{"dir", c.dir}, {"sharing", c.sharing}}),
+            c.count);
+    out.set(label("copy_bytes", {{"dir", c.dir}, {"sharing", c.sharing}}),
+            c.bytes);
+    out.set(label("copy_seconds", {{"dir", c.dir}, {"sharing", c.sharing}}),
+            c.seconds);
+  }
+  if (packs > 0) {
+    out.set("packs", packs);
+    out.set("pack_bytes", pack_bytes);
+    out.set("pack_seconds", pack_seconds);
+  }
+  return out;
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("name", name);
+  out.set("engine", engine);
+  out.set("reps", reps);
+  out.set("sampled_reps", sampled_reps);
+  out.set("jobs", jobs);
+  out.set("seed", static_cast<std::int64_t>(seed));
+  out.set("noise_sigma", noise_sigma);
+  out.set("ranks", ranks);
+  out.set("nodes", nodes);
+
+  out.set("makespan", makespan.to_json());
+  out.set("max_avg", max_avg);
+
+  JsonValue phase_array = JsonValue::array();
+  for (const PhaseStat& p : phases) {
+    JsonValue entry = JsonValue::object();
+    entry.set("phase", p.phase);
+    entry.set("makespan", p.makespan.to_json());
+    entry.set("share", p.share);
+    phase_array.push_back(std::move(entry));
+  }
+  out.set("phases", std::move(phase_array));
+
+  JsonValue traffic_array = JsonValue::array();
+  for (const TrafficStat& t : traffic) {
+    JsonValue entry = JsonValue::object();
+    entry.set("path", t.path);
+    entry.set("proto", t.proto);
+    entry.set("messages", t.messages);
+    entry.set("bytes", t.bytes);
+    traffic_array.push_back(std::move(entry));
+  }
+  out.set("traffic", std::move(traffic_array));
+
+  JsonValue totals = JsonValue::object();
+  totals.set("messages", total_messages);
+  totals.set("bytes", total_bytes);
+  out.set("totals", std::move(totals));
+
+  JsonValue resource_array = JsonValue::array();
+  for (const ResourceStat& r : resources) {
+    JsonValue entry = JsonValue::object();
+    entry.set("resource", r.resource);
+    entry.set("waits", r.waits);
+    entry.set("wait_mean", r.wait_mean);
+    entry.set("wait_p50", r.wait_p50);
+    entry.set("wait_p99", r.wait_p99);
+    entry.set("wait_max", r.wait_max);
+    entry.set("occupancy_seconds", r.occupancy_seconds);
+    resource_array.push_back(std::move(entry));
+  }
+  out.set("contention", std::move(resource_array));
+
+  JsonValue nic_array = JsonValue::array();
+  for (const NicStat& n : nic) {
+    JsonValue entry = JsonValue::object();
+    entry.set("node", n.node);
+    entry.set("bytes_injected", n.bytes_injected);
+    nic_array.push_back(std::move(entry));
+  }
+  out.set("nic", std::move(nic_array));
+
+  JsonValue copy_array = JsonValue::array();
+  for (const CopyStat& c : copies) {
+    JsonValue entry = JsonValue::object();
+    entry.set("dir", c.dir);
+    entry.set("sharing", c.sharing);
+    entry.set("count", c.count);
+    entry.set("bytes", c.bytes);
+    entry.set("seconds", c.seconds);
+    copy_array.push_back(std::move(entry));
+  }
+  out.set("copies", std::move(copy_array));
+
+  JsonValue pack_obj = JsonValue::object();
+  pack_obj.set("count", packs);
+  pack_obj.set("bytes", pack_bytes);
+  pack_obj.set("seconds", pack_seconds);
+  out.set("packs", std::move(pack_obj));
+
+  out.set("wall_seconds", wall_seconds);
+  out.set("reps_per_second", reps_per_second);
+
+  JsonValue worker_array = JsonValue::array();
+  for (const WorkerStat& w : workers) {
+    JsonValue entry = JsonValue::object();
+    entry.set("worker", w.worker);
+    entry.set("reps", w.reps);
+    entry.set("busy_seconds", w.busy_seconds);
+    worker_array.push_back(std::move(entry));
+  }
+  out.set("workers", std::move(worker_array));
+
+  out.set("metrics", metrics_json());
+  return out;
+}
+
+JsonValue make_metrics_document(std::span<const RunReport> reports) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kMetricsSchema);
+  JsonValue array = JsonValue::array();
+  for (const RunReport& r : reports) array.push_back(r.to_json());
+  doc.set("reports", std::move(array));
+  return doc;
+}
+
+}  // namespace hetcomm::obs

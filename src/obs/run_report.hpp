@@ -1,0 +1,164 @@
+#pragma once
+// Machine-readable run reports ("hetcomm.metrics.v1").
+//
+// A RunReport is the aggregate of one measured configuration: repetition
+// statistics (mean/p50/p99 over per-rep samples, computed exactly from the
+// sample vector, not from histogram bins), the per-phase makespan breakdown,
+// message/byte traffic by (path class, protocol), contention per simulated
+// resource, per-NIC injected bytes, copy/pack totals, and per-worker
+// utilization of the thread pool that ran the repetitions.
+//
+// The report is built by core::measure() (see core/executor.cpp) from an
+// obs::EngineMetrics aggregate plus per-repetition sample buffers; this
+// module only holds the plain data model and its JSON projection, so it has
+// no dependency on the simulator's execution layer.
+//
+// File layout (one file may carry several reports, e.g. a bench sweep):
+//
+//   { "schema": "hetcomm.metrics.v1", "reports": [ { ... }, ... ] }
+//
+// tools/validate_metrics checks this shape in CI; docs/simulator.md
+// documents every field.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/engine_metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace hetcomm::obs {
+
+inline constexpr const char* kMetricsSchema = "hetcomm.metrics.v1";
+
+/// Exact order statistics of a sample vector (seconds).  Unlike
+/// Histogram::quantile, these are computed from the sorted samples, so p50
+/// and p99 are exact (nearest-rank definition).
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Summarize `samples`; sorts a copy, leaves the input untouched.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// One plan phase's contribution to the makespan, across the sampled
+/// repetitions (phase-end clocks ride the sampled recording tier; see
+/// RunReport::sampled_reps).
+struct PhaseStat {
+  int phase = 0;
+  Summary makespan;    ///< per-rep (end clock - previous phase end clock)
+  double share = 0.0;  ///< makespan.mean / sum of phase means
+};
+
+/// Message traffic for one (path class, protocol) cell, per repetition.
+struct TrafficStat {
+  std::string path;
+  std::string proto;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Contention on one simulated resource kind.  The wait histogram pools the
+/// samples of every repetition (queue waits vary under noise); occupancy is
+/// the per-repetition busy time pushed onto the resource.
+struct ResourceStat {
+  std::string resource;
+  std::int64_t waits = 0;   ///< acquisitions recorded (sampled reps)
+  double wait_mean = 0.0;   ///< seconds; exact mean over all samples
+  double wait_p50 = 0.0;    ///< seconds; histogram-resolution quantile
+  double wait_p99 = 0.0;
+  double wait_max = 0.0;
+  double occupancy_seconds = 0.0;  ///< per repetition
+};
+
+struct NicStat {
+  int node = 0;
+  std::int64_t bytes_injected = 0;  ///< per repetition
+};
+
+struct CopyStat {
+  std::string dir;      ///< "H2D" / "D2H"
+  std::string sharing;  ///< "solo" / "shared"
+  std::int64_t count = 0;
+  std::int64_t bytes = 0;
+  double seconds = 0.0;  ///< per repetition, as charged to rank clocks
+};
+
+/// Utilization of one repetition-runner worker thread.
+struct WorkerStat {
+  int worker = 0;
+  std::int64_t reps = 0;       ///< repetitions this worker executed
+  double busy_seconds = 0.0;   ///< wall time spent inside repetitions
+};
+
+struct RunReport {
+  // -- Identity ------------------------------------------------------------
+  std::string name;    ///< caller-supplied run label (bench fixture, cell)
+  std::string engine;  ///< "compiled" / "interpreted"
+  int reps = 0;
+  /// Repetitions that recorded the sampled statistics tier (queue waits,
+  /// copy/pack durations, phase-end clocks); 0 when the producer recorded
+  /// every repetition before sampling existed.
+  int sampled_reps = 0;
+  int jobs = 0;
+  std::uint64_t seed = 0;
+  double noise_sigma = 0.0;
+  int ranks = 0;
+  int nodes = 0;
+
+  // -- Repetition statistics (simulated seconds) ---------------------------
+  Summary makespan;          ///< max rank clock per rep
+  double max_avg = 0.0;      ///< the paper's headline metric (§4.5)
+  std::vector<PhaseStat> phases;
+
+  // -- Traffic and contention (per repetition unless noted) ----------------
+  std::vector<TrafficStat> traffic;
+  std::int64_t total_messages = 0;
+  std::int64_t total_bytes = 0;
+  std::vector<ResourceStat> resources;
+  std::vector<NicStat> nic;
+  std::vector<CopyStat> copies;
+  std::int64_t packs = 0;
+  std::int64_t pack_bytes = 0;
+  double pack_seconds = 0.0;
+
+  // -- Host-side execution -------------------------------------------------
+  double wall_seconds = 0.0;
+  double reps_per_second = 0.0;
+  std::vector<WorkerStat> workers;
+
+  /// Flat name -> value map mirroring the structured sections under the
+  /// registry's stable names ("msgs{path=on-node,proto=rendezvous}", ...).
+  /// Counters/gauges are per repetition; histogram entries pool all reps.
+  [[nodiscard]] JsonValue metrics_json() const;
+
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Populate a report's traffic/contention/nic/copy/pack sections from an
+/// EngineMetrics aggregate accumulated over `reps` repetitions, of which
+/// `invariant_reps` recorded the plan-invariant tier (message/byte
+/// counters, occupancies, NIC egress) and `sampled_reps` the sampled tier
+/// (queue waits, copy/pack slots) -- see Engine::set_metrics.  Counter
+/// slots divide by their tier's recording count (exact: every recording
+/// sees identical counts); noised copy/pack seconds average over the
+/// sampled recordings, and wait histograms pool every sampled
+/// acquisition.  Callers that record every slot on every repetition pass
+/// reps for both tier counts.
+void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
+                              int reps, int invariant_reps, int sampled_reps);
+
+/// Wrap reports in the versioned document envelope.
+[[nodiscard]] JsonValue make_metrics_document(
+    std::span<const RunReport> reports);
+
+}  // namespace hetcomm::obs

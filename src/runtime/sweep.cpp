@@ -25,6 +25,12 @@ double SweepReport::total_cell_seconds() const noexcept {
   return total;
 }
 
+double SweepReport::utilization() const noexcept {
+  if (workers.empty() || wall_seconds <= 0.0) return 0.0;
+  return total_cell_seconds() /
+         (wall_seconds * static_cast<double>(workers.size()));
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
 std::size_t SweepRunner::add(std::string label, std::function<void()> fn) {
@@ -55,11 +61,12 @@ SweepReport SweepRunner::run() {
   ThreadPool pool(jobs);
   pool.parallel_for(
       static_cast<std::int64_t>(cells_.size()),
-      [&](std::int64_t index, int /*worker*/) {
+      [&](std::int64_t index, int worker) {
         const auto i = static_cast<std::size_t>(index);
         const auto cell_start = Clock::now();
         cells_[i].fn();
         report.cells[i].seconds = seconds_since(cell_start);
+        report.cells[i].worker = worker;
         const std::size_t done = completed.fetch_add(1) + 1;
         if (progress != nullptr) {
           std::lock_guard<std::mutex> lock(progress_mu);
@@ -69,6 +76,19 @@ SweepReport SweepRunner::run() {
         }
       });
   report.wall_seconds = seconds_since(sweep_start);
+
+  // Fold per-cell accounting into per-worker utilization (cells record the
+  // worker that ran them, so this is a deterministic post-pass).
+  report.workers.assign(static_cast<std::size_t>(jobs), WorkerStats{});
+  for (std::size_t w = 0; w < report.workers.size(); ++w) {
+    report.workers[w].worker = static_cast<int>(w);
+  }
+  for (const CellStats& c : report.cells) {
+    if (c.worker < 0 || c.worker >= jobs) continue;
+    WorkerStats& ws = report.workers[static_cast<std::size_t>(c.worker)];
+    ++ws.cells;
+    ws.busy_seconds += c.seconds;
+  }
   return report;
 }
 

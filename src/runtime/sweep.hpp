@@ -19,6 +19,7 @@
 // bookkeeping for the common map-over-grid case.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -38,14 +39,27 @@ struct SweepOptions {
 struct CellStats {
   std::string label;
   double seconds = 0.0;
+  int worker = -1;  ///< pool worker that ran the cell (-1 = never ran)
+};
+
+/// Utilization of one pool worker over the whole sweep.
+struct WorkerStats {
+  int worker = 0;
+  std::int64_t cells = 0;      ///< cells this worker executed
+  double busy_seconds = 0.0;   ///< sum of its cells' wall times
 };
 
 struct SweepReport {
   double wall_seconds = 0.0;      ///< elapsed time for the whole sweep
   std::vector<CellStats> cells;   ///< per cell, in registration order
+  std::vector<WorkerStats> workers;  ///< per pool worker, ascending index
 
   /// Sum of per-cell times; wall_seconds times the effective parallelism.
   [[nodiscard]] double total_cell_seconds() const noexcept;
+
+  /// total_cell_seconds / (wall_seconds * workers): 1.0 = perfectly packed
+  /// workers, lower = idle tails or load imbalance.  0 when unknowable.
+  [[nodiscard]] double utilization() const noexcept;
 };
 
 class SweepRunner {

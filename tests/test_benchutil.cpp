@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "benchutil/bench_options.hpp"
 #include "benchutil/lsq.hpp"
 #include "benchutil/pingpong.hpp"
 #include "benchutil/stats.hpp"
@@ -182,6 +183,98 @@ TEST_F(PingPongTest, ValidatesArguments) {
                std::invalid_argument);
   EXPECT_THROW((void)copy_time(topo_, params_, 0, CopyDir::DeviceToHost, 10, 0),
                std::invalid_argument);
+}
+
+TEST(BenchOptions, DefaultsWhenNoFlags) {
+  const BenchOptions opts = BenchOptions::parse_tokens({});
+  EXPECT_FALSE(opts.csv);
+  EXPECT_FALSE(opts.quick);
+  EXPECT_EQ(opts.reps, -1);
+  EXPECT_EQ(opts.jobs, 0);
+  EXPECT_EQ(opts.engine, core::ExecMode::Compiled);
+  EXPECT_FALSE(opts.wants_metrics());
+}
+
+TEST(BenchOptions, ParsesEveryFlag) {
+  const BenchOptions opts = BenchOptions::parse_tokens(
+      {"--csv", "--quick", "--progress", "--reps", "12", "--jobs", "3",
+       "--seed", "99", "--engine", "interpreted", "--metrics", "out.json"},
+      nullptr, /*metrics_supported=*/true);
+  EXPECT_TRUE(opts.csv);
+  EXPECT_TRUE(opts.quick);
+  EXPECT_TRUE(opts.progress);
+  EXPECT_EQ(opts.reps, 12);
+  EXPECT_EQ(opts.jobs, 3);
+  EXPECT_EQ(opts.seed, 99u);
+  EXPECT_EQ(opts.engine, core::ExecMode::Interpreted);
+  EXPECT_TRUE(opts.wants_metrics());
+  EXPECT_EQ(opts.metrics_path, "out.json");
+}
+
+TEST(BenchOptions, MetricsAcceptsStdoutDash) {
+  const BenchOptions opts = BenchOptions::parse_tokens(
+      {"--metrics", "-"}, nullptr, /*metrics_supported=*/true);
+  EXPECT_TRUE(opts.wants_metrics());
+  EXPECT_EQ(opts.metrics_path, "-");
+}
+
+TEST(BenchOptions, MetricsRejectedWhereUnsupported) {
+  // Binaries that never build a RunReport must not swallow --metrics: a
+  // user asking for a report gets a hard error, not a silent no-op.
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--metrics", "out.json"}),
+               std::invalid_argument);
+}
+
+TEST(BenchOptions, HelpSetsFlagInsteadOfThrowing) {
+  bool help = false;
+  (void)BenchOptions::parse_tokens({"--help"}, &help);
+  EXPECT_TRUE(help);
+}
+
+TEST(BenchOptions, RejectsMalformedInput) {
+  // Unknown flags and positional garbage.
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--bogus"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"stray"}),
+               std::invalid_argument);
+  // Missing values.
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--reps"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--metrics"}, nullptr,
+                                                /*metrics_supported=*/true),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--metrics", ""}, nullptr,
+                                                /*metrics_supported=*/true),
+               std::invalid_argument);
+  // Malformed numbers.
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--reps", "zero"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--reps", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--reps", "-3"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--jobs", "1.5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--seed", "xyz"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)BenchOptions::parse_tokens({"--engine", "vectorized"}),
+               std::invalid_argument);
+}
+
+TEST(BenchOptions, SweepOptionsCarryJobsAndProgress) {
+  const BenchOptions opts =
+      BenchOptions::parse_tokens({"--jobs", "2", "--progress"});
+  const runtime::SweepOptions sopts = opts.sweep_options();
+  EXPECT_EQ(sopts.jobs, 2);
+  EXPECT_TRUE(sopts.progress);
+}
+
+TEST(WriteMetricsFile, ThrowsOnUnwritablePath) {
+  obs::RunReport report;
+  report.name = "x";
+  EXPECT_THROW(
+      write_metrics_file("/nonexistent-dir/metrics.json", {report}),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/pattern_io.hpp"
+#include "obs/json.hpp"
 
 namespace hetcomm::cli {
 namespace {
@@ -46,9 +49,19 @@ TEST(CliParse, RejectsBadInput) {
 
 TEST(CliParse, UsageMentionsAllCommands) {
   const std::string u = usage();
-  for (const char* cmd : {"compare", "advise", "model", "params", "trace"}) {
+  for (const char* cmd :
+       {"compare", "advise", "model", "params", "trace", "report"}) {
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
   }
+}
+
+TEST(CliParse, MetricsFlag) {
+  EXPECT_EQ(parse({"report"}).metrics_file, "");
+  EXPECT_EQ(parse({"report", "--metrics", "out.json"}).metrics_file,
+            "out.json");
+  EXPECT_THROW((void)parse({"report", "--metrics"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"report", "--metrics", ""}),
+               std::invalid_argument);
 }
 
 TEST(CliMachine, PresetsResolve) {
@@ -144,6 +157,37 @@ TEST_F(CliRunTest, StandinWorkload) {
   const std::string out = run_cli({"model", "--nodes", "2", "--standin",
                                    "thermal2", "--gpus", "8"});
   EXPECT_NE(out.find("s_proc"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ReportPrintsPhaseBreakdown) {
+  const std::string out = run_cli({"report", "--nodes", "2", "--reps", "3",
+                                   "--strategy", "split+MD"});
+  EXPECT_NE(out.find("phase breakdown (measured)"), std::string::npos);
+  EXPECT_NE(out.find("traffic by path class"), std::string::npos);
+  EXPECT_NE(out.find("contention by resource"), std::string::npos);
+  EXPECT_NE(out.find("makespan mean"), std::string::npos);
+  EXPECT_NE(out.find("send-port"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ReportWritesMetricsFile) {
+  const std::string path =
+      ::testing::TempDir() + "hetcomm_cli_metrics_test.json";
+  const std::string out =
+      run_cli({"report", "--nodes", "2", "--reps", "3", "--strategy",
+               "split+MD", "--metrics", path.c_str()});
+  EXPECT_NE(out.find("metrics report written"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::JsonValue::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "hetcomm.metrics.v1");
+  ASSERT_EQ(doc.at("reports").size(), 1u);
+  const obs::JsonValue& report = doc.at("reports").at(std::size_t{0});
+  EXPECT_NE(report.at("name").as_string().find("split+MD"),
+            std::string::npos);
+  EXPECT_EQ(report.at("reps").as_int(), 3);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -163,5 +163,38 @@ TEST(SweepTest, CellExceptionIsRethrown) {
   EXPECT_THROW(runner.run(), std::runtime_error);
 }
 
+TEST(SweepTest, ReportAttributesEveryCellToAWorker) {
+  SweepRunner runner(SweepOptions{3});
+  for (int i = 0; i < 8; ++i) {
+    runner.add("cell" + std::to_string(i), [] {});
+  }
+  const SweepReport report = runner.run();
+  ASSERT_EQ(report.workers.size(), 3u);
+  std::int64_t cells = 0;
+  double busy = 0.0;
+  for (std::size_t w = 0; w < report.workers.size(); ++w) {
+    EXPECT_EQ(report.workers[w].worker, static_cast<int>(w));
+    EXPECT_GE(report.workers[w].cells, 0);
+    EXPECT_GE(report.workers[w].busy_seconds, 0.0);
+    cells += report.workers[w].cells;
+    busy += report.workers[w].busy_seconds;
+  }
+  EXPECT_EQ(cells, 8);
+  EXPECT_NEAR(busy, report.total_cell_seconds(), 1e-12);
+  for (const CellStats& cell : report.cells) {
+    EXPECT_GE(cell.worker, 0);
+    EXPECT_LT(cell.worker, 3);
+  }
+  const double util = report.utilization();
+  EXPECT_GE(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+TEST(SweepTest, EmptyReportUtilizationIsZero) {
+  SweepRunner runner;
+  const SweepReport report = runner.run();
+  EXPECT_EQ(report.utilization(), 0.0);
+}
+
 }  // namespace
 }  // namespace hetcomm::runtime

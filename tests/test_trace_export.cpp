@@ -2,12 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "hetsim/engine.hpp"
+#include "obs/json.hpp"
 
 namespace hetcomm {
 namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
 
 class TraceExportTest : public ::testing::Test {
  protected:
@@ -42,17 +55,90 @@ TEST_F(TraceExportTest, ChromeTraceIsWellFormedJson) {
             std::count(out.begin(), out.end(), ']'));
 }
 
-TEST_F(TraceExportTest, ChromeTraceHasOneEventPerOperation) {
+TEST_F(TraceExportTest, ChromeTraceParsesAsStrictJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, make_trace(), topo_);
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const obs::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+  for (const obs::JsonValue& e : events.items()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string ph = e.at("ph").as_string();
+    EXPECT_TRUE(ph == "X" || ph == "M" || ph == "C") << "unexpected ph " << ph;
+    if (ph == "X") {
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+      EXPECT_GE(e.at("ts").as_double(), 0.0);
+    }
+  }
+}
+
+TEST_F(TraceExportTest, ChromeTraceHasOneDurationEventPerOperation) {
+  const Trace trace = make_trace();
+  std::ostringstream os;
+  write_chrome_trace(os, trace, topo_);
+  // Only "X" (duration) events correspond to operations; "M" metadata and
+  // "C" counter events also carry a name.
+  EXPECT_EQ(count_occurrences(os.str(), "\"ph\": \"X\""),
+            trace.messages.size() + trace.copies.size());
+}
+
+TEST_F(TraceExportTest, ChromeTraceNamesRankTracks) {
+  std::ostringstream os;
+  write_chrome_trace(os, make_trace(), topo_);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(out.find("process_name"), std::string::npos);
+  EXPECT_NE(out.find("thread_name"), std::string::npos);
+  // Rank 0 lives on node 0; the metadata should say so.
+  EXPECT_NE(out.find("rank 0 (node 0)"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, ChromeTraceEmitsCounterTracks) {
   const Trace trace = make_trace();
   std::ostringstream os;
   write_chrome_trace(os, trace, topo_);
   const std::string out = os.str();
-  std::size_t events = 0;
-  for (std::size_t pos = out.find("\"name\""); pos != std::string::npos;
-       pos = out.find("\"name\"", pos + 1)) {
-    ++events;
+  EXPECT_NE(out.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(out.find("messages in flight"), std::string::npos);
+  // The in-flight counter steps +1/-1 per message: twice per message.
+  EXPECT_EQ(count_occurrences(out, "messages in flight"),
+            2 * trace.messages.size());
+  // The cross-node eager message feeds a bytes_injected counter.
+  EXPECT_NE(out.find("bytes_injected node 0"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, InFlightCounterReturnsToZero) {
+  std::ostringstream os;
+  write_chrome_trace(os, make_trace(), topo_);
+  const obs::JsonValue doc = obs::JsonValue::parse(os.str());
+  double last = -1.0;
+  for (const obs::JsonValue& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "C") continue;
+    if (e.at("name").as_string() != "messages in flight") continue;
+    last = e.at("args").at("messages").as_double();
   }
-  EXPECT_EQ(events, trace.messages.size() + trace.copies.size());
+  EXPECT_EQ(last, 0.0);  // every message eventually completes
+}
+
+TEST_F(TraceExportTest, SingleEventTrace) {
+  Engine engine(topo_, params_, NoiseModel(1, 0.0));
+  engine.set_tracing(true);
+  engine.isend(0, 1, 64, 7, MemSpace::Host);
+  engine.irecv(1, 0, 64, 7, MemSpace::Host);
+  engine.resolve();
+  std::ostringstream chrome, gantt;
+  write_chrome_trace(chrome, engine.trace(), topo_);
+  const obs::JsonValue doc = obs::JsonValue::parse(chrome.str());
+  std::size_t x_events = 0;
+  for (const obs::JsonValue& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() == "X") ++x_events;
+  }
+  EXPECT_EQ(x_events, 1u);
+  write_ascii_gantt(gantt, engine.trace(), {60, 10});
+  EXPECT_NE(gantt.str().find('#'), std::string::npos);
+  EXPECT_EQ(gantt.str().find("more events"), std::string::npos);
 }
 
 TEST_F(TraceExportTest, AsciiGanttRendersBars) {
@@ -73,7 +159,18 @@ TEST_F(TraceExportTest, AsciiGanttTruncatesLongTraces) {
   engine.resolve();
   std::ostringstream os;
   write_ascii_gantt(os, engine.trace(), {40, 5});
-  EXPECT_NE(os.str().find("more events"), std::string::npos);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("more events"), std::string::npos);
+  // The trailer reports exactly how much was hidden: 30 rows, 5 shown.
+  EXPECT_NE(out.find("25 more events"), std::string::npos);
+  EXPECT_NE(out.find("showing 5 of 30"), std::string::npos);
+  EXPECT_NE(out.find("max_rows"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, AsciiGanttNoTrailerWhenEverythingFits) {
+  std::ostringstream os;
+  write_ascii_gantt(os, make_trace(), {60, 50});
+  EXPECT_EQ(os.str().find("more events"), std::string::npos);
 }
 
 TEST_F(TraceExportTest, EmptyTraceHandled) {
@@ -82,6 +179,11 @@ TEST_F(TraceExportTest, EmptyTraceHandled) {
   EXPECT_NE(gantt.str().find("empty"), std::string::npos);
   write_chrome_trace(chrome, Trace{}, topo_);
   EXPECT_NE(chrome.str().find("traceEvents"), std::string::npos);
+  // Still strict JSON, with the process/thread metadata but no X/C events.
+  const obs::JsonValue doc = obs::JsonValue::parse(chrome.str());
+  for (const obs::JsonValue& e : doc.at("traceEvents").items()) {
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Validator for hetcomm.metrics.v1 run-report files.
+//
+// Usage: validate_metrics FILE...
+//
+// Parses each file with the strict obs JSON parser and checks the schema
+// contract that CI and downstream analysis scripts rely on: schema tag,
+// non-empty reports array, required identity/summary fields, internally
+// consistent traffic totals, and phase shares that cover the makespan.
+// Exits non-zero with a one-line diagnostic on the first violation so a
+// malformed perf-smoke artifact fails the pipeline instead of uploading.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+
+namespace {
+
+using hetcomm::obs::JsonValue;
+
+[[noreturn]] void fail(const std::string& file, const std::string& what) {
+  throw std::runtime_error(file + ": " + what);
+}
+
+const JsonValue& require(const std::string& file, const JsonValue& obj,
+                         const std::string& key, JsonValue::Kind kind) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != kind) fail(file, "field \"" + key + "\" has wrong type");
+  return *v;
+}
+
+const JsonValue& require_number(const std::string& file, const JsonValue& obj,
+                                const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != JsonValue::Kind::Int &&
+      v->kind() != JsonValue::Kind::Double) {
+    fail(file, "field \"" + key + "\" is not a number");
+  }
+  return *v;
+}
+
+void check_summary(const std::string& file, const JsonValue& s,
+                   const std::string& where) {
+  for (const char* key : {"count", "mean", "p50", "p99", "min", "max"}) {
+    if (s.find(key) == nullptr || (s.find(key)->kind() != JsonValue::Kind::Int &&
+                                   s.find(key)->kind() != JsonValue::Kind::Double)) {
+      fail(file, where + ": summary missing numeric \"" + std::string(key) + "\"");
+    }
+  }
+}
+
+void check_report(const std::string& file, const JsonValue& report) {
+  const std::string name =
+      require(file, report, "name", JsonValue::Kind::String).as_string();
+  const std::string where = "report \"" + name + "\"";
+  require(file, report, "engine", JsonValue::Kind::String);
+  for (const char* key : {"reps", "jobs", "seed", "ranks", "nodes"}) {
+    require_number(file, report, key);
+  }
+  if (require(file, report, "reps", JsonValue::Kind::Int).as_int() <= 0) {
+    fail(file, where + ": reps must be positive");
+  }
+  check_summary(file, require(file, report, "makespan", JsonValue::Kind::Object),
+                where + " makespan");
+
+  // Phase shares must decompose (approximately all of) the makespan.
+  const JsonValue& phases =
+      require(file, report, "phases", JsonValue::Kind::Array);
+  double share = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const JsonValue& p = phases.at(i);
+    require_number(file, p, "phase");
+    check_summary(file, require(file, p, "makespan", JsonValue::Kind::Object),
+                  where + " phase makespan");
+    // "share" is a double, but a value like exactly 1.0 (single-phase
+    // report) serializes without a fraction and parses back as Int --
+    // JSON has one number type, so accept either kind and promote.
+    share += require_number(file, p, "share").as_double();
+  }
+  if (phases.size() > 0 && (share < 0.999 || share > 1.001)) {
+    std::ostringstream os;
+    os << where << ": phase shares sum to " << share << ", expected ~1";
+    fail(file, os.str());
+  }
+
+  // Traffic rows must agree with the report's own totals.
+  const JsonValue& traffic =
+      require(file, report, "traffic", JsonValue::Kind::Array);
+  const JsonValue& totals =
+      require(file, report, "totals", JsonValue::Kind::Object);
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const JsonValue& t = traffic.at(i);
+    require(file, t, "path", JsonValue::Kind::String);
+    require(file, t, "proto", JsonValue::Kind::String);
+    msgs += require(file, t, "messages", JsonValue::Kind::Int).as_int();
+    bytes += require(file, t, "bytes", JsonValue::Kind::Int).as_int();
+  }
+  if (msgs != require(file, totals, "messages", JsonValue::Kind::Int).as_int()) {
+    fail(file, where + ": traffic messages do not sum to totals.messages");
+  }
+  if (bytes != require(file, totals, "bytes", JsonValue::Kind::Int).as_int()) {
+    fail(file, where + ": traffic bytes do not sum to totals.bytes");
+  }
+
+  require(file, report, "contention", JsonValue::Kind::Array);
+  require(file, report, "metrics", JsonValue::Kind::Object);
+}
+
+void validate_file(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) fail(file, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  const std::string schema =
+      require(file, doc, "schema", JsonValue::Kind::String).as_string();
+  if (schema != hetcomm::obs::kMetricsSchema) {
+    fail(file, "unexpected schema \"" + schema + "\"");
+  }
+  const JsonValue& reports =
+      require(file, doc, "reports", JsonValue::Kind::Array);
+  if (reports.size() == 0) fail(file, "reports array is empty");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    check_report(file, reports.at(i));
+  }
+  std::cout << file << ": OK (" << reports.size() << " report"
+            << (reports.size() == 1 ? "" : "s") << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_metrics FILE...\n";
+    return 2;
+  }
+  try {
+    for (int i = 1; i < argc; ++i) validate_file(argv[i]);
+  } catch (const std::exception& e) {
+    std::cerr << "validate_metrics: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
