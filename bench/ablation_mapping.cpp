@@ -15,6 +15,7 @@
 #include "core/executor.hpp"
 #include "core/mapping.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
@@ -22,15 +23,18 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const int gpus = opts.quick ? 32 : 64;
-  const Topology topo(presets::lassen(gpus / 4));
+  const Topology topo = mach.topology(mach.nodes_for_gpus(gpus));
 
-  // Teams of 4 GPUs exchange heavy coupling data; the allocator scattered
-  // each team across nodes (round-robin placement).  Light background
-  // traffic connects everyone.
+  // Node-sized GPU teams exchange heavy coupling data; the allocator
+  // scattered each team across nodes (round-robin placement).  Light
+  // background traffic connects everyone.
   std::vector<int> team_of(static_cast<std::size_t>(gpus));
-  for (int g = 0; g < gpus; ++g) team_of[static_cast<std::size_t>(g)] = g % (gpus / 4);
+  for (int g = 0; g < gpus; ++g) {
+    team_of[static_cast<std::size_t>(g)] = g % topo.num_nodes();
+  }
   CommPattern pattern(gpus);
   for (int a = 0; a < gpus; ++a) {
     for (int b = 0; b < gpus; ++b) {

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "core/neighborhood.hpp"
+#include "machine/machine.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -19,9 +20,10 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const int gpus = opts.quick ? 32 : 64;
-  const Topology topo(presets::lassen(gpus / 4));
+  const Topology topo = mach.topology(mach.nodes_for_gpus(gpus));
 
   const double scale = opts.quick ? 0.004 : 0.008;
   const sparse::CsrMatrix matrix = sparse::generate_standin(

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/reorder.hpp"
@@ -24,9 +25,10 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const int gpus = opts.quick ? 32 : 64;
-  const Topology topo(presets::lassen(gpus / 4));
+  const Topology topo = mach.topology(mach.nodes_for_gpus(gpus));
   const std::int64_t n = opts.quick ? 4000 : 12000;
 
   // A banded FEM matrix whose natural order was lost (e.g. arbitrary mesh

@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
@@ -39,9 +40,10 @@ double measure_with_taper(const CommPlan& plan, const Topology& topo,
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const int gpus = opts.quick ? 64 : 128;  // 16 / 32 nodes => 4 / 8 pods
-  const Topology topo(presets::lassen(gpus / 4));
+  const Topology topo = mach.topology(mach.nodes_for_gpus(gpus));
 
   // Bandwidth-bound cross-pod shuffle: every GPU ships a bulk block to one
   // GPU in each *other* pod (spectral/FFT-transpose-like traffic).  This is

@@ -12,6 +12,7 @@
 #include "core/advisor.hpp"
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "sparse/coarsen.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/generators.hpp"
@@ -22,9 +23,10 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const int gpus = opts.quick ? 32 : 64;
-  const Topology topo(presets::lassen(gpus / 4));
+  const Topology topo = mach.topology(mach.nodes_for_gpus(gpus));
 
   const std::int64_t n = opts.quick ? 20000 : 60000;
   const sparse::CsrMatrix fine =

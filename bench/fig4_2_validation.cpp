@@ -14,6 +14,7 @@
 #include "core/models/strategy_models.hpp"
 #include "core/strategy.hpp"
 #include "runtime/sweep.hpp"
+#include "machine/machine.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -23,7 +24,8 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const double scale = opts.quick ? 0.005 : 0.02;
   // Volume-preserving scaling: the stand-in has scale*n rows for
   // tractability; multiplying the per-value payload by 1/scale restores the
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
       grid,
       [&](const Cell& cell) {
         const int g = gpu_counts[cell.gi];
-        const Topology topo(presets::lassen(g / 4));
+        const Topology topo = mach.topology(mach.nodes_for_gpus(g));
         const sparse::RowPartition part =
             sparse::RowPartition::contiguous(matrix.rows(), g);
         const CommPattern pattern =

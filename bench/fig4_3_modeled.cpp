@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
+#include "machine/machine.hpp"
 #include "runtime/sweep.hpp"
 
 using namespace hetcomm;
@@ -48,8 +49,9 @@ struct Block {
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
-  const Topology topo(presets::lassen(17));  // 1 sender + 16 receivers
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
+  const Topology topo = mach.topology(17);  // 1 sender + 16 receivers
 
   const std::vector<long long> sizes =
       opts.quick ? pow2_sizes(16, 1 << 16) : pow2_sizes(1, 1 << 20);

@@ -17,6 +17,7 @@
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
 #include "runtime/sweep.hpp"
+#include "machine/machine.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
 
@@ -26,7 +27,8 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
   const double scale = opts.quick ? 0.004 : 0.015;
   // Volume-preserving scaling: the stand-in has scale*n rows for
   // tractability; multiplying the per-value payload by 1/scale restores the
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
         grid,
         [&](const Cell& cell) {
           const int g = gpu_counts[cell.gi];
-          const Topology topo(presets::lassen(g / 4));
+          const Topology topo = mach.topology(mach.nodes_for_gpus(g));
           const sparse::RowPartition part =
               sparse::RowPartition::contiguous(matrix.rows(), g);
           const CommPattern pattern =

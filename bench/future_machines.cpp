@@ -13,6 +13,7 @@
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "runtime/sweep.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/suitesparse_profiles.hpp"
@@ -23,12 +24,6 @@ using namespace hetcomm::core;
 
 namespace {
 
-struct MachineCase {
-  std::string name;
-  MachineShape shape;  // per node; node count set per experiment
-  ParamSet params;
-};
-
 const std::vector<StrategyKind> kKinds = {
     StrategyKind::Standard, StrategyKind::ThreeStep, StrategyKind::TwoStep,
     StrategyKind::SplitMD, StrategyKind::SplitDD};
@@ -38,10 +33,13 @@ const std::vector<StrategyKind> kKinds = {
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
 
-  const std::vector<MachineCase> machines = {
-      {"Lassen", presets::lassen(1), lassen_params()},
-      {"Frontier-like", presets::frontier(1), frontier_params()},
-      {"Delta-like", presets::delta(1), delta_params()},
+  // Machine descriptions are data now: the same rows could be loaded from
+  // machines/*.json without recompiling this driver.
+  const std::vector<machine::MachineModel> machines = {
+      machine::lassen_machine(),
+      machine::frontier_machine(),
+      machine::delta_machine(),
+      machine::nvisland_machine(),
   };
   const std::vector<long long> sizes =
       opts.quick ? pow2_sizes(64, 1 << 14) : pow2_sizes(16, 1 << 18);
@@ -51,10 +49,8 @@ int main(int argc, char** argv) {
   using Rows = std::vector<std::vector<std::string>>;
   const std::vector<Rows> modeled = runtime::sweep(
       machines,
-      [&](const MachineCase& mc) {
-        MachineShape shape = mc.shape;
-        shape.num_nodes = 17;
-        const Topology topo(shape);
+      [&](const machine::MachineModel& mc) {
+        const Topology topo = mc.topology(17);
 
         models::Scenario sc;
         sc.num_dest_nodes = 16;
@@ -118,10 +114,8 @@ int main(int argc, char** argv) {
   const std::vector<double> measured = runtime::sweep(
       grid,
       [&](const Cell& cell) {
-        const MachineCase& mc = machines[cell.mi];
-        MachineShape shape = mc.shape;
-        shape.num_nodes = 16;
-        const Topology topo(shape);
+        const machine::MachineModel& mc = machines[cell.mi];
+        const Topology topo = mc.topology(16);
         const sparse::RowPartition part =
             sparse::RowPartition::contiguous(matrix.rows(), topo.num_gpus());
         const CommPattern pattern =

@@ -16,6 +16,7 @@
 #include "core/executor.hpp"
 #include "core/models/strategy_models.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/suitesparse_profiles.hpp"
@@ -26,8 +27,9 @@ using namespace hetcomm;
 using namespace hetcomm::core;
 
 void BM_EngineMessageThroughput(benchmark::State& state) {
-  const Topology topo(presets::lassen(4));
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(4);
+  const ParamSet& params = mach.params;
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     Engine engine(topo, params, NoiseModel(1, 0.0));
@@ -56,8 +58,9 @@ void BM_SpmvPatternExtraction(benchmark::State& state) {
 BENCHMARK(BM_SpmvPatternExtraction)->Arg(10000)->Arg(100000);
 
 void BM_PlanConstruction(benchmark::State& state) {
-  const Topology topo(presets::lassen(8));
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(8);
+  const ParamSet& params = mach.params;
   const CommPattern pattern = random_pattern(topo, 16, 8192, 5);
   const StrategyConfig cfg{static_cast<StrategyKind>(state.range(0)),
                            MemSpace::Host};
@@ -73,8 +76,9 @@ BENCHMARK(BM_PlanConstruction)
     ->Arg(static_cast<int>(StrategyKind::SplitDD));
 
 void BM_ModelEvaluation(benchmark::State& state) {
-  const Topology topo(presets::lassen(8));
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(8);
+  const ParamSet& params = mach.params;
   const CommPattern pattern = random_pattern(topo, 16, 8192, 5);
   const PatternStats st = compute_stats(pattern, topo);
   for (auto _ : state) {
@@ -86,8 +90,9 @@ void BM_ModelEvaluation(benchmark::State& state) {
 BENCHMARK(BM_ModelEvaluation);
 
 void BM_MeasureFullStrategy(benchmark::State& state) {
-  const Topology topo(presets::lassen(4));
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(4);
+  const ParamSet& params = mach.params;
   const CommPattern pattern = random_pattern(topo, 32, 4096, 9);
   const CommPlan plan = build_plan(pattern, topo, params,
                                    {StrategyKind::SplitMD, MemSpace::Host});
@@ -105,8 +110,9 @@ BENCHMARK(BM_MeasureFullStrategy);
 // reps/sec so regressions in the sweep runtime show up over time.
 
 struct AudikwFixture {
-  Topology topo{presets::lassen(4)};
-  ParamSet params = lassen_params();
+  machine::MachineModel mach = machine::lassen_machine();
+  Topology topo = mach.topology(4);
+  ParamSet params = mach.params;
   CommPlan plan;
 
   AudikwFixture() {
@@ -181,8 +187,9 @@ BENCHMARK(BM_DesThroughputMeasureJobs)
 // the per-repetition work differs.
 
 struct Fig51Fixture {
-  Topology topo{presets::lassen(4)};
-  ParamSet params = lassen_params();
+  machine::MachineModel mach = machine::lassen_machine();
+  Topology topo = mach.topology(4);
+  ParamSet params = mach.params;
   CommPlan plan;
 
   Fig51Fixture() {

@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "runtime/sweep.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/generators.hpp"
@@ -21,7 +22,8 @@ using namespace hetcomm::core;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
 
   const std::int64_t rows_per_gpu = opts.quick ? 400 : 800;
   MeasureOptions mopts;
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
   const std::vector<RowResult> rows = runtime::sweep(
       node_counts,
       [&](const int nodes) {
-        const Topology topo(presets::lassen(nodes));
+        const Topology topo = mach.topology(nodes);
         const int gpus = topo.num_gpus();
         const std::int64_t n = rows_per_gpu * gpus;
         // Fixed-width band (constant per-GPU halo) plus an arrow head whose

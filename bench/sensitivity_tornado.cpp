@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
+#include "machine/machine.hpp"
 #include "runtime/sweep.hpp"
 
 using namespace hetcomm;
@@ -78,7 +79,8 @@ std::vector<Knob> knobs() {
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const Topology topo(presets::lassen(17));
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(17);
 
   models::Scenario sc;
   sc.num_dest_nodes = 16;
@@ -94,7 +96,7 @@ int main(int argc, char** argv) {
     return split / standard;  // < 1 means split wins
   };
 
-  const double base = ratio_for(lassen_params());
+  const double base = ratio_for(mach.params);
   std::cout << "Scenario: 256 msgs x 2 KiB to 16 nodes.  split+MD/standard\n"
             << "predicted-time ratio at calibrated Lassen parameters: "
             << Table::num(base, 3) << " (<1 means split wins)\n";
@@ -108,9 +110,9 @@ int main(int argc, char** argv) {
   const std::vector<Swing> swings = runtime::sweep(
       ks,
       [&](const Knob& knob) {
-        ParamSet lo = lassen_params();
+        ParamSet lo = mach.params;
         knob.scale(lo, 0.5);
-        ParamSet hi = lassen_params();
+        ParamSet hi = mach.params;
         knob.scale(hi, 2.0);
         return Swing{ratio_for(lo), ratio_for(hi)};
       },

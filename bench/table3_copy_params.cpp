@@ -7,14 +7,16 @@
 #include "bench_common.hpp"
 #include "benchutil/lsq.hpp"
 #include "benchutil/pingpong.hpp"
+#include "machine/machine.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const Topology topo(presets::lassen(1));
-  const ParamSet params = lassen_params();
+  const machine::MachineModel mach = machine::lassen_machine();
+  const Topology topo = mach.topology(1);
+  const ParamSet& params = mach.params;
 
   MeasureOpts mopts;
   mopts.iterations = opts.reps > 0 ? opts.reps : (opts.quick ? 20 : 1000);

@@ -9,6 +9,7 @@
 #include "core/models/scenario.hpp"
 #include "core/models/strategy_models.hpp"
 #include "core/models/submodels.hpp"
+#include "machine/machine.hpp"
 
 using namespace hetcomm;
 using namespace hetcomm::benchutil;
@@ -17,8 +18,9 @@ using namespace hetcomm::core::models;
 
 int main(int argc, char** argv) {
   const BenchOptions opts = BenchOptions::parse(argc, argv);
-  const ParamSet params = lassen_params();
-  const Topology topo(presets::lassen(17));
+  const machine::MachineModel mach = machine::lassen_machine();
+  const ParamSet& params = mach.params;
+  const Topology topo = mach.topology(17);
 
   Scenario sc;
   sc.num_dest_nodes = 16;

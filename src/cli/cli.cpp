@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +15,7 @@
 #include "core/pattern_io.hpp"
 #include "core/strategy.hpp"
 #include "hetsim/engine.hpp"
+#include "machine/machine_json.hpp"
 #include "runtime/sweep.hpp"
 #include "hetsim/trace_export.hpp"
 #include "sparse/comm_graph.hpp"
@@ -49,7 +51,11 @@ double to_double(const std::string& v, const char* flag) {
 std::string usage() {
   return
       "usage: hetcomm <compare|advise|model|params|trace|report> [flags]\n"
-      "  --machine lassen|summit|frontier|delta   (default lassen)\n"
+      "       hetcomm machine <list|describe|export|validate> [flags]\n"
+      "  --machine NAME|FILE.json   preset (lassen summit frontier delta\n"
+      "                             nvisland) or hetcomm.machine.v1 file\n"
+      "                             (default lassen)\n"
+      "  --out FILE           for `machine export` (default: stdout)\n"
       "  --nodes N            machine size          (default 8)\n"
       "  --pattern F.pattern | --matrix F.mtx | --standin NAME\n"
       "  --gpus N             partition width for matrix inputs\n"
@@ -68,11 +74,28 @@ Options Options::parse(const std::vector<std::string>& args) {
   opts.command = args[0];
   if (opts.command != "compare" && opts.command != "advise" &&
       opts.command != "model" && opts.command != "params" &&
-      opts.command != "trace" && opts.command != "report") {
+      opts.command != "trace" && opts.command != "report" &&
+      opts.command != "machine") {
     throw std::invalid_argument("unknown command '" + opts.command + "'\n" +
                                 usage());
   }
-  for (std::size_t i = 1; i < args.size(); ++i) {
+  std::size_t first_flag = 1;
+  if (opts.command == "machine") {
+    if (args.size() < 2) {
+      throw std::invalid_argument(
+          "machine: missing action (list|describe|export|validate)\n" +
+          usage());
+    }
+    opts.action = args[1];
+    if (opts.action != "list" && opts.action != "describe" &&
+        opts.action != "export" && opts.action != "validate") {
+      throw std::invalid_argument("machine: unknown action '" + opts.action +
+                                  "' (list|describe|export|validate)\n" +
+                                  usage());
+    }
+    first_flag = 2;
+  }
+  for (std::size_t i = first_flag; i < args.size(); ++i) {
     const std::string& flag = args[i];
     auto value = [&]() -> const std::string& {
       if (i + 1 >= args.size()) {
@@ -82,6 +105,8 @@ Options Options::parse(const std::vector<std::string>& args) {
     };
     if (flag == "--machine") {
       opts.machine = value();
+    } else if (flag == "--out") {
+      opts.out_file = value();
     } else if (flag == "--nodes") {
       opts.nodes = static_cast<int>(to_int(value(), "--nodes"));
     } else if (flag == "--pattern") {
@@ -128,21 +153,18 @@ Options Options::parse(const std::vector<std::string>& args) {
   return opts;
 }
 
+machine::MachineModel make_machine(const Options& opts) {
+  // One strict lookup for topology and parameters alike: an unknown name
+  // is an error here, never a silent fallback to the Lassen calibration.
+  return machine::resolve_machine(opts.machine);
+}
+
 Topology make_topology(const Options& opts) {
-  if (opts.machine == "lassen") return Topology(presets::lassen(opts.nodes));
-  if (opts.machine == "summit") return Topology(presets::summit(opts.nodes));
-  if (opts.machine == "frontier") {
-    return Topology(presets::frontier(opts.nodes));
-  }
-  if (opts.machine == "delta") return Topology(presets::delta(opts.nodes));
-  throw std::invalid_argument("unknown machine '" + opts.machine + "'");
+  return make_machine(opts).topology(opts.nodes);
 }
 
 ParamSet make_params(const Options& opts) {
-  if (opts.machine == "frontier") return frontier_params();
-  if (opts.machine == "delta") return delta_params();
-  // The paper treats Lassen and Summit as equivalent under Spectrum MPI.
-  return lassen_params();
+  return make_machine(opts).params;
 }
 
 core::CommPattern make_workload(const Options& opts, const Topology& topo) {
@@ -207,8 +229,9 @@ core::MeasureOptions measure_options(const Options& opts,
 }
 
 int cmd_compare(const Options& opts, std::ostream& os) {
-  const Topology topo = make_topology(opts);
-  const ParamSet params = make_params(opts);
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const ParamSet& params = mach.params;
   const core::CommPattern pattern = make_workload(opts, topo);
   const core::MeasureOptions mopts = measure_options(opts, topo);
 
@@ -238,14 +261,15 @@ int cmd_compare(const Options& opts, std::ostream& os) {
                    std::to_string(r.summary.internode_bytes),
                    Table::num(r.time / best, 2)});
   }
-  emit(opts, os, table, "strategy comparison (" + opts.machine + ", " +
+  emit(opts, os, table, "strategy comparison (" + mach.name + ", " +
                             std::to_string(opts.nodes) + " nodes)");
   return 0;
 }
 
 int cmd_advise(const Options& opts, std::ostream& os) {
-  const Topology topo = make_topology(opts);
-  const core::Advisor advisor(topo, make_params(opts));
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const core::Advisor advisor(topo, mach.params);
   const core::CommPattern pattern = make_workload(opts, topo);
   Table table({"rank", "strategy", "predicted [s]", "relative"});
   int rank = 1;
@@ -258,8 +282,9 @@ int cmd_advise(const Options& opts, std::ostream& os) {
 }
 
 int cmd_model(const Options& opts, std::ostream& os) {
-  const Topology topo = make_topology(opts);
-  const ParamSet params = make_params(opts);
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const ParamSet& params = mach.params;
   const core::CommPattern pattern = make_workload(opts, topo);
   const core::PatternStats st = core::compute_stats(pattern, topo);
   Table stats_table({"Table 7 statistic", "value"});
@@ -297,11 +322,11 @@ int cmd_params(const Options& opts, std::ostream& os) {
     for (const Protocol proto :
          {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
       if (space == MemSpace::Device && proto == Protocol::Short) continue;
-      for (const PathClass path :
-           {PathClass::OnSocket, PathClass::OnNode, PathClass::OffNode}) {
+      for (int path = 0; path < params.taxonomy.num_classes(); ++path) {
         const PostalParams& pp = params.messages.get(space, proto, path);
-        table.add_row({to_string(space), to_string(proto), to_string(path),
-                       Table::sci(pp.alpha), Table::sci(pp.beta)});
+        table.add_row({to_string(space), to_string(proto),
+                       params.taxonomy.cls(path).name, Table::sci(pp.alpha),
+                       Table::sci(pp.beta)});
       }
     }
   }
@@ -322,8 +347,9 @@ int cmd_params(const Options& opts, std::ostream& os) {
 }
 
 int cmd_trace(const Options& opts, std::ostream& os) {
-  const Topology topo = make_topology(opts);
-  const ParamSet params = make_params(opts);
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const ParamSet& params = mach.params;
   const core::CommPattern pattern = make_workload(opts, topo);
   const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
   const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
@@ -345,8 +371,9 @@ int cmd_trace(const Options& opts, std::ostream& os) {
 // phase of one strategy's plan spends the makespan, what traffic each path
 // class carries, and where transfers queue.
 int cmd_report(const Options& opts, std::ostream& os) {
-  const Topology topo = make_topology(opts);
-  const ParamSet params = make_params(opts);
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const ParamSet& params = mach.params;
   const core::CommPattern pattern = make_workload(opts, topo);
   const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
   const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
@@ -356,7 +383,7 @@ int cmd_report(const Options& opts, std::ostream& os) {
   mopts.collect_metrics = true;
   core::MeasureResult result = core::measure(plan, topo, params, mopts);
   obs::RunReport& report = *result.metrics;
-  report.name = cfg.name() + " (" + opts.machine + ", " +
+  report.name = cfg.name() + " (" + mach.name + ", " +
                 std::to_string(opts.nodes) + " nodes)";
 
   os << "strategy: " << cfg.name() << ", " << report.reps
@@ -406,6 +433,82 @@ int cmd_report(const Options& opts, std::ostream& os) {
   return 0;
 }
 
+std::string predicate_str(std::int8_t v) {
+  if (v < 0) return "*";
+  return v ? "yes" : "no";
+}
+
+int cmd_machine(const Options& opts, std::ostream& os) {
+  if (opts.action == "list") {
+    Table table({"machine", "shape", "paths", "description"});
+    for (const std::string& name : machine::preset_machine_names()) {
+      const machine::MachineModel m = machine::preset_machine(name);
+      table.add_row({m.name,
+                     std::to_string(m.node.sockets_per_node) + "s x " +
+                         std::to_string(m.node.gpus_per_socket) + "g x " +
+                         std::to_string(m.node.cores_per_socket) + "c",
+                     std::to_string(m.params.taxonomy.num_classes()),
+                     m.description});
+    }
+    emit(opts, os, table, "machine presets (--machine also takes FILE.json)");
+    return 0;
+  }
+  if (opts.action == "describe") {
+    const machine::MachineModel m = make_machine(opts);
+    os << "machine: " << m.name << "\n";
+    if (!m.description.empty()) os << "  " << m.description << "\n";
+    os << "node shape: " << m.node.sockets_per_node << " sockets x "
+       << m.node.gpus_per_socket << " GPUs x " << m.node.cores_per_socket
+       << " cores; " << m.params.injection.nics_per_node
+       << " NIC lane(s) per node\n";
+    os << "thresholds: short <= " << m.params.thresholds.short_max
+       << " B, eager <= " << m.params.thresholds.eager_max << " B\n";
+    Table classes({"id", "path class", "locality"});
+    for (int c = 0; c < m.params.taxonomy.num_classes(); ++c) {
+      const PathClassDef& def = m.params.taxonomy.cls(c);
+      classes.add_row(
+          {std::to_string(c), def.name, to_string(def.locality)});
+    }
+    emit(opts, os, classes, "path classes");
+    Table rules({"#", "same node", "same socket", "both GPU owners", "path"});
+    int idx = 0;
+    for (const PathRule& r : m.params.taxonomy.rules()) {
+      rules.add_row({std::to_string(idx++), predicate_str(r.same_node),
+                     predicate_str(r.same_socket),
+                     predicate_str(r.both_gpu_owners),
+                     m.params.taxonomy.cls(r.path).name});
+    }
+    emit(opts, os, rules, "placement -> path rules (first match wins)");
+    return 0;
+  }
+  if (opts.action == "export") {
+    const machine::MachineModel m = make_machine(opts);
+    const obs::JsonValue doc = machine::to_json(m);
+    if (opts.out_file.empty()) {
+      doc.dump(os);
+      os << "\n";
+    } else {
+      std::ofstream out(opts.out_file);
+      if (!out) {
+        throw std::runtime_error("machine export: cannot open " +
+                                 opts.out_file);
+      }
+      doc.dump(out);
+      out << "\n";
+      os << "machine '" << m.name << "' written to " << opts.out_file << "\n";
+    }
+    return 0;
+  }
+  if (opts.action == "validate") {
+    const machine::MachineModel m = make_machine(opts);
+    m.validate();
+    os << "machine '" << m.name << "' ("
+       << m.params.taxonomy.num_classes() << " path classes): OK\n";
+    return 0;
+  }
+  throw std::logic_error("unreachable machine action");
+}
+
 }  // namespace
 
 int run(const Options& opts, std::ostream& os) {
@@ -415,6 +518,7 @@ int run(const Options& opts, std::ostream& os) {
   if (opts.command == "params") return cmd_params(opts, os);
   if (opts.command == "trace") return cmd_trace(opts, os);
   if (opts.command == "report") return cmd_report(opts, os);
+  if (opts.command == "machine") return cmd_machine(opts, os);
   throw std::logic_error("unreachable command");
 }
 

@@ -10,9 +10,13 @@
 //   report   measure one strategy with metrics and print the per-phase /
 //            per-path / contention breakdown (optionally write the
 //            hetcomm.metrics.v1 JSON with --metrics FILE)
+//   machine  list/describe/export/validate machine descriptions
+//            (hetcomm.machine.v1, see docs/machines.md)
 //
 // Common flags:
-//   --machine lassen|summit|frontier|delta   (default lassen)
+//   --machine NAME|FILE.json                 (default lassen; presets:
+//                                            lassen summit frontier delta
+//                                            nvisland)
 //   --nodes N                                (default 8)
 //   --pattern FILE.pattern | --matrix FILE.mtx | --standin NAME
 //   --gpus N          partition width for matrix inputs (default all GPUs)
@@ -29,12 +33,15 @@
 #include "core/comm_pattern.hpp"
 #include "hetsim/params.hpp"
 #include "hetsim/topology.hpp"
+#include "machine/machine.hpp"
 
 namespace hetcomm::cli {
 
 struct Options {
   std::string command;
+  std::string action;  ///< `machine` subcommand action (list/describe/...)
   std::string machine = "lassen";
+  std::string out_file;  ///< `machine export`: output path ("" = stdout)
   int nodes = 8;
   std::string pattern_file;
   std::string matrix_file;
@@ -53,7 +60,13 @@ struct Options {
   static Options parse(const std::vector<std::string>& args);
 };
 
-/// Resolve the machine preset named in the options.
+/// Resolve --machine: a preset name or a hetcomm.machine.v1 JSON file.
+/// The single machine lookup every subcommand shares; unknown names throw
+/// std::invalid_argument (the hetcomm binary exits 2 with the message).
+[[nodiscard]] machine::MachineModel make_machine(const Options& opts);
+
+/// Convenience projections of make_machine (kept for callers that only
+/// need one half; both resolve through the same strict lookup).
 [[nodiscard]] Topology make_topology(const Options& opts);
 [[nodiscard]] ParamSet make_params(const Options& opts);
 

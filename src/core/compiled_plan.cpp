@@ -26,8 +26,11 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
                            const ParamSet& params)
     : num_ranks_(topo.num_ranks()),
       num_gpus_(topo.num_gpus()),
-      num_nodes_(topo.num_nodes()) {
+      num_nodes_(topo.num_nodes()),
+      num_paths_(params.taxonomy.num_classes()),
+      nic_lanes_(params.injection.nics_per_node) {
   params.validate();
+  const PathTable paths(topo, params.taxonomy);
   phases_.reserve(plan.phases.size());
   std::vector<int> recv_depth(static_cast<std::size_t>(num_ranks_), 0);
 
@@ -49,9 +52,11 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
           msg.src = op.src_rank;
           msg.dst = op.dst_rank;
           msg.bytes = op.bytes;
-          const PathClass path = topo.classify(op.src_rank, op.dst_rank);
+          const std::uint8_t path_id = paths.path_of(op.src_rank, op.dst_rank);
+          const PathClass path = paths.locality_of(path_id);
           const Protocol proto = params.thresholds.select(op.space, op.bytes);
-          const PostalParams& pp = params.messages.get(op.space, proto, path);
+          const PostalParams& pp =
+              params.messages.get(op.space, proto, path_id);
           // Exactly the interpreter's expressions, term order included, so
           // the precomputed doubles are bit-equal to what resolve() derives
           // per repetition.
@@ -66,6 +71,10 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
                                         : params.injection.inv_rate_gpu;
             msg.src_node = topo.node_of_rank(op.src_rank);
             msg.dst_node = topo.node_of_rank(op.dst_rank);
+            msg.src_nic =
+                params.injection.nic_of(topo.rank_location(op.src_rank));
+            msg.dst_nic =
+                params.injection.nic_of(topo.rank_location(op.dst_rank));
             msg.nic_occupancy =
                 inv_rate * size + params.overheads.nic_message_overhead;
             out.network_bytes += op.bytes;
@@ -75,7 +84,7 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
               {StepKind::Message,
                static_cast<std::uint32_t>(out.messages.size())});
           out.messages.push_back(msg);
-          out.message_meta.push_back({op.tag, op.space, proto, path});
+          out.message_meta.push_back({op.tag, op.space, proto, path_id, path});
           ++recv_depth[static_cast<std::size_t>(op.dst_rank)];
           break;
         }
@@ -171,7 +180,9 @@ namespace hetcomm {
 void Engine::execute(const core::CompiledPlan& plan) {
   if (plan.num_ranks() != topo_.num_ranks() ||
       plan.num_gpus() != topo_.num_gpus() ||
-      plan.num_nodes() != topo_.num_nodes()) {
+      plan.num_nodes() != topo_.num_nodes() ||
+      plan.num_paths() != paths_.num_classes() ||
+      plan.nic_lanes() != params_.injection.nics_per_node) {
     throw std::invalid_argument(
         "Engine::execute: plan compiled for a different machine shape");
   }
@@ -272,7 +283,7 @@ void Engine::execute(const core::CompiledPlan& plan) {
       double t = send_port_[msg.src].acquire(ready, msg.send_occupancy);
       if (metrics_inv_) {
         const core::CompiledPhase::MessageMeta& meta = phase.message_meta[i];
-        metrics_inv_->on_message(meta.path, meta.protocol, msg.bytes);
+        metrics_inv_->on_message(meta.path_id, meta.protocol, msg.bytes);
         metrics_inv_->on_occupancy(obs::SimResource::SendPort,
                                    msg.send_occupancy);
       }
@@ -280,8 +291,8 @@ void Engine::execute(const core::CompiledPlan& plan) {
         metrics_smp_->on_wait(obs::SimResource::SendPort, ready, t);
       }
       if (msg.off_node) {
-        const double t_out = nic_out_[msg.src_node].acquire(t,
-                                                            msg.nic_occupancy);
+        const double t_out = nic_out_[msg.src_nic].acquire(t,
+                                                           msg.nic_occupancy);
         if (metrics_inv_) {
           metrics_inv_->on_occupancy(obs::SimResource::NicOut,
                                      msg.nic_occupancy);
@@ -301,8 +312,8 @@ void Engine::execute(const core::CompiledPlan& plan) {
           }
           t = t_fab;
         }
-        const double t_in = nic_in_[msg.dst_node].acquire(t,
-                                                          msg.nic_occupancy);
+        const double t_in = nic_in_[msg.dst_nic].acquire(t,
+                                                         msg.nic_occupancy);
         if (metrics_inv_) {
           metrics_inv_->on_occupancy(obs::SimResource::NicIn,
                                      msg.nic_occupancy);

@@ -63,15 +63,18 @@ struct CompiledPhase {
     double nic_occupancy = 0.0;    ///< inv_rate*s + nic_overhead (off-node)
     std::int32_t src_node = -1;    ///< valid when off_node
     std::int32_t dst_node = -1;
+    std::int32_t src_nic = -1;     ///< NIC-lane server index (off-node)
+    std::int32_t dst_nic = -1;
     bool off_node = false;
     bool rendezvous = false;       ///< ready waits for the receive posting
   };
-  // Cold metadata, touched only when tracing is enabled.
+  // Cold metadata, touched only by tracing and the metrics invariant tier.
   struct MessageMeta {
     int tag = 0;
     MemSpace space = MemSpace::Host;
     Protocol protocol = Protocol::Eager;
-    PathClass path = PathClass::OnSocket;
+    std::uint8_t path_id = 0;         ///< taxonomy class id (metrics slot)
+    PathClass path = PathClass::OnSocket;  ///< base locality (traces)
   };
   std::vector<MessageSchedule> messages;  ///< in posting order
   std::vector<MessageMeta> message_meta;  ///< index-aligned with messages
@@ -128,6 +131,10 @@ class CompiledPlan {
   [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
   [[nodiscard]] int num_gpus() const noexcept { return num_gpus_; }
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  /// Path-class count and NIC-lane count the plan's precomputed ids assume
+  /// (taxonomy/NIC layout are structural too, not just the shape).
+  [[nodiscard]] int num_paths() const noexcept { return num_paths_; }
+  [[nodiscard]] int nic_lanes() const noexcept { return nic_lanes_; }
 
   /// Total message count across phases (diagnostics / sizing).
   [[nodiscard]] std::int64_t total_messages() const noexcept;
@@ -137,6 +144,8 @@ class CompiledPlan {
   int num_ranks_ = 0;
   int num_gpus_ = 0;
   int num_nodes_ = 0;
+  int num_paths_ = 0;
+  int nic_lanes_ = 1;
 };
 
 }  // namespace hetcomm::core

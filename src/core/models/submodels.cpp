@@ -13,8 +13,11 @@ double postal(const PostalParams& p, std::int64_t bytes) {
 double max_rate(const ParamSet& params, MemSpace space, int m,
                 std::int64_t s_proc, std::int64_t s_node,
                 std::int64_t msg_bytes) {
+  // The analytic models speak in localities; the machine's taxonomy picks
+  // the representative class for each (classic machines: ids 0/1/2).
   const PostalParams& pp = params.messages.for_message(
-      space, PathClass::OffNode, msg_bytes, params.thresholds);
+      space, params.taxonomy.representative(PathClass::OffNode), msg_bytes,
+      params.thresholds);
   const double inv_rn = space == MemSpace::Host
                             ? params.injection.inv_rate_cpu
                             : params.injection.inv_rate_gpu;
@@ -27,9 +30,11 @@ double t_on(const ParamSet& params, const Topology& topo, MemSpace space,
             std::int64_t s) {
   const int gps = topo.gps();
   const PostalParams& sock = params.messages.for_message(
-      space, PathClass::OnSocket, s, params.thresholds);
+      space, params.taxonomy.representative(PathClass::OnSocket), s,
+      params.thresholds);
   const PostalParams& node = params.messages.for_message(
-      space, PathClass::OnNode, s, params.thresholds);
+      space, params.taxonomy.representative(PathClass::OnNode), s,
+      params.thresholds);
   return (gps - 1) * sock.time(s) + gps * node.time(s);
 }
 
@@ -42,9 +47,11 @@ double t_on_split(const ParamSet& params, const Topology& topo,
   // on-node processes.
   const std::int64_t s_msg = std::max<std::int64_t>(1, s_total / ppn);
   const PostalParams& sock = params.messages.for_message(
-      MemSpace::Host, PathClass::OnSocket, s_msg, params.thresholds);
+      MemSpace::Host, params.taxonomy.representative(PathClass::OnSocket),
+      s_msg, params.thresholds);
   const PostalParams& node = params.messages.for_message(
-      MemSpace::Host, PathClass::OnNode, s_msg, params.thresholds);
+      MemSpace::Host, params.taxonomy.representative(PathClass::OnNode),
+      s_msg, params.thresholds);
   const double n_sock = static_cast<double>(pps) / d - 1.0;
   const double n_node = static_cast<double>(pps) / d;
   return std::max(0.0, n_sock) * sock.time(s_msg) + n_node * node.time(s_msg);
@@ -58,7 +65,8 @@ double t_off(const ParamSet& params, int m, std::int64_t s_proc,
 double t_off_da(const ParamSet& params, int m, std::int64_t s,
                 std::int64_t msg_bytes) {
   const PostalParams& pp = params.messages.for_message(
-      MemSpace::Device, PathClass::OffNode, msg_bytes, params.thresholds);
+      MemSpace::Device, params.taxonomy.representative(PathClass::OffNode),
+      msg_bytes, params.thresholds);
   return pp.alpha * m + pp.beta * static_cast<double>(s);
 }
 

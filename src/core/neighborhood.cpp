@@ -131,9 +131,11 @@ double NeighborhoodExchange::setup_cost() const {
   // simpler strategies -- approximated by the number of phases that carry
   // messages).
   const PostalParams& on = params_.messages.get(
-      MemSpace::Host, Protocol::Short, PathClass::OnNode);
+      MemSpace::Host, Protocol::Short,
+      params_.taxonomy.representative(PathClass::OnNode));
   const PostalParams& off = params_.messages.get(
-      MemSpace::Host, Protocol::Short, PathClass::OffNode);
+      MemSpace::Host, Protocol::Short,
+      params_.taxonomy.representative(PathClass::OffNode));
 
   double total = 0.0;
   for (const PlanPhase& phase : plan_.phases) {

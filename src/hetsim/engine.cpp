@@ -17,11 +17,18 @@ Engine::Engine(Topology topology, ParamSet params, NoiseModel noise)
       clock_(static_cast<std::size_t>(topo_.num_ranks()), 0.0),
       send_port_(static_cast<std::size_t>(topo_.num_ranks())),
       recv_port_(static_cast<std::size_t>(topo_.num_ranks())),
-      nic_out_(static_cast<std::size_t>(topo_.num_nodes())),
-      nic_in_(static_cast<std::size_t>(topo_.num_nodes())),
+      nic_out_(static_cast<std::size_t>(topo_.num_nodes()) *
+               static_cast<std::size_t>(std::max(1, params_.injection.nics_per_node))),
+      nic_in_(nic_out_.size()),
       dma_h2d_(static_cast<std::size_t>(topo_.num_gpus())),
       dma_d2h_(static_cast<std::size_t>(topo_.num_gpus())) {
   params_.validate();
+  paths_ = PathTable(topo_, params_.taxonomy);
+  nic_of_rank_.resize(static_cast<std::size_t>(topo_.num_ranks()));
+  for (int r = 0; r < topo_.num_ranks(); ++r) {
+    nic_of_rank_[static_cast<std::size_t>(r)] =
+        params_.injection.nic_of(topo_.rank_location(r));
+  }
 }
 
 void Engine::check_rank(int rank) const {
@@ -123,7 +130,15 @@ void Engine::set_metrics(obs::EngineMetrics* sink, bool record_invariants,
   metrics_ = sink;
   metrics_inv_ = record_invariants ? sink : nullptr;
   metrics_smp_ = record_samples ? sink : nullptr;
-  if (metrics_) metrics_->ensure_nodes(topo_.num_nodes());
+  if (metrics_) {
+    metrics_->ensure_nodes(topo_.num_nodes());
+    // Label the sink's path slots with this machine's declared class names
+    // so exports speak the machine's taxonomy, not the fixed enum.
+    metrics_->path_names.clear();
+    for (const PathClassDef& c : params_.taxonomy.classes()) {
+      metrics_->path_names.push_back(c.name);
+    }
+  }
 }
 
 void Engine::fail_resolve(const std::string& what) {
@@ -228,16 +243,17 @@ void Engine::resolve() {
 
 void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   const PendingOp& s = m.send;
-  const PathClass path = topo_.classify(s.self, s.peer);
+  const std::uint8_t path_id = paths_.path_of(s.self, s.peer);
+  const PathClass path = paths_.locality_of(path_id);
   const Protocol proto = params_.thresholds.select(s.space, s.bytes);
-  const PostalParams pp = params_.messages.get(s.space, proto, path);
+  const PostalParams pp = params_.messages.get(s.space, proto, path_id);
   const double size = static_cast<double>(s.bytes);
 
   // Sender-side occupancy: the sending process cannot initiate the next
   // message until this one's latency+transfer work is handed off.
   double t = send_port_[s.self].acquire(m.ready, pp.alpha + pp.beta * size);
   if (metrics_inv_) {
-    metrics_inv_->on_message(path, proto, s.bytes);
+    metrics_inv_->on_message(path_id, proto, s.bytes);
     metrics_inv_->on_occupancy(obs::SimResource::SendPort,
                                pp.alpha + pp.beta * size);
   }
@@ -253,7 +269,8 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
     const int dst_node = topo_.node_of_rank(s.peer);
     const double nic_occupancy =
         inv_rate * size + params_.overheads.nic_message_overhead;
-    const double t_out = nic_out_[src_node].acquire(t, nic_occupancy);
+    const double t_out =
+        nic_out_[nic_of_rank_[s.self]].acquire(t, nic_occupancy);
     if (metrics_inv_) {
       metrics_inv_->on_occupancy(obs::SimResource::NicOut, nic_occupancy);
       metrics_inv_->on_nic_egress(src_node, s.bytes);
@@ -269,7 +286,8 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
       }
       t = t_fab;
     }
-    const double t_in = nic_in_[dst_node].acquire(t, nic_occupancy);
+    const double t_in =
+        nic_in_[nic_of_rank_[s.peer]].acquire(t, nic_occupancy);
     if (metrics_inv_) {
       metrics_inv_->on_occupancy(obs::SimResource::NicIn, nic_occupancy);
     }

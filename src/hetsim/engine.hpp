@@ -54,6 +54,9 @@ class Engine {
 
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
   [[nodiscard]] const ParamSet& params() const noexcept { return params_; }
+  /// Resolved per-placement path-class ids (built once at construction from
+  /// the ParamSet's taxonomy; the scheduling hot path does O(1) lookups).
+  [[nodiscard]] const PathTable& paths() const noexcept { return paths_; }
 
   /// Post a nonblocking send of `bytes` from `src` to `dst`.  The payload
   /// lives in `space` (Host = staged-through-host path, Device =
@@ -196,12 +199,14 @@ class Engine {
   Topology topo_;
   ParamSet params_;
   NoiseModel noise_;
+  PathTable paths_;  ///< dense (rank,rank) -> taxonomy class id
 
   std::vector<double> clock_;
   std::vector<BusyServer> send_port_;  ///< per-rank outbound transport
   std::vector<BusyServer> recv_port_;  ///< per-rank inbound transport
-  std::vector<BusyServer> nic_out_;    ///< per-node NIC egress
-  std::vector<BusyServer> nic_in_;     ///< per-node NIC ingress
+  std::vector<BusyServer> nic_out_;    ///< per-NIC-lane egress (node x lanes)
+  std::vector<BusyServer> nic_in_;     ///< per-NIC-lane ingress (node x lanes)
+  std::vector<std::int32_t> nic_of_rank_;  ///< rank -> NIC-lane server index
   std::vector<BusyServer> dma_h2d_;    ///< per-GPU DMA engine, H2D
   std::vector<BusyServer> dma_d2h_;    ///< per-GPU DMA engine, D2H
   std::optional<FatTreeFabric> fabric_;  ///< optional tapered fat tree

@@ -16,6 +16,11 @@ void set_row(MessageParamTable& t, MemSpace space, Protocol proto,
 }  // namespace
 
 void ParamSet::validate() const {
+  try {
+    taxonomy.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("ParamSet '" + name + "': " + e.what());
+  }
   auto check_pair = [this](const PostalParams& p, const std::string& what) {
     if (p.alpha <= 0.0 || p.beta <= 0.0) {
       throw std::invalid_argument("ParamSet '" + name + "': " + what +
@@ -26,11 +31,10 @@ void ParamSet::validate() const {
     for (const Protocol proto :
          {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
       if (space == MemSpace::Device && proto == Protocol::Short) continue;
-      for (const PathClass path :
-           {PathClass::OnSocket, PathClass::OnNode, PathClass::OffNode}) {
+      for (int path = 0; path < taxonomy.num_classes(); ++path) {
         check_pair(messages.get(space, proto, path),
                    std::string(to_string(space)) + "/" + to_string(proto) +
-                       "/" + to_string(path));
+                       "/" + taxonomy.cls(path).name);
       }
     }
   }
@@ -45,6 +49,10 @@ void ParamSet::validate() const {
   if (injection.inv_rate_cpu <= 0.0 || injection.inv_rate_gpu <= 0.0) {
     throw std::invalid_argument("ParamSet '" + name +
                                 "': injection rates must be set");
+  }
+  if (injection.nics_per_node < 1) {
+    throw std::invalid_argument("ParamSet '" + name +
+                                "': nics_per_node must be >= 1");
   }
   if (thresholds.short_max <= 0 ||
       thresholds.eager_max <= thresholds.short_max) {

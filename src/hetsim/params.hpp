@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "hetsim/taxonomy.hpp"
 #include "hetsim/topology.hpp"
 
 namespace hetcomm {
@@ -72,26 +73,45 @@ struct ProtocolThresholds {
 
 /// Full postal-parameter table: space x protocol x path class.
 ///
+/// Path classes are taxonomy class ids (see hetsim/taxonomy.hpp); the
+/// classic three-class taxonomy uses ids 0/1/2 which match the PathClass
+/// enum, so the enum-taking overloads keep working unchanged.  Storage is
+/// fixed-width (kMaxPathClasses slots) so the table stays allocation-free
+/// and trivially copyable regardless of how many classes a machine
+/// declares.
+///
 /// The GPU (device) table has no Short row: device-aware communication on
 /// Lassen never uses the short protocol (paper §3); lookups for
 /// (Device, Short) resolve to the device Eager parameters.
 class MessageParamTable {
  public:
-  void set(MemSpace space, Protocol proto, PathClass path, PostalParams p) {
+  void set(MemSpace space, Protocol proto, int path, PostalParams p) {
     table_[index(space)][proto_index(space, proto)][path_index(path)] = p;
+  }
+  void set(MemSpace space, Protocol proto, PathClass path, PostalParams p) {
+    set(space, proto, static_cast<int>(path), p);
   }
 
   [[nodiscard]] const PostalParams& get(MemSpace space, Protocol proto,
-                                        PathClass path) const {
+                                        int path) const {
     return table_[index(space)][proto_index(space, proto)][path_index(path)];
+  }
+  [[nodiscard]] const PostalParams& get(MemSpace space, Protocol proto,
+                                        PathClass path) const {
+    return get(space, proto, static_cast<int>(path));
   }
 
   /// Parameters for a message of `bytes` bytes along `path`, protocol chosen
   /// by `thresholds`.
   [[nodiscard]] const PostalParams& for_message(
-      MemSpace space, PathClass path, std::int64_t bytes,
+      MemSpace space, int path, std::int64_t bytes,
       const ProtocolThresholds& thresholds) const {
     return get(space, thresholds.select(space, bytes), path);
+  }
+  [[nodiscard]] const PostalParams& for_message(
+      MemSpace space, PathClass path, std::int64_t bytes,
+      const ProtocolThresholds& thresholds) const {
+    return for_message(space, static_cast<int>(path), bytes, thresholds);
   }
 
  private:
@@ -104,11 +124,12 @@ class MessageParamTable {
     }
     return static_cast<std::size_t>(proto);
   }
-  static std::size_t path_index(PathClass path) {
+  static std::size_t path_index(int path) {
     return static_cast<std::size_t>(path);
   }
 
-  std::array<std::array<std::array<PostalParams, 3>, 3>, 2> table_{};
+  std::array<std::array<std::array<PostalParams, kMaxPathClasses>, 3>, 2>
+      table_{};
 };
 
 /// cudaMemcpyAsync parameters (paper Table 3): per-direction postal pairs
@@ -138,6 +159,18 @@ struct InjectionParams {
   /// the inter-GPU limit is never reached with 4 GPUs/node on Lassen, so the
   /// default preset leaves it equal to the CPU limit.
   double inv_rate_gpu = 0.0;
+  /// Independent NIC lanes per node.  Lassen-like machines expose one
+  /// logical NIC (lanes = 1, the historical behaviour); dual-rail nodes
+  /// set 2 and the simulator assigns each socket to lane (socket % lanes),
+  /// giving each lane its own injection server at the per-NIC rate.
+  int nics_per_node = 1;
+
+  /// NIC-lane server index for a rank placement: node-major, lane chosen by
+  /// the rank's socket.  With one lane per node this is the node index,
+  /// matching the historical per-node NIC servers exactly.
+  [[nodiscard]] int nic_of(const RankLocation& loc) const noexcept {
+    return loc.node * nics_per_node + loc.socket % nics_per_node;
+  }
 
   [[nodiscard]] double rate(MemSpace space) const {
     const double inv = space == MemSpace::Host ? inv_rate_cpu : inv_rate_gpu;
@@ -175,15 +208,17 @@ struct RuntimeOverheads {
 /// Complete calibrated parameter set for one machine.
 struct ParamSet {
   std::string name = "unnamed";
+  PathTaxonomy taxonomy = PathTaxonomy::classic();
   MessageParamTable messages;
   CopyParamTable copies;
   InjectionParams injection;
   ProtocolThresholds thresholds;
   RuntimeOverheads overheads;
 
-  /// Sanity-check the calibration: every alpha/beta positive, protocol
-  /// thresholds ordered, injection rates set, overheads non-negative.
-  /// Throws std::invalid_argument describing the first violation.
+  /// Sanity-check the calibration: taxonomy valid, every alpha/beta
+  /// positive for every declared path class, protocol thresholds ordered,
+  /// injection rates set, overheads non-negative.  Throws
+  /// std::invalid_argument describing the first violation.
   void validate() const;
 };
 

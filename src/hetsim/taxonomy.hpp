@@ -1,0 +1,158 @@
+#pragma once
+// Machine-defined path taxonomies.
+//
+// The paper calibrates Lassen with exactly three relative placements
+// (on-socket / on-node / off-node), but richer machines need more: NVLink
+// peer cliques vs PCIe hops vs cross-socket traversals, multi-NIC nodes,
+// and so on.  A PathTaxonomy makes the set of path classes *data*: an
+// ordered list of named classes, each anchored to one of the three base
+// localities (which is what the simulator and the closed-form models key
+// their semantics on), plus an ordered rule list that resolves a pair of
+// rank placements to a class.
+//
+// The classic() taxonomy reproduces the fixed historical enum exactly:
+// class ids 0/1/2 are on-socket/on-node/off-node, so code that indexes
+// parameter tables with the PathClass enum keeps working bit-for-bit.
+//
+// Rule resolution is only run at machine-construction time: consumers
+// resolve a whole Topology into a PathTable once (dense per-placement class
+// ids) and the simulation hot path does O(1) allocation-free lookups.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetsim/topology.hpp"
+
+namespace hetcomm {
+
+/// Upper bound on path classes per machine; keeps the metrics sink's
+/// fixed-slot arrays (obs/engine_metrics.hpp) allocation-free.
+inline constexpr int kMaxPathClasses = 8;
+
+/// One named path class.  `locality` anchors the class to the base
+/// three-way taxonomy: it decides whether messages on this class traverse
+/// the NIC (OffNode) and which role the class plays in the Table-6 model
+/// composition.
+struct PathClassDef {
+  std::string name;
+  PathClass locality = PathClass::OnSocket;
+};
+
+/// One placement->class rule.  Tri-state predicates: -1 = don't care,
+/// 0 = must be false, 1 = must be true.  `both_gpu_owners` is true when
+/// both ranks are GPU-owner cores (core index < gpus_per_socket), which is
+/// how NVLink-peer cliques are expressed structurally.
+struct PathRule {
+  std::int8_t same_node = -1;
+  std::int8_t same_socket = -1;
+  std::int8_t both_gpu_owners = -1;
+  int path = 0;  ///< class id selected when the rule matches
+};
+
+/// Structural placement features of a rank pair, the resolver's input.
+struct PairPlacement {
+  bool same_node = false;
+  bool same_socket = false;     ///< implies same_node
+  bool both_gpu_owners = false; ///< both cores own a GPU on their socket
+};
+
+class PathTaxonomy {
+ public:
+  /// The paper's fixed three classes; ids match the PathClass enum.
+  [[nodiscard]] static PathTaxonomy classic();
+
+  /// Append a class; returns its id.  Throws when the name is duplicated
+  /// or kMaxPathClasses is exceeded.
+  int add_class(std::string name, PathClass locality);
+
+  /// Append a resolution rule (evaluated in insertion order, first match
+  /// wins).  Throws when the rule names an unknown class id.
+  void add_rule(PathRule rule);
+
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+  [[nodiscard]] const PathClassDef& cls(int id) const {
+    return classes_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<PathClassDef>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const std::vector<PathRule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Class id by name; -1 when absent.
+  [[nodiscard]] int id_of(std::string_view name) const noexcept;
+
+  /// First class anchored to `locality`: the representative the analytic
+  /// models use when they need "the" on-socket/on-node/off-node
+  /// parameters of a machine.  Throws std::invalid_argument when the
+  /// taxonomy declares no class with that locality (validate() rejects
+  /// such taxonomies up front).
+  [[nodiscard]] int representative(PathClass locality) const;
+
+  /// Resolve a placement through the rule list; throws std::logic_error
+  /// when no rule matches (validate() guarantees total coverage).
+  [[nodiscard]] int resolve(const PairPlacement& placement) const;
+
+  /// True when this taxonomy is structurally the classic three-class one
+  /// (same classes, localities, and resolution behaviour).
+  [[nodiscard]] bool is_classic() const;
+
+  /// Strict validation: at least one class, unique names, every locality
+  /// represented, rules total over the six feasible placement feature
+  /// combinations, and every placement resolves to a class whose locality
+  /// is consistent with it (off-node placements must resolve to OffNode
+  /// classes and vice versa).  Throws std::invalid_argument.
+  void validate() const;
+
+ private:
+  std::vector<PathClassDef> classes_;
+  std::vector<PathRule> rules_;
+};
+
+/// Dense resolved path-class ids for every rank pair of a Topology.
+///
+/// All nodes are identical, so a pair's class depends only on the two
+/// local ranks and whether the ranks share a node; the table therefore
+/// stores 2 * cores_per_node^2 ids (same-node block, cross-node block)
+/// instead of num_ranks^2, stays cache-resident for any machine size, and
+/// the per-message lookup is two divisions and one load -- cheaper than
+/// the historical rank_location()-based classification.
+class PathTable {
+ public:
+  PathTable() = default;
+  PathTable(const Topology& topo, const PathTaxonomy& taxonomy);
+
+  [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+  /// Class id for a rank pair.  No bounds checks: callers validate ranks.
+  [[nodiscard]] std::uint8_t path_of(int rank_a, int rank_b) const noexcept {
+    const int na = rank_a / cpn_;
+    const int nb = rank_b / cpn_;
+    const std::size_t block =
+        na == nb ? 0 : static_cast<std::size_t>(cpn_) * cpn_;
+    return table_[block + static_cast<std::size_t>(rank_a - na * cpn_) * cpn_ +
+                  static_cast<std::size_t>(rank_b - nb * cpn_)];
+  }
+
+  /// Base locality / NIC semantics of a class id.
+  [[nodiscard]] PathClass locality_of(std::uint8_t id) const noexcept {
+    return locality_[id];
+  }
+  [[nodiscard]] bool off_node(std::uint8_t id) const noexcept {
+    return locality_[id] == PathClass::OffNode;
+  }
+
+ private:
+  std::vector<std::uint8_t> table_;  ///< [same-node | cross-node] x local^2
+  PathClass locality_[kMaxPathClasses] = {};
+  int cpn_ = 1;          ///< cores per node
+  int num_classes_ = 0;
+};
+
+}  // namespace hetcomm

@@ -50,6 +50,19 @@ struct MachineShape {
     return num_nodes * cores_per_node();
   }
 
+  /// Smallest node count that provides `gpus` GPUs on this shape.  Replaces
+  /// the historical hardcoded `gpus / 4` (Lassen-only) derivation in the
+  /// bench drivers.  Throws when `gpus` is not positive.
+  [[nodiscard]] int nodes_for_gpus(int gpus) const {
+    if (gpus < 1) {
+      throw std::invalid_argument("MachineShape: gpus must be positive");
+    }
+    if (gpus_per_node() < 1) {
+      throw std::invalid_argument("MachineShape: shape has no GPUs");
+    }
+    return (gpus + gpus_per_node() - 1) / gpus_per_node();
+  }
+
   void validate() const {
     if (num_nodes < 1 || sockets_per_node < 1 || gpus_per_socket < 0 ||
         cores_per_socket < 1) {

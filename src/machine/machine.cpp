@@ -1,0 +1,206 @@
+#include "machine/machine.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace hetcomm::machine {
+
+Topology MachineModel::topology(int num_nodes) const {
+  MachineShape shape = node;
+  shape.num_nodes = num_nodes;
+  return Topology(shape);
+}
+
+void MachineModel::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("MachineModel: name must be non-empty");
+  }
+  node.validate();
+  if (node.num_nodes != 1) {
+    throw std::invalid_argument("MachineModel '" + name +
+                                "': node shape is a single-node template "
+                                "(num_nodes must be 1)");
+  }
+  params.validate();  // includes taxonomy.validate()
+
+  const PathTaxonomy& tax = params.taxonomy;
+
+  // Taxonomy/shape consistency: every declared class must be reachable by
+  // some rank pair on this shape.  Resolve every feasible placement of the
+  // shape and collect the classes that actually occur.  The classic
+  // three-class taxonomy is exempt: it is the shared locality anchor and a
+  // single-socket machine (frontier) legitimately carries its vacuous
+  // cross-socket class.  A *custom* taxonomy declaring a class no rank
+  // pair can hit (an NVLink clique on a GPU-less shape, say) is a
+  // description error.
+  if (!tax.is_classic()) {
+    std::set<int> reachable;
+    const bool multi_socket = node.sockets_per_node > 1;
+    const bool has_gpus = node.gpus_per_socket > 0;
+    for (const bool owners : has_gpus ? std::set<bool>{false, true}
+                                      : std::set<bool>{false}) {
+      reachable.insert(tax.resolve({true, true, owners}));
+      if (multi_socket) reachable.insert(tax.resolve({true, false, owners}));
+      reachable.insert(tax.resolve({false, false, owners}));
+    }
+    for (int c = 0; c < tax.num_classes(); ++c) {
+      if (reachable.count(c) == 0) {
+        throw std::invalid_argument(
+            "MachineModel '" + name + "': path class '" + tax.cls(c).name +
+            "' is unreachable on this node shape (no rank pair resolves to "
+            "it)");
+      }
+    }
+  }
+
+  // Postal-table sanity per declared class: protocols must be priced
+  // consistently.  Host alphas grow with protocol weight (short envelopes
+  // are cheapest to initiate, rendezvous pays a handshake) and betas
+  // shrink (heavier protocols exist because they stream bytes faster);
+  // device tables have no short row and only the beta ordering holds in
+  // measurement (see header note).
+  for (int c = 0; c < tax.num_classes(); ++c) {
+    const std::string& cls = tax.cls(c).name;
+    const PostalParams& hs = params.messages.get(MemSpace::Host, Protocol::Short, c);
+    const PostalParams& he = params.messages.get(MemSpace::Host, Protocol::Eager, c);
+    const PostalParams& hr =
+        params.messages.get(MemSpace::Host, Protocol::Rendezvous, c);
+    if (!(hs.alpha <= he.alpha && he.alpha <= hr.alpha)) {
+      throw std::invalid_argument(
+          "MachineModel '" + name + "': host alphas for path '" + cls +
+          "' must be nondecreasing short -> eager -> rendezvous");
+    }
+    if (!(hs.beta >= he.beta && he.beta >= hr.beta)) {
+      throw std::invalid_argument(
+          "MachineModel '" + name + "': host betas for path '" + cls +
+          "' must be nonincreasing short -> eager -> rendezvous");
+    }
+    const PostalParams& de = params.messages.get(MemSpace::Device, Protocol::Eager, c);
+    const PostalParams& dr =
+        params.messages.get(MemSpace::Device, Protocol::Rendezvous, c);
+    if (!(de.beta >= dr.beta)) {
+      throw std::invalid_argument(
+          "MachineModel '" + name + "': device betas for path '" + cls +
+          "' must be nonincreasing eager -> rendezvous");
+    }
+  }
+}
+
+MachineModel lassen_machine() {
+  MachineModel m;
+  m.name = "lassen";
+  m.description =
+      "LLNL Lassen: 2x Power9 (20 cores each) + 4x V100 per node, "
+      "InfiniBand EDR; paper Tables 2-4 calibration";
+  m.node = presets::lassen(1);
+  m.params = lassen_params();
+  return m;
+}
+
+MachineModel summit_machine() {
+  MachineModel m;
+  m.name = "summit";
+  m.description =
+      "ORNL Summit: 2x Power9 + 6x V100 per node; Lassen calibration "
+      "(same CPU/GPU/network generation), 3 GPUs per socket";
+  m.node = presets::summit(1);
+  m.params = lassen_params();
+  m.params.name = "summit";
+  return m;
+}
+
+MachineModel frontier_machine() {
+  MachineModel m;
+  m.name = "frontier";
+  m.description =
+      "Frontier-like what-if (paper SS6): single-socket EPYC, 4 GPUs, "
+      "Slingshot-class network";
+  m.node = presets::frontier(1);
+  m.params = frontier_params();
+  return m;
+}
+
+MachineModel delta_machine() {
+  MachineModel m;
+  m.name = "delta";
+  m.description =
+      "Delta-like what-if (paper SS6): dual 64-core Milan, PCIe-attached "
+      "A100s, HDR-class network";
+  m.node = presets::delta(1);
+  m.params = delta_params();
+  return m;
+}
+
+MachineModel nvisland_machine() {
+  MachineModel m;
+  m.name = "nvisland";
+  m.description =
+      "Hypothetical NVLink-island node: 4-GPU all-to-all NVLink clique "
+      "spanning both sockets, PCIe/UPI host cross-socket path, dual NIC "
+      "rails (one per socket)";
+  m.node = presets::lassen(1);  // same 2x2x20 structure, different wiring
+
+  ParamSet p = lassen_params();
+  p.name = "nvisland";
+
+  // Four named path classes.  Ids 0-2 keep the classic localities so the
+  // analytic models' representatives stay the conservative non-NVLink
+  // paths; id 3 is the NVLink peer clique, matched first.
+  PathTaxonomy tax;
+  const int on_socket = tax.add_class("on-socket", PathClass::OnSocket);
+  const int cross_socket = tax.add_class("cross-socket", PathClass::OnNode);
+  const int off_node = tax.add_class("off-node", PathClass::OffNode);
+  const int nvlink = tax.add_class("nvlink-peer", PathClass::OnSocket);
+  // Any two GPU-owner cores on one node sit on the NVLink island,
+  // regardless of socket; everything else falls through to the classic
+  // placement rules.
+  tax.add_rule({/*same_node=*/1, /*same_socket=*/-1, /*both_gpu_owners=*/1,
+                nvlink});
+  tax.add_rule({1, 1, -1, on_socket});
+  tax.add_rule({1, 0, -1, cross_socket});
+  tax.add_rule({0, -1, -1, off_node});
+  p.taxonomy = tax;
+
+  // The classic classes inherit Lassen's calibration (copied above).  The
+  // NVLink-peer class: host traffic between owner cores still moves over
+  // shared memory (use the on-socket host rows -- the clique does not
+  // help the CPUs), while device traffic bypasses the Lassen
+  // through-host penalty entirely: ~10x lower alpha than the measured
+  // device cross-socket path and NVLink3-class inverse bandwidth.
+  for (const Protocol proto :
+       {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+    p.messages.set(MemSpace::Host, proto, nvlink,
+                   p.messages.get(MemSpace::Host, proto, on_socket));
+  }
+  p.messages.set(MemSpace::Device, Protocol::Eager, nvlink,
+                 {1.10e-06, 9.0e-12});
+  p.messages.set(MemSpace::Device, Protocol::Rendezvous, nvlink,
+                 {4.50e-06, 7.5e-12});
+
+  // One NIC rail per socket; each rail keeps the per-NIC Lassen injection
+  // rate, so the node's aggregate egress doubles when both sockets send.
+  p.injection.nics_per_node = 2;
+
+  m.params = p;
+  return m;
+}
+
+std::vector<std::string> preset_machine_names() {
+  return {"lassen", "summit", "frontier", "delta", "nvisland"};
+}
+
+MachineModel preset_machine(const std::string& name) {
+  if (name == "lassen") return lassen_machine();
+  if (name == "summit") return summit_machine();
+  if (name == "frontier") return frontier_machine();
+  if (name == "delta") return delta_machine();
+  if (name == "nvisland") return nvisland_machine();
+  std::string known;
+  for (const std::string& n : preset_machine_names()) {
+    known += known.empty() ? n : ", " + n;
+  }
+  throw std::invalid_argument("unknown machine '" + name + "' (presets: " +
+                              known + "; or pass a .json machine file)");
+}
+
+}  // namespace hetcomm::machine

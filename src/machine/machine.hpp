@@ -1,0 +1,83 @@
+#pragma once
+// Declarative machine descriptions.
+//
+// A MachineModel bundles everything the simulator and the closed-form
+// models need to know about one machine -- node shape, path taxonomy,
+// calibrated postal tables, protocol thresholds, copy and NIC parameters --
+// as *data*: constructible in code (the presets below), serializable
+// through the hetcomm.machine.v1 JSON schema (machine_json.hpp), and
+// strictly validated.  Consumers instantiate a Topology for a node count
+// and hand the ParamSet to Engine / CompiledPlan / the Table-6 models; the
+// paths a machine defines flow through everything via the ParamSet's
+// taxonomy, so adding a machine (even one with more than three path
+// classes) requires no recompilation of any consumer.
+
+#include <string>
+#include <vector>
+
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::machine {
+
+struct MachineModel {
+  std::string name;
+  std::string description;
+  /// Per-node structure; `node.num_nodes` is always 1 (the machine is a
+  /// template, instantiated for a node count by topology()).
+  MachineShape node{1, 2, 2, 20};
+  /// Calibrated parameters, including the path taxonomy.
+  ParamSet params;
+
+  /// Topology of `num_nodes` instances of this machine's node.
+  [[nodiscard]] Topology topology(int num_nodes) const;
+
+  /// Smallest node count providing `gpus` GPUs (bench sizing helper).
+  [[nodiscard]] int nodes_for_gpus(int gpus) const {
+    return node.nodes_for_gpus(gpus);
+  }
+
+  /// Strict validation, beyond ParamSet::validate():
+  ///   * shape valid and single-node (the template contract);
+  ///   * taxonomy consistent with the shape: every declared path class of
+  ///     a *custom* taxonomy is reachable by some rank pair of this shape
+  ///     (a GPU-owner clique on a GPU-less node is a description error).
+  ///     The classic taxonomy is exempt -- it is the shared locality
+  ///     anchor, and single-socket machines carry its vacuous
+  ///     cross-socket class;
+  ///   * postal tables complete and sane for every declared class:
+  ///     alpha/beta positive, host alphas nondecreasing and betas
+  ///     nonincreasing short -> eager -> rendezvous, device betas
+  ///     nonincreasing eager -> rendezvous.  (Device *alphas* are not
+  ///     required monotone: measured Lassen has a device on-node
+  ///     rendezvous alpha below its eager alpha, paper Table 2.)
+  /// Throws std::invalid_argument describing the first violation.
+  void validate() const;
+};
+
+/// In-code presets.  lassen/summit/frontier/delta mirror the historical
+/// hardwired machines exactly (same shapes, same ParamSets, classic
+/// three-class taxonomy) so simulations through a preset MachineModel are
+/// bit-identical to the pre-refactor code paths.
+[[nodiscard]] MachineModel lassen_machine();
+[[nodiscard]] MachineModel summit_machine();
+[[nodiscard]] MachineModel frontier_machine();
+[[nodiscard]] MachineModel delta_machine();
+
+/// Hypothetical NVLink-island machine: each node is a 4-GPU NVLink peer
+/// clique spanning both sockets (cheap device paths between any two GPU
+/// owner cores), PCIe/UPI cross-socket host paths, and two NIC rails (one
+/// per socket).  Exercises a four-class taxonomy and dual NIC lanes end to
+/// end -- and flips the Figure-5.1 strategy ranking, because device-aware
+/// sends between GPUs stop paying the cross-socket penalty that makes
+/// staging-through-host win on Lassen.
+[[nodiscard]] MachineModel nvisland_machine();
+
+/// Names accepted by preset_machine(), in presentation order.
+[[nodiscard]] std::vector<std::string> preset_machine_names();
+
+/// Look up a preset by name; throws std::invalid_argument listing the
+/// known names when `name` is not one of them.
+[[nodiscard]] MachineModel preset_machine(const std::string& name);
+
+}  // namespace hetcomm::machine

@@ -1,0 +1,338 @@
+#include "machine/machine_json.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetcomm::machine {
+
+using obs::JsonValue;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("hetcomm.machine.v1: " + what);
+}
+
+const JsonValue& require(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail("missing field \"" + key + "\"");
+  return *v;
+}
+
+double require_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_number()) fail("field \"" + key + "\" is not a number");
+  return v.as_double();
+}
+
+int require_int(const JsonValue& obj, const std::string& key) {
+  // as_double promotes Int and accepts Double; machine ints are small
+  // enough that the round-trip is exact either way.
+  return static_cast<int>(require_number(obj, key));
+}
+
+std::string require_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_string()) fail("field \"" + key + "\" is not a string");
+  return v.as_string();
+}
+
+JsonValue postal_json(const PostalParams& p) {
+  JsonValue out = JsonValue::object();
+  out.set("alpha", p.alpha);
+  out.set("beta", p.beta);
+  return out;
+}
+
+PostalParams postal_from(const JsonValue& v, const std::string& where) {
+  if (!v.is_object()) fail(where + " is not an object");
+  PostalParams p;
+  p.alpha = require_number(v, "alpha");
+  p.beta = require_number(v, "beta");
+  return p;
+}
+
+PathClass locality_from(const std::string& s) {
+  if (s == "on-socket") return PathClass::OnSocket;
+  if (s == "on-node") return PathClass::OnNode;
+  if (s == "off-node") return PathClass::OffNode;
+  fail("unknown locality \"" + s +
+       "\" (expected on-socket, on-node, or off-node)");
+}
+
+MemSpace space_from(const std::string& s) {
+  if (s == "host") return MemSpace::Host;
+  if (s == "device") return MemSpace::Device;
+  fail("unknown space \"" + s + "\" (expected host or device)");
+}
+
+Protocol proto_from(const std::string& s) {
+  if (s == "short") return Protocol::Short;
+  if (s == "eager") return Protocol::Eager;
+  if (s == "rendezvous") return Protocol::Rendezvous;
+  fail("unknown protocol \"" + s +
+       "\" (expected short, eager, or rendezvous)");
+}
+
+/// Rule predicates serialize as JSON bools when constrained and are simply
+/// omitted when don't-care -- the natural reading of a rule object.
+void set_predicate(JsonValue& rule, const char* key, std::int8_t p) {
+  if (p != -1) rule.set(key, p == 1);
+}
+
+std::int8_t get_predicate(const JsonValue& rule, const char* key) {
+  const JsonValue* v = rule.find(key);
+  if (v == nullptr) return -1;
+  if (!v->is_bool()) fail(std::string("rule predicate \"") + key +
+                          "\" must be a boolean");
+  return v->as_bool() ? 1 : 0;
+}
+
+}  // namespace
+
+JsonValue to_json(const MachineModel& model) {
+  model.validate();
+  const PathTaxonomy& tax = model.params.taxonomy;
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kMachineSchema);
+  doc.set("name", model.name);
+  doc.set("description", model.description);
+
+  JsonValue shape = JsonValue::object();
+  shape.set("sockets_per_node", model.node.sockets_per_node);
+  shape.set("gpus_per_socket", model.node.gpus_per_socket);
+  shape.set("cores_per_socket", model.node.cores_per_socket);
+  doc.set("shape", std::move(shape));
+
+  JsonValue taxonomy = JsonValue::object();
+  JsonValue classes = JsonValue::array();
+  for (const PathClassDef& c : tax.classes()) {
+    JsonValue cls = JsonValue::object();
+    cls.set("name", c.name);
+    cls.set("locality", to_string(c.locality));
+    classes.push_back(std::move(cls));
+  }
+  taxonomy.set("classes", std::move(classes));
+  JsonValue rules = JsonValue::array();
+  for (const PathRule& r : tax.rules()) {
+    JsonValue rule = JsonValue::object();
+    set_predicate(rule, "same_node", r.same_node);
+    set_predicate(rule, "same_socket", r.same_socket);
+    set_predicate(rule, "both_gpu_owners", r.both_gpu_owners);
+    rule.set("path", tax.cls(r.path).name);
+    rules.push_back(std::move(rule));
+  }
+  taxonomy.set("rules", std::move(rules));
+  doc.set("taxonomy", std::move(taxonomy));
+
+  JsonValue messages = JsonValue::array();
+  for (const MemSpace space : {MemSpace::Host, MemSpace::Device}) {
+    for (const Protocol proto :
+         {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+      if (space == MemSpace::Device && proto == Protocol::Short) continue;
+      for (int c = 0; c < tax.num_classes(); ++c) {
+        const PostalParams& p = model.params.messages.get(space, proto, c);
+        JsonValue row = JsonValue::object();
+        row.set("space", to_string(space));
+        row.set("proto", to_string(proto));
+        row.set("path", tax.cls(c).name);
+        row.set("alpha", p.alpha);
+        row.set("beta", p.beta);
+        messages.push_back(std::move(row));
+      }
+    }
+  }
+  doc.set("messages", std::move(messages));
+
+  JsonValue copies = JsonValue::object();
+  copies.set("h2d_1proc", postal_json(model.params.copies.h2d_1proc));
+  copies.set("d2h_1proc", postal_json(model.params.copies.d2h_1proc));
+  copies.set("h2d_shared", postal_json(model.params.copies.h2d_4proc));
+  copies.set("d2h_shared", postal_json(model.params.copies.d2h_4proc));
+  copies.set("shared_procs", model.params.copies.shared_procs);
+  doc.set("copies", std::move(copies));
+
+  JsonValue injection = JsonValue::object();
+  injection.set("inv_rate_cpu", model.params.injection.inv_rate_cpu);
+  injection.set("inv_rate_gpu", model.params.injection.inv_rate_gpu);
+  injection.set("nics_per_node", model.params.injection.nics_per_node);
+  doc.set("injection", std::move(injection));
+
+  JsonValue thresholds = JsonValue::object();
+  thresholds.set("short_max", model.params.thresholds.short_max);
+  thresholds.set("eager_max", model.params.thresholds.eager_max);
+  doc.set("thresholds", std::move(thresholds));
+
+  JsonValue overheads = JsonValue::object();
+  overheads.set("queue_search_per_entry",
+                model.params.overheads.queue_search_per_entry);
+  overheads.set("post_overhead", model.params.overheads.post_overhead);
+  overheads.set("dma_op_overhead", model.params.overheads.dma_op_overhead);
+  overheads.set("nic_message_overhead",
+                model.params.overheads.nic_message_overhead);
+  overheads.set("pack_per_byte", model.params.overheads.pack_per_byte);
+  doc.set("overheads", std::move(overheads));
+
+  return doc;
+}
+
+MachineModel machine_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) fail("document is not an object");
+  const std::string schema = require_string(doc, "schema");
+  if (schema != kMachineSchema) {
+    fail("unexpected schema \"" + schema + "\" (expected " +
+         std::string(kMachineSchema) + ")");
+  }
+
+  MachineModel m;
+  m.name = require_string(doc, "name");
+  m.description = require_string(doc, "description");
+
+  const JsonValue& shape = require(doc, "shape");
+  if (!shape.is_object()) fail("\"shape\" is not an object");
+  m.node.num_nodes = 1;
+  m.node.sockets_per_node = require_int(shape, "sockets_per_node");
+  m.node.gpus_per_socket = require_int(shape, "gpus_per_socket");
+  m.node.cores_per_socket = require_int(shape, "cores_per_socket");
+
+  const JsonValue& taxonomy = require(doc, "taxonomy");
+  if (!taxonomy.is_object()) fail("\"taxonomy\" is not an object");
+  PathTaxonomy tax;
+  const JsonValue& classes = require(taxonomy, "classes");
+  if (!classes.is_array() || classes.size() == 0) {
+    fail("\"taxonomy.classes\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const JsonValue& cls = classes.at(i);
+    if (!cls.is_object()) fail("taxonomy class is not an object");
+    tax.add_class(require_string(cls, "name"),
+                  locality_from(require_string(cls, "locality")));
+  }
+  const JsonValue& rules = require(taxonomy, "rules");
+  if (!rules.is_array()) fail("\"taxonomy.rules\" must be an array");
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const JsonValue& rule = rules.at(i);
+    if (!rule.is_object()) fail("taxonomy rule is not an object");
+    PathRule r;
+    r.same_node = get_predicate(rule, "same_node");
+    r.same_socket = get_predicate(rule, "same_socket");
+    r.both_gpu_owners = get_predicate(rule, "both_gpu_owners");
+    const std::string path = require_string(rule, "path");
+    r.path = tax.id_of(path);
+    if (r.path < 0) fail("rule selects undeclared class \"" + path + "\"");
+    tax.add_rule(r);
+  }
+  m.params.taxonomy = tax;
+  m.params.name = m.name;
+
+  const JsonValue& messages = require(doc, "messages");
+  if (!messages.is_array()) fail("\"messages\" must be an array");
+  // Completeness is tracked row by row: every (space, proto, class) the
+  // table defines must appear exactly once.
+  std::vector<int> seen(
+      static_cast<std::size_t>(2 * 3 * tax.num_classes()), 0);
+  const auto slot = [&tax](MemSpace space, Protocol proto, int path) {
+    return (static_cast<int>(space) * 3 + static_cast<int>(proto)) *
+               tax.num_classes() +
+           path;
+  };
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const JsonValue& row = messages.at(i);
+    if (!row.is_object()) fail("message row is not an object");
+    const MemSpace space = space_from(require_string(row, "space"));
+    const Protocol proto = proto_from(require_string(row, "proto"));
+    if (space == MemSpace::Device && proto == Protocol::Short) {
+      fail("device/short message rows do not exist (device-aware "
+           "communication has no short protocol)");
+    }
+    const std::string path = require_string(row, "path");
+    const int c = tax.id_of(path);
+    if (c < 0) fail("message row names undeclared class \"" + path + "\"");
+    PostalParams p;
+    p.alpha = require_number(row, "alpha");
+    p.beta = require_number(row, "beta");
+    int& mark = seen[static_cast<std::size_t>(slot(space, proto, c))];
+    if (mark != 0) {
+      fail("duplicate message row " + std::string(to_string(space)) + "/" +
+           to_string(proto) + "/" + path);
+    }
+    mark = 1;
+    m.params.messages.set(space, proto, c, p);
+  }
+  for (const MemSpace space : {MemSpace::Host, MemSpace::Device}) {
+    for (const Protocol proto :
+         {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+      if (space == MemSpace::Device && proto == Protocol::Short) continue;
+      for (int c = 0; c < tax.num_classes(); ++c) {
+        if (seen[static_cast<std::size_t>(slot(space, proto, c))] == 0) {
+          fail("missing message row " + std::string(to_string(space)) + "/" +
+               to_string(proto) + "/" + tax.cls(c).name);
+        }
+      }
+    }
+  }
+
+  const JsonValue& copies = require(doc, "copies");
+  if (!copies.is_object()) fail("\"copies\" is not an object");
+  m.params.copies.h2d_1proc = postal_from(require(copies, "h2d_1proc"),
+                                          "copies.h2d_1proc");
+  m.params.copies.d2h_1proc = postal_from(require(copies, "d2h_1proc"),
+                                          "copies.d2h_1proc");
+  m.params.copies.h2d_4proc = postal_from(require(copies, "h2d_shared"),
+                                          "copies.h2d_shared");
+  m.params.copies.d2h_4proc = postal_from(require(copies, "d2h_shared"),
+                                          "copies.d2h_shared");
+  m.params.copies.shared_procs = require_int(copies, "shared_procs");
+
+  const JsonValue& injection = require(doc, "injection");
+  if (!injection.is_object()) fail("\"injection\" is not an object");
+  m.params.injection.inv_rate_cpu = require_number(injection, "inv_rate_cpu");
+  m.params.injection.inv_rate_gpu = require_number(injection, "inv_rate_gpu");
+  m.params.injection.nics_per_node = require_int(injection, "nics_per_node");
+
+  const JsonValue& thresholds = require(doc, "thresholds");
+  if (!thresholds.is_object()) fail("\"thresholds\" is not an object");
+  m.params.thresholds.short_max =
+      static_cast<std::int64_t>(require_number(thresholds, "short_max"));
+  m.params.thresholds.eager_max =
+      static_cast<std::int64_t>(require_number(thresholds, "eager_max"));
+
+  const JsonValue& overheads = require(doc, "overheads");
+  if (!overheads.is_object()) fail("\"overheads\" is not an object");
+  m.params.overheads.queue_search_per_entry =
+      require_number(overheads, "queue_search_per_entry");
+  m.params.overheads.post_overhead =
+      require_number(overheads, "post_overhead");
+  m.params.overheads.dma_op_overhead =
+      require_number(overheads, "dma_op_overhead");
+  m.params.overheads.nic_message_overhead =
+      require_number(overheads, "nic_message_overhead");
+  m.params.overheads.pack_per_byte =
+      require_number(overheads, "pack_per_byte");
+
+  m.validate();
+  return m;
+}
+
+MachineModel load_machine_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open machine file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return machine_from_json(JsonValue::parse(buf.str()));
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+MachineModel resolve_machine(const std::string& arg) {
+  const bool is_file = arg.size() > 5 &&
+                       arg.compare(arg.size() - 5, 5, ".json") == 0;
+  if (is_file) return load_machine_file(arg);
+  return preset_machine(arg);
+}
+
+}  // namespace hetcomm::machine

@@ -1,0 +1,37 @@
+#pragma once
+// hetcomm.machine.v1: JSON serialization of MachineModel.
+//
+// The schema is documented in docs/machines.md.  Serialization is exact:
+// doubles are dumped with max_digits10 (obs/json), so export -> load
+// reproduces every alpha/beta bit-for-bit and simulations through a
+// round-tripped machine are bit-identical to the in-code original
+// (tests/test_machine.cpp holds that contract).  Parsing is strict: a
+// wrong schema tag, a missing field, a malformed taxonomy, or an invalid
+// model (MachineModel::validate) all throw with a one-line diagnostic.
+
+#include <string>
+
+#include "machine/machine.hpp"
+#include "obs/json.hpp"
+
+namespace hetcomm::machine {
+
+inline constexpr const char* kMachineSchema = "hetcomm.machine.v1";
+
+/// Serialize a validated model (validates first; throws on violation).
+[[nodiscard]] obs::JsonValue to_json(const MachineModel& model);
+
+/// Parse and validate a hetcomm.machine.v1 document.
+[[nodiscard]] MachineModel machine_from_json(const obs::JsonValue& doc);
+
+/// Read, parse, and validate a machine file.  Throws std::runtime_error
+/// when the file cannot be read; parse/validate errors as above.
+[[nodiscard]] MachineModel load_machine_file(const std::string& path);
+
+/// Resolve a machine argument: a preset name (preset_machine) or, when
+/// `arg` ends in ".json", a machine file path (load_machine_file).  The
+/// single lookup the CLI and bench drivers share; unknown names throw
+/// std::invalid_argument listing the presets.
+[[nodiscard]] MachineModel resolve_machine(const std::string& arg);
+
+}  // namespace hetcomm::machine

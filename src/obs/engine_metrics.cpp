@@ -24,6 +24,7 @@ void EngineMetrics::reset() noexcept {
 }
 
 void EngineMetrics::merge(const EngineMetrics& other) {
+  if (path_names.empty()) path_names = other.path_names;
   for (int p = 0; p < kPaths; ++p) {
     for (int r = 0; r < kProtos; ++r) {
       msgs[p][r] += other.msgs[p][r];
@@ -90,7 +91,7 @@ void EngineMetrics::publish(Registry& registry) const {
   for (int p = 0; p < kPaths; ++p) {
     for (int r = 0; r < kProtos; ++r) {
       if (msgs[p][r] == 0 && msg_bytes[p][r] == 0) continue;
-      const char* path = to_string(static_cast<PathClass>(p));
+      const std::string path = path_name(p);
       const char* proto = to_string(static_cast<Protocol>(r));
       registry.add(
           registry.counter(label("msgs", {{"path", path}, {"proto", proto}})),

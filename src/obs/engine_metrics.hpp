@@ -42,6 +42,7 @@
 // "queue_wait{resource=nic-out}", ...) for export.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hetsim/params.hpp"
@@ -76,12 +77,23 @@ inline constexpr int kNumSimResources = 7;
 }
 
 struct EngineMetrics {
-  static constexpr int kPaths = 3;   ///< PathClass values
+  /// Fixed path-class slots: machines declare up to kMaxPathClasses named
+  /// classes (hetsim/taxonomy.hpp); unused slots stay zero and are skipped
+  /// at export.  The classic taxonomy occupies slots 0/1/2 = the PathClass
+  /// enum, so historical callers are unchanged.
+  static constexpr int kPaths = kMaxPathClasses;
   static constexpr int kProtos = 3;  ///< Protocol values
 
   // -- Messages, by (path class, protocol) -------------------------------
   std::int64_t msgs[kPaths][kProtos] = {};
   std::int64_t msg_bytes[kPaths][kProtos] = {};
+
+  /// Declared path-class names, indexed by class id; set by
+  /// Engine::set_metrics from the machine's taxonomy.  Slots beyond the
+  /// vector (or an empty vector, e.g. a default-constructed sink) fall
+  /// back to the classic PathClass names at export, keeping
+  /// hetcomm.metrics.v1 output schema-compatible.
+  std::vector<std::string> path_names;
 
   // -- Contention, per resource kind -------------------------------------
   /// Time each acquisition waited behind earlier traffic (start - ready),
@@ -122,13 +134,25 @@ struct EngineMetrics {
   /// Zero every slot, keeping allocations (per-repetition reuse).
   void reset() noexcept;
 
+  /// Export name of a path-class slot: the declared taxonomy name when
+  /// known, else the classic enum name (slots 0-2) or "path-N".
+  [[nodiscard]] std::string path_name(int p) const {
+    if (p >= 0 && p < static_cast<int>(path_names.size())) {
+      return path_names[static_cast<std::size_t>(p)];
+    }
+    if (p >= 0 && p < 3) return to_string(static_cast<PathClass>(p));
+    return "path-" + std::to_string(p);
+  }
+
   // ---- Hot-path recording helpers (allocation-free) ---------------------
+  void on_message(int path, Protocol proto, std::int64_t bytes) noexcept {
+    const auto r = static_cast<int>(proto);
+    ++msgs[path][r];
+    msg_bytes[path][r] += bytes;
+  }
   void on_message(PathClass path, Protocol proto,
                   std::int64_t bytes) noexcept {
-    const auto p = static_cast<int>(path);
-    const auto r = static_cast<int>(proto);
-    ++msgs[p][r];
-    msg_bytes[p][r] += bytes;
+    on_message(static_cast<int>(path), proto, bytes);
   }
   void on_wait(SimResource res, double ready, double start) noexcept {
     if (start > ready) {

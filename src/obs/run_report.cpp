@@ -72,7 +72,7 @@ void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
     for (int r = 0; r < EngineMetrics::kProtos; ++r) {
       if (metrics.msgs[p][r] == 0 && metrics.msg_bytes[p][r] == 0) continue;
       TrafficStat t;
-      t.path = to_string(static_cast<PathClass>(p));
+      t.path = metrics.path_name(p);
       t.proto = to_string(static_cast<Protocol>(r));
       t.messages = per_rep(metrics.msgs[p][r]);
       t.bytes = per_rep(metrics.msg_bytes[p][r]);

@@ -65,15 +65,47 @@ TEST(CliParse, MetricsFlag) {
 }
 
 TEST(CliMachine, PresetsResolve) {
-  for (const char* machine : {"lassen", "summit", "frontier", "delta"}) {
+  for (const char* machine :
+       {"lassen", "summit", "frontier", "delta", "nvisland"}) {
     Options opts = parse({"params", "--machine", machine, "--nodes", "2"});
     const Topology topo = make_topology(opts);
     EXPECT_GE(topo.num_gpus(), 8) << machine;
     EXPECT_NO_THROW(make_params(opts));
   }
+}
+
+TEST(CliMachine, UnknownNameErrorsLoudlyEverywhere) {
+  // One strict lookup for topology and params alike: no silent fallback to
+  // the Lassen calibration anywhere.
   Options bad = parse({"params"});
   bad.machine = "cray1";
   EXPECT_THROW((void)make_topology(bad), std::invalid_argument);
+  EXPECT_THROW((void)make_params(bad), std::invalid_argument);
+  try {
+    (void)make_machine(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Usage-style message: names the bad machine and lists the presets.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cray1"), std::string::npos);
+    EXPECT_NE(what.find("lassen"), std::string::npos);
+  }
+}
+
+TEST(CliMachine, MachineFileResolvesThroughFlag) {
+  const std::string path = ::testing::TempDir() + "/cli_machine.json";
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run(Options::parse({"machine", "export", "--machine",
+                                  "nvisland", "--out", path}),
+                  os),
+              0);
+  }
+  Options opts = parse({"params", "--machine", path.c_str()});
+  const ParamSet params = make_params(opts);
+  EXPECT_EQ(params.taxonomy.num_classes(), 4);
+  EXPECT_EQ(params.injection.nics_per_node, 2);
+  std::remove(path.c_str());
 }
 
 TEST(CliWorkload, DefaultIsRandomPattern) {
@@ -188,6 +220,46 @@ TEST_F(CliRunTest, ReportWritesMetricsFile) {
             std::string::npos);
   EXPECT_EQ(report.at("reps").as_int(), 3);
   std::remove(path.c_str());
+}
+
+TEST_F(CliRunTest, MachineListNamesEveryPreset) {
+  const std::string out = run_cli({"machine", "list"});
+  for (const char* name :
+       {"lassen", "summit", "frontier", "delta", "nvisland"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(CliRunTest, MachineDescribeShowsTaxonomy) {
+  const std::string out =
+      run_cli({"machine", "describe", "--machine", "nvisland"});
+  EXPECT_NE(out.find("nvlink-peer"), std::string::npos);
+  EXPECT_NE(out.find("first match wins"), std::string::npos);
+  EXPECT_NE(out.find("2 NIC lane(s)"), std::string::npos);
+}
+
+TEST_F(CliRunTest, MachineValidateAcceptsPresets) {
+  const std::string out =
+      run_cli({"machine", "validate", "--machine", "summit"});
+  EXPECT_NE(out.find("OK"), std::string::npos);
+}
+
+TEST_F(CliRunTest, MachineExportRoundTripsThroughCompare) {
+  const std::string path = ::testing::TempDir() + "/cli_export.json";
+  run_cli(
+      {"machine", "export", "--machine", "lassen", "--out", path.c_str()});
+  const std::string a = run_cli({"compare", "--nodes", "2", "--reps", "2"});
+  const std::string b = run_cli(
+      {"compare", "--nodes", "2", "--reps", "2", "--machine", path.c_str()});
+  // Identical rankings and clocks; only the machine label differs.
+  EXPECT_EQ(a.substr(a.find('\n')), b.substr(b.find('\n')));
+  std::remove(path.c_str());
+}
+
+TEST_F(CliRunTest, MachineActionIsValidated) {
+  EXPECT_THROW((void)Options::parse({"machine"}), std::invalid_argument);
+  EXPECT_THROW((void)Options::parse({"machine", "frobnicate"}),
+               std::invalid_argument);
 }
 
 }  // namespace

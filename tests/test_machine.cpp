@@ -1,0 +1,280 @@
+// MachineModel layer: declarative machine descriptions, the
+// hetcomm.machine.v1 JSON round trip, strict validation, and the
+// end-to-end contract that a machine loaded from its own export simulates
+// bit-identically to the in-code preset -- across every Table-5 strategy,
+// both engine paths, and serial as well as threaded measurement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "machine/machine_json.hpp"
+#include "sparse/comm_graph.hpp"
+#include "sparse/generators.hpp"
+
+namespace hetcomm {
+namespace {
+
+using core::CommPattern;
+using core::CommPlan;
+using core::ExecMode;
+using core::MeasureOptions;
+using core::StrategyConfig;
+using machine::MachineModel;
+
+CommPattern workload(const Topology& topo) {
+  const sparse::CsrMatrix m = sparse::banded_fem(3200, 400, 16, 7,
+                                                 /*with_values=*/false);
+  const sparse::RowPartition part =
+      sparse::RowPartition::contiguous(m.rows(), topo.num_gpus());
+  return sparse::spmv_comm_pattern(m, part, topo, 64);
+}
+
+double clock_for(const MachineModel& mach, const StrategyConfig& cfg,
+                 ExecMode engine, int jobs) {
+  const Topology topo = mach.topology(4);
+  const CommPattern pattern = workload(topo);
+  const CommPlan plan = core::build_plan(pattern, topo, mach.params, cfg);
+  MeasureOptions opts;
+  opts.reps = 4;
+  opts.noise_sigma = 0.02;
+  opts.engine = engine;
+  opts.jobs = jobs;
+  return core::measure(plan, topo, mach.params, opts).max_avg;
+}
+
+// ---- Presets and validation ---------------------------------------------
+
+TEST(MachineModel, EveryPresetValidates) {
+  for (const std::string& name : machine::preset_machine_names()) {
+    EXPECT_NO_THROW(machine::preset_machine(name).validate()) << name;
+  }
+}
+
+TEST(MachineModel, PresetPreservesHardwiredShapeAndParams) {
+  const MachineModel m = machine::lassen_machine();
+  const MachineShape legacy = presets::lassen(1);
+  EXPECT_EQ(m.node.sockets_per_node, legacy.sockets_per_node);
+  EXPECT_EQ(m.node.gpus_per_socket, legacy.gpus_per_socket);
+  EXPECT_EQ(m.node.cores_per_socket, legacy.cores_per_socket);
+  const ParamSet legacy_params = lassen_params();
+  for (int p = 0; p < 3; ++p) {
+    for (const Protocol proto :
+         {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+      EXPECT_EQ(m.params.messages.get(MemSpace::Host, proto, p).alpha,
+                legacy_params.messages.get(MemSpace::Host, proto, p).alpha);
+      EXPECT_EQ(m.params.messages.get(MemSpace::Host, proto, p).beta,
+                legacy_params.messages.get(MemSpace::Host, proto, p).beta);
+    }
+  }
+}
+
+TEST(MachineModel, UnknownPresetThrowsListingNames) {
+  try {
+    (void)machine::preset_machine("cray1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cray1"), std::string::npos);
+    EXPECT_NE(what.find("lassen"), std::string::npos);
+    EXPECT_NE(what.find("nvisland"), std::string::npos);
+  }
+}
+
+TEST(MachineModel, NodesForGpusRoundsUpToShape) {
+  const MachineModel m = machine::lassen_machine();  // 4 GPUs per node
+  EXPECT_EQ(m.nodes_for_gpus(1), 1);
+  EXPECT_EQ(m.nodes_for_gpus(4), 1);
+  EXPECT_EQ(m.nodes_for_gpus(5), 2);
+  EXPECT_EQ(m.nodes_for_gpus(64), 16);
+  const MachineModel s = machine::summit_machine();  // 6 GPUs per node
+  EXPECT_EQ(s.nodes_for_gpus(64), 11);
+}
+
+TEST(MachineModel, ValidateRejectsBrokenTables) {
+  MachineModel m = machine::lassen_machine();
+  // Host alpha ordering: rendezvous cheaper than eager is a description
+  // error (the envelope handshake cannot be free).
+  auto eager = m.params.messages.get(MemSpace::Host, Protocol::Eager, 0);
+  auto rendezvous =
+      m.params.messages.get(MemSpace::Host, Protocol::Rendezvous, 0);
+  m.params.messages.set(MemSpace::Host, Protocol::Eager, 0, rendezvous);
+  m.params.messages.set(MemSpace::Host, Protocol::Rendezvous, 0, eager);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(MachineModel, ValidateRejectsUnreachableCustomClass) {
+  MachineModel m = machine::nvisland_machine();
+  m.node.gpus_per_socket = 0;  // NVLink clique on a GPU-less shape
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+// ---- JSON round trip ------------------------------------------------------
+
+TEST(MachineJson, ExportReloadsIdentically) {
+  for (const std::string& name : machine::preset_machine_names()) {
+    const MachineModel orig = machine::preset_machine(name);
+    const MachineModel again =
+        machine::machine_from_json(machine::to_json(orig));
+    EXPECT_EQ(again.name, orig.name) << name;
+    EXPECT_EQ(again.node.sockets_per_node, orig.node.sockets_per_node);
+    EXPECT_EQ(again.node.gpus_per_socket, orig.node.gpus_per_socket);
+    EXPECT_EQ(again.node.cores_per_socket, orig.node.cores_per_socket);
+    ASSERT_EQ(again.params.taxonomy.num_classes(),
+              orig.params.taxonomy.num_classes());
+    for (int c = 0; c < orig.params.taxonomy.num_classes(); ++c) {
+      EXPECT_EQ(again.params.taxonomy.cls(c).name,
+                orig.params.taxonomy.cls(c).name);
+      EXPECT_EQ(again.params.taxonomy.cls(c).locality,
+                orig.params.taxonomy.cls(c).locality);
+      for (const Protocol proto :
+           {Protocol::Short, Protocol::Eager, Protocol::Rendezvous}) {
+        // Bit-exact doubles: obs/json dumps with max_digits10.
+        EXPECT_EQ(again.params.messages.get(MemSpace::Host, proto, c).alpha,
+                  orig.params.messages.get(MemSpace::Host, proto, c).alpha);
+        EXPECT_EQ(again.params.messages.get(MemSpace::Host, proto, c).beta,
+                  orig.params.messages.get(MemSpace::Host, proto, c).beta);
+      }
+      for (const Protocol proto : {Protocol::Eager, Protocol::Rendezvous}) {
+        EXPECT_EQ(again.params.messages.get(MemSpace::Device, proto, c).alpha,
+                  orig.params.messages.get(MemSpace::Device, proto, c).alpha);
+        EXPECT_EQ(again.params.messages.get(MemSpace::Device, proto, c).beta,
+                  orig.params.messages.get(MemSpace::Device, proto, c).beta);
+      }
+    }
+    EXPECT_EQ(again.params.injection.nics_per_node,
+              orig.params.injection.nics_per_node);
+    EXPECT_EQ(again.params.injection.inv_rate_cpu,
+              orig.params.injection.inv_rate_cpu);
+    EXPECT_EQ(again.params.thresholds.short_max,
+              orig.params.thresholds.short_max);
+    EXPECT_EQ(again.params.thresholds.eager_max,
+              orig.params.thresholds.eager_max);
+  }
+}
+
+TEST(MachineJson, RejectsWrongSchemaAndMissingFields) {
+  obs::JsonValue doc = machine::to_json(machine::lassen_machine());
+  doc.set("schema", obs::JsonValue("hetcomm.machine.v0"));
+  EXPECT_THROW((void)machine::machine_from_json(doc), std::exception);
+}
+
+TEST(MachineJson, LoadMachineFilePrefixesPathOnError) {
+  const std::string path = ::testing::TempDir() + "/no_such_machine.json";
+  try {
+    (void)machine::load_machine_file(path);
+    FAIL() << "expected failure";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(MachineJson, ResolveMachineDispatchesOnJsonSuffix) {
+  const MachineModel preset = machine::resolve_machine("delta");
+  EXPECT_EQ(preset.name, "delta");
+
+  const std::string path = ::testing::TempDir() + "/resolve_machine.json";
+  {
+    std::ofstream out(path);
+    machine::to_json(machine::nvisland_machine()).dump(out);
+  }
+  const MachineModel from_file = machine::resolve_machine(path);
+  EXPECT_EQ(from_file.name, "nvisland");
+  EXPECT_EQ(from_file.params.taxonomy.num_classes(), 4);
+}
+
+// ---- Bit-identical simulation through the round trip ----------------------
+
+TEST(MachineRoundTrip, EveryPresetSimulatesBitIdentically) {
+  // Export -> reload -> simulate must reproduce the in-code preset's clocks
+  // exactly: all Table-5 strategies x {compiled, interpreted} x serial and
+  // threaded measurement.
+  for (const std::string& name : machine::preset_machine_names()) {
+    const MachineModel orig = machine::preset_machine(name);
+
+    const std::string path =
+        ::testing::TempDir() + "/roundtrip_" + name + ".json";
+    {
+      std::ofstream out(path);
+      machine::to_json(orig).dump(out);
+    }
+    const MachineModel loaded = machine::load_machine_file(path);
+
+    for (const StrategyConfig& cfg : core::table5_strategies()) {
+      for (const ExecMode engine :
+           {ExecMode::Compiled, ExecMode::Interpreted}) {
+        for (const int jobs : {1, 0}) {  // serial and hardware concurrency
+          const double a = clock_for(orig, cfg, engine, jobs);
+          const double b = clock_for(loaded, cfg, engine, jobs);
+          EXPECT_EQ(a, b) << name << " / " << cfg.name() << " / "
+                          << to_string(engine) << " / jobs=" << jobs;
+        }
+      }
+    }
+  }
+}
+
+// ---- The asymmetric machine end to end -------------------------------------
+
+TEST(NvIsland, FourClassTaxonomyResolvesNvlinkPeers) {
+  const MachineModel m = machine::nvisland_machine();
+  const Topology topo = m.topology(2);
+  const PathTable paths(topo, m.params.taxonomy);
+  const int nvlink = m.params.taxonomy.id_of("nvlink-peer");
+  ASSERT_GE(nvlink, 0);
+
+  // Lassen shape: 20 cores per socket, 2 GPU owners per socket (cores 0-1).
+  const int owner_s0 = 0;    // node 0, socket 0, core 0 (GPU owner)
+  const int owner_s1 = 20;   // node 0, socket 1, core 0 (GPU owner)
+  const int plain_s0 = 5;    // node 0, socket 0, non-owner
+  const int plain_s1 = 25;   // node 0, socket 1, non-owner
+  const int owner_n1 = 40;   // node 1, socket 0, core 0
+
+  // GPU owners reach each other over NVLink even across sockets.
+  EXPECT_EQ(paths.path_of(owner_s0, owner_s1), nvlink);
+  EXPECT_EQ(paths.path_of(owner_s0, 1), nvlink);  // same-socket owners
+  // Everything else falls back to the classic placement classes.
+  EXPECT_EQ(paths.path_of(plain_s0, plain_s1),
+            m.params.taxonomy.id_of("cross-socket"));
+  EXPECT_EQ(paths.path_of(plain_s0, 6), m.params.taxonomy.id_of("on-socket"));
+  EXPECT_EQ(paths.path_of(owner_s0, owner_n1),
+            m.params.taxonomy.id_of("off-node"));
+  // NVLink is an on-node path; no NIC traversal.
+  EXPECT_FALSE(paths.off_node(static_cast<std::uint8_t>(nvlink)));
+}
+
+TEST(NvIsland, FlipsTheStrategyRankingVsLassen) {
+  // On Lassen, device-aware sends pay the measured through-host penalty and
+  // staged strategies win; on the NVLink island the device path between
+  // GPU owners is cheap, so the best device-aware strategy must beat the
+  // best staged strategy there while losing on Lassen.
+  auto best = [](const MachineModel& m, MemSpace space) {
+    double best_t = 1e99;
+    for (const StrategyConfig& cfg : core::table5_strategies()) {
+      if (cfg.transport != space) continue;
+      best_t = std::min(best_t, clock_for(m, cfg, ExecMode::Compiled, 1));
+    }
+    return best_t;
+  };
+  const MachineModel lassen = machine::lassen_machine();
+  const MachineModel nvisland = machine::nvisland_machine();
+
+  EXPECT_LT(best(lassen, MemSpace::Host), best(lassen, MemSpace::Device));
+  EXPECT_LT(best(nvisland, MemSpace::Device), best(nvisland, MemSpace::Host));
+}
+
+TEST(NvIsland, DualNicLanesAreStructurallyVisible) {
+  const MachineModel m = machine::nvisland_machine();
+  EXPECT_EQ(m.params.injection.nics_per_node, 2);
+  const Topology topo = m.topology(2);
+  // Socket 0 and socket 1 ranks map to distinct NIC lanes on each node.
+  const RankLocation s0 = topo.rank_location(0);
+  const RankLocation s1 = topo.rank_location(20);
+  EXPECT_NE(m.params.injection.nic_of(s0), m.params.injection.nic_of(s1));
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -16,6 +16,7 @@
 
 #include "core/executor.hpp"
 #include "core/strategy.hpp"
+#include "machine/machine.hpp"
 #include "obs/engine_metrics.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -567,6 +568,62 @@ TEST_F(MetricsSimTest, RunReportJsonRoundTrips) {
     }
   }
   EXPECT_TRUE(saw_traffic_name);
+}
+
+TEST(EngineMetrics, PathNameFallsBackWhenUndeclared) {
+  obs::EngineMetrics m;
+  // No declared taxonomy names: classic localities label ids 0-2, higher
+  // ids get a schema-compatible synthetic label.
+  EXPECT_EQ(m.path_name(0), "on-socket");
+  EXPECT_EQ(m.path_name(1), "on-node");
+  EXPECT_EQ(m.path_name(2), "off-node");
+  EXPECT_EQ(m.path_name(3), "path-3");
+  // Declared names win for every id they cover.
+  m.path_names = {"a", "b", "c", "nvlink-peer"};
+  EXPECT_EQ(m.path_name(1), "b");
+  EXPECT_EQ(m.path_name(3), "nvlink-peer");
+}
+
+TEST(EngineMetrics, PublishUsesDeclaredPathNames) {
+  obs::EngineMetrics m;
+  m.ensure_nodes(1);
+  m.path_names = {"on-socket", "cross-socket", "off-node", "nvlink-peer"};
+  m.on_message(3, Protocol::Eager, 512);
+  obs::Registry reg;
+  m.publish(reg);
+  bool saw = false;
+  for (const auto& c : reg.counters()) {
+    if (c.name == "msgs{path=nvlink-peer,proto=eager}") {
+      saw = true;
+      EXPECT_EQ(c.value, 1);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(EngineMetrics, TrafficBreakdownCarriesMachineClassNames) {
+  // End to end (satellite #6): a machine with a >3-class taxonomy must
+  // surface its declared class names in the hetcomm.metrics.v1 traffic
+  // breakdown.  nvisland's device 3-step plan moves GPU-owner traffic over
+  // the nvlink-peer class.
+  const machine::MachineModel mach = machine::nvisland_machine();
+  const Topology topo = mach.topology(2);
+  core::CommPattern p(topo.num_gpus());
+  p.add(0, 1, 40000);   // owners on one node: nvlink-peer
+  p.add(0, 4, 700000);  // crosses nodes
+  const core::CommPlan plan = core::build_plan(
+      p, topo, mach.params,
+      {core::StrategyKind::ThreeStep, MemSpace::Device});
+  core::MeasureOptions o;
+  o.reps = 3;
+  o.collect_metrics = true;
+  core::MeasureResult r = core::measure(plan, topo, mach.params, o);
+  ASSERT_TRUE(r.metrics.has_value());
+  bool saw_nvlink = false;
+  for (const obs::TrafficStat& t : r.metrics->traffic) {
+    if (t.path == "nvlink-peer") saw_nvlink = true;
+  }
+  EXPECT_TRUE(saw_nvlink);
 }
 
 TEST_F(MetricsSimTest, WorkerStatsCoverAllReps) {
