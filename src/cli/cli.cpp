@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -14,7 +15,10 @@
 #include "core/models/submodels.hpp"
 #include "core/pattern_io.hpp"
 #include "core/strategy.hpp"
+#include "fault/fault_json.hpp"
+#include "fault/stability.hpp"
 #include "hetsim/engine.hpp"
+#include "hetsim/faults.hpp"
 #include "machine/machine_json.hpp"
 #include "runtime/sweep.hpp"
 #include "hetsim/trace_export.hpp"
@@ -52,6 +56,7 @@ std::string usage() {
   return
       "usage: hetcomm <compare|advise|model|params|trace|report> [flags]\n"
       "       hetcomm machine <list|describe|export|validate> [flags]\n"
+      "       hetcomm ranking-stability --faults FILE.json [flags]\n"
       "  --machine NAME|FILE.json   preset (lassen summit frontier delta\n"
       "                             nvisland) or hetcomm.machine.v1 file\n"
       "                             (default lassen)\n"
@@ -63,6 +68,11 @@ std::string usage() {
       "  --taper T            attach a T:1 tapered fat-tree fabric\n"
       "  --jobs N             worker threads (default: hardware concurrency)\n"
       "  --metrics FILE       for `report`: also write the JSON run report\n"
+      "  --faults FILE.json   attach a hetcomm.fault.v1 degradation plan\n"
+      "                       (compare, trace, report, ranking-stability)\n"
+      "  --fault-seeds N      for `ranking-stability`: ensemble size\n"
+      "                       (default 4); --out FILE writes the\n"
+      "                       hetcomm.stability.v1 report\n"
       "  --reps N --seed S --csv\n";
 }
 
@@ -75,7 +85,7 @@ Options Options::parse(const std::vector<std::string>& args) {
   if (opts.command != "compare" && opts.command != "advise" &&
       opts.command != "model" && opts.command != "params" &&
       opts.command != "trace" && opts.command != "report" &&
-      opts.command != "machine") {
+      opts.command != "machine" && opts.command != "ranking-stability") {
     throw std::invalid_argument("unknown command '" + opts.command + "'\n" +
                                 usage());
   }
@@ -134,12 +144,22 @@ Options Options::parse(const std::vector<std::string>& args) {
       if (opts.metrics_file.empty()) {
         throw std::invalid_argument("--metrics needs a non-empty file path");
       }
+    } else if (flag == "--faults") {
+      opts.faults_file = value();
+      if (opts.faults_file.empty()) {
+        throw std::invalid_argument("--faults needs a non-empty file path");
+      }
+    } else if (flag == "--fault-seeds") {
+      opts.fault_seeds = static_cast<int>(to_int(value(), "--fault-seeds"));
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + usage());
     }
   }
   if (opts.nodes < 1) throw std::invalid_argument("--nodes must be >= 1");
   if (opts.reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  if (opts.fault_seeds < 1) {
+    throw std::invalid_argument("--fault-seeds must be >= 1");
+  }
   if (opts.jobs < 0) {
     throw std::invalid_argument("--jobs must be >= 1 (or 0 for hardware)");
   }
@@ -228,12 +248,29 @@ core::MeasureOptions measure_options(const Options& opts,
   return mopts;
 }
 
+/// Load + compile --faults against the resolved machine; nullopt when no
+/// plan was requested.  Loading/scope errors are std::invalid_argument
+/// (exit 2): a bad fault file is an input error, not a simulation failure.
+std::optional<FaultModel> make_faults(const Options& opts,
+                                      const Topology& topo,
+                                      const ParamSet& params) {
+  if (opts.faults_file.empty()) return std::nullopt;
+  const fault::FaultPlan plan = fault::load_fault_file(opts.faults_file);
+  try {
+    return plan.compile(topo, params);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(opts.faults_file + ": " + e.what());
+  }
+}
+
 int cmd_compare(const Options& opts, std::ostream& os) {
   const machine::MachineModel mach = make_machine(opts);
   const Topology topo = mach.topology(opts.nodes);
   const ParamSet& params = mach.params;
   const core::CommPattern pattern = make_workload(opts, topo);
-  const core::MeasureOptions mopts = measure_options(opts, topo);
+  const std::optional<FaultModel> faults = make_faults(opts, topo, params);
+  core::MeasureOptions mopts = measure_options(opts, topo);
+  if (faults) mopts.faults = &*faults;
 
   Table table({"strategy", "time [s]", "net msgs", "net bytes", "vs best"});
   struct Row {
@@ -353,8 +390,10 @@ int cmd_trace(const Options& opts, std::ostream& os) {
   const core::CommPattern pattern = make_workload(opts, topo);
   const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
   const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
+  const std::optional<FaultModel> faults = make_faults(opts, topo, params);
 
   Engine engine(topo, params, NoiseModel(opts.seed, 0.0));
+  if (faults) engine.set_faults(&*faults);
   engine.set_tracing(true);
   core::run_plan(engine, plan);
   if (opts.csv) {
@@ -378,9 +417,11 @@ int cmd_report(const Options& opts, std::ostream& os) {
   const core::StrategyConfig cfg = core::parse_strategy(opts.strategy);
   const core::CommPlan plan = core::build_plan(pattern, topo, params, cfg);
 
+  const std::optional<FaultModel> faults = make_faults(opts, topo, params);
   core::MeasureOptions mopts = measure_options(opts, topo);
   mopts.jobs = opts.jobs;
   mopts.collect_metrics = true;
+  if (faults) mopts.faults = &*faults;
   core::MeasureResult result = core::measure(plan, topo, params, mopts);
   obs::RunReport& report = *result.metrics;
   report.name = cfg.name() + " (" + mach.name + ", " +
@@ -426,9 +467,82 @@ int cmd_report(const Options& opts, std::ostream& os) {
     emit(opts, os, copies, "host<->device copies");
   }
 
+  if (report.has_faults()) {
+    Table fault_table({"fault metric", "value"});
+    fault_table.add_row({"retries", std::to_string(report.faults.retries)});
+    fault_table.add_row(
+        {"retry delay [s]", Table::sci(report.faults.retry_seconds)});
+    fault_table.add_row(
+        {"NIC failovers", std::to_string(report.faults.failovers)});
+    fault_table.add_row(
+        {"degraded msgs", std::to_string(report.faults.degraded_msgs)});
+    for (const obs::FaultPathStat& f : report.faults.degraded) {
+      fault_table.add_row({"degraded time [s] (" + f.path + ")",
+                           Table::sci(f.degraded_seconds)});
+    }
+    emit(opts, os, fault_table, "fault activity (per sampled repetition)");
+  }
+
   if (!opts.metrics_file.empty()) {
     benchutil::write_metrics_file(opts.metrics_file, {report});
     os << "metrics report written to " << opts.metrics_file << "\n";
+  }
+  return 0;
+}
+
+// Does the nominal (fault-free) Table 5 winner survive a degradation
+// ensemble?  Runs fault::ranking_stability and prints the per-strategy
+// record; --out writes the machine-readable hetcomm.stability.v1 report.
+int cmd_ranking_stability(const Options& opts, std::ostream& os) {
+  if (opts.faults_file.empty()) {
+    throw std::invalid_argument(
+        "ranking-stability requires --faults FILE.json\n" + usage());
+  }
+  const machine::MachineModel mach = make_machine(opts);
+  const Topology topo = mach.topology(opts.nodes);
+  const ParamSet& params = mach.params;
+  const core::CommPattern pattern = make_workload(opts, topo);
+  fault::FaultPlan plan = fault::load_fault_file(opts.faults_file);
+  if (plan.name.empty()) plan.name = opts.faults_file;
+
+  fault::StabilityOptions sopts;
+  sopts.instances = opts.fault_seeds;
+  sopts.measure = measure_options(opts, topo);
+  sopts.measure.jobs = opts.jobs;
+  fault::StabilityReport report;
+  try {
+    report = fault::ranking_stability(pattern, topo, params, plan, sopts);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(opts.faults_file + ": " + e.what());
+  }
+
+  os << "fault plan: " << report.fault_plan << " (" << report.instances
+     << " instance" << (report.instances == 1 ? "" : "s") << ", machine "
+     << mach.name << ", " << opts.nodes << " nodes)\n";
+  os << "nominal winner: " << report.nominal.winner << "\n";
+
+  Table table({"strategy", "nominal [s]", "wins", "failures"});
+  for (std::size_t i = 0; i < report.strategies.size(); ++i) {
+    const fault::StrategyOutcome& nom = report.nominal.outcomes[i];
+    table.add_row({nom.strategy,
+                   nom.failed ? std::string("failed") : Table::sci(nom.max_avg),
+                   std::to_string(report.strategies[i].wins),
+                   std::to_string(report.strategies[i].failures)});
+  }
+  emit(opts, os, table, "ranking stability under '" + report.fault_plan + "'");
+  os << "winner survived " << report.winner_survived << "/"
+     << report.instances << " instances (survival rate "
+     << Table::num(100.0 * report.survival_rate, 1) << "%)\n";
+
+  if (!opts.out_file.empty()) {
+    std::ofstream out(opts.out_file);
+    if (!out) {
+      throw std::runtime_error("ranking-stability: cannot open " +
+                               opts.out_file);
+    }
+    report.to_json().dump(out);
+    out << "\n";
+    os << "stability report written to " << opts.out_file << "\n";
   }
   return 0;
 }
@@ -519,7 +633,27 @@ int run(const Options& opts, std::ostream& os) {
   if (opts.command == "trace") return cmd_trace(opts, os);
   if (opts.command == "report") return cmd_report(opts, os);
   if (opts.command == "machine") return cmd_machine(opts, os);
+  if (opts.command == "ranking-stability") {
+    return cmd_ranking_stability(opts, os);
+  }
   throw std::logic_error("unreachable command");
+}
+
+int main_guarded(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  try {
+    const Options opts = Options::parse(args);
+    return run(opts, out);
+  } catch (const std::invalid_argument& e) {
+    // Usage / input errors: bad flags, unknown machines, malformed JSON.
+    err << "hetcomm: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // Simulation failures (FaultAbort and friends): still a structured
+    // one-line diagnostic, but distinguishable from input errors.
+    err << "hetcomm: " << e.what() << "\n";
+    return 3;
+  }
 }
 
 }  // namespace hetcomm::cli

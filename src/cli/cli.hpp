@@ -12,6 +12,11 @@
 //            hetcomm.metrics.v1 JSON with --metrics FILE)
 //   machine  list/describe/export/validate machine descriptions
 //            (hetcomm.machine.v1, see docs/machines.md)
+//   ranking-stability
+//            sweep a fault-plan ensemble (--faults, --fault-seeds) across
+//            every Table 5 strategy and report how often the nominal
+//            winner survives (hetcomm.stability.v1 with --out FILE; see
+//            docs/faults.md)
 //
 // Common flags:
 //   --machine NAME|FILE.json                 (default lassen; presets:
@@ -24,6 +29,9 @@
 //   --taper T         attach a tapered fat-tree fabric
 //   --jobs N          sweep/measure worker threads (default: hardware)
 //   --metrics FILE    (report) also write the JSON run report
+//   --faults FILE.json  attach a hetcomm.fault.v1 degradation plan
+//                       (compare, trace, report, ranking-stability)
+//   --fault-seeds N   (ranking-stability) ensemble size (default 4)
 //   --reps N  --seed S  --csv
 
 #include <iosfwd>
@@ -54,6 +62,8 @@ struct Options {
   std::uint64_t seed = 1;
   bool csv = false;
   std::string metrics_file;  ///< report: also write the JSON run report
+  std::string faults_file;   ///< hetcomm.fault.v1 plan ("" = unfaulted)
+  int fault_seeds = 4;       ///< ranking-stability: ensemble size
 
   /// Parse argv (excluding the program name).  Throws std::invalid_argument
   /// with a usage-style message on errors.
@@ -82,5 +92,14 @@ int run(const Options& opts, std::ostream& os);
 
 /// Usage text.
 [[nodiscard]] std::string usage();
+
+/// The hetcomm process entry point with the exit-code contract applied:
+/// 0 on success, 2 on usage/input errors (std::invalid_argument), 3 on
+/// simulation failures (any other std::exception, including FaultAbort) --
+/// always with a one-line "hetcomm: ..." diagnostic on `err`, never an
+/// abort.  The binary's main() is a thin wrapper; tests drive this
+/// directly.
+int main_guarded(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
 
 }  // namespace hetcomm::cli

@@ -218,7 +218,9 @@ void Engine::execute(const core::CompiledPlan& plan) {
                                 : dma_d2h_[op.gpu];
           const double ready = clock_[op.rank];
           const double start = dma.acquire(ready, op.occupancy);
-          const double duration = noise_.perturb(op.duration_base);
+          double base = op.duration_base;
+          if (faults_) base = faults_->rank_compute_factor(op.rank) * base;
+          const double duration = noise_.perturb(base);
           clock_[op.rank] = start + duration;
           if (metrics_inv_ || metrics_smp_) {
             const obs::SimResource res = op.dir == CopyDir::HostToDevice
@@ -240,7 +242,9 @@ void Engine::execute(const core::CompiledPlan& plan) {
         }
         case core::StepKind::Pack: {
           const core::CompiledPhase::PackOp& op = phase.packs[step.index];
-          const double duration = noise_.perturb(op.duration_base);
+          double base = op.duration_base;
+          if (faults_) base = faults_->rank_compute_factor(op.rank) * base;
+          const double duration = noise_.perturb(base);
           clock_[op.rank] += duration;
           if (metrics_smp_) metrics_smp_->on_pack(op.bytes, duration);
           break;
@@ -277,69 +281,130 @@ void Engine::execute(const core::CompiledPlan& plan) {
               });
 
     // ---- Schedule: only queueing, one noise draw, clock advancement. ----
+    // Mirrors Engine::schedule's send/resend loop step for step (same
+    // resource order, same metric hooks, same fault helpers), so faulted
+    // runs stay bit-identical across the two engine modes.
     for (const std::uint32_t i : sched_order_scratch_) {
       const core::CompiledPhase::MessageSchedule& msg = phase.messages[i];
-      const double ready = ready_scratch_[i];
-      double t = send_port_[msg.src].acquire(ready, msg.send_occupancy);
-      if (metrics_inv_) {
-        const core::CompiledPhase::MessageMeta& meta = phase.message_meta[i];
-        metrics_inv_->on_message(meta.path_id, meta.protocol, msg.bytes);
-        metrics_inv_->on_occupancy(obs::SimResource::SendPort,
-                                   msg.send_occupancy);
-      }
-      if (metrics_smp_) {
-        metrics_smp_->on_wait(obs::SimResource::SendPort, ready, t);
-      }
-      if (msg.off_node) {
-        const double t_out = nic_out_[msg.src_nic].acquire(t,
-                                                           msg.nic_occupancy);
-        if (metrics_inv_) {
-          metrics_inv_->on_occupancy(obs::SimResource::NicOut,
-                                     msg.nic_occupancy);
-          metrics_inv_->on_nic_egress(msg.src_node, msg.bytes);
+      const double ready0 = ready_scratch_[i];
+
+      FaultMsgState fst;
+      fst.send_occupancy = msg.send_occupancy;
+      fst.drain_occupancy = msg.drain_occupancy;
+      fst.completion_base = msg.completion_base;
+      fst.nic_occupancy_src = msg.nic_occupancy;
+      fst.nic_occupancy_dst = msg.nic_occupancy;
+      std::uint8_t fault_path = 0;
+      if (faults_) {
+        fault_path = phase.message_meta[i].path_id;
+        fst = fault_prepare(msg.src, fault_path, msg.off_node, msg.src_node,
+                            msg.dst_node, msg.src_nic, msg.dst_nic,
+                            msg.send_occupancy, msg.drain_occupancy,
+                            msg.completion_base, msg.nic_occupancy, ready0);
+        if (fst.degraded && metrics_smp_) {
+          metrics_smp_->on_fault_degraded(fault_path, fst.extra_seconds);
         }
-        if (metrics_smp_) {
-          metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
-        }
-        t = t_out;
-        if (fabric_) {
-          const double t_fab =
-              fabric_->acquire(msg.src_node, msg.dst_node, msg.bytes, t);
-          // Fabric wait folds queueing and link serialization together (the
-          // fabric returns only the final acquire time).
-          if (metrics_smp_) {
-            metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
-          }
-          t = t_fab;
-        }
-        const double t_in = nic_in_[msg.dst_nic].acquire(t,
-                                                         msg.nic_occupancy);
-        if (metrics_inv_) {
-          metrics_inv_->on_occupancy(obs::SimResource::NicIn,
-                                     msg.nic_occupancy);
-        }
-        if (metrics_smp_) {
-          metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
-        }
-        t = t_in;
       }
-      const double t_drain = recv_port_[msg.dst].acquire(t,
-                                                         msg.drain_occupancy);
-      if (metrics_inv_) {
-        metrics_inv_->on_occupancy(obs::SimResource::RecvPort,
-                                   msg.drain_occupancy);
-      }
-      if (metrics_smp_) {
-        metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
-      }
-      t = t_drain;
 
       const double hop_latency =
           (msg.off_node && fabric_)
               ? fabric_->hop_latency(msg.src_node, msg.dst_node)
               : 0.0;
-      const double completion =
-          t + noise_.perturb(msg.completion_base) + hop_latency;
+
+      double ready = ready0;
+      double t = 0.0;
+      double completion = 0.0;
+      for (int attempt = 0;;) {
+        t = send_port_[msg.src].acquire(ready, fst.send_occupancy);
+        if (metrics_inv_) {
+          if (attempt == 0) {
+            const core::CompiledPhase::MessageMeta& meta =
+                phase.message_meta[i];
+            metrics_inv_->on_message(meta.path_id, meta.protocol, msg.bytes);
+          }
+          metrics_inv_->on_occupancy(obs::SimResource::SendPort,
+                                     fst.send_occupancy);
+        }
+        if (metrics_smp_) {
+          metrics_smp_->on_wait(obs::SimResource::SendPort, ready, t);
+        }
+        if (msg.off_node) {
+          std::int32_t out_server = msg.src_nic;
+          if (faults_ && faults_->has_outages()) {
+            bool failover = false;
+            out_server = fault_route_nic(msg.src_node, msg.src_nic, t,
+                                         failover, msg.src, msg.dst,
+                                         fault_path);
+            if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
+          }
+          const double t_out =
+              nic_out_[out_server].acquire(t, fst.nic_occupancy_src);
+          if (metrics_inv_) {
+            metrics_inv_->on_occupancy(obs::SimResource::NicOut,
+                                       fst.nic_occupancy_src);
+            if (attempt == 0) {
+              metrics_inv_->on_nic_egress(msg.src_node, msg.bytes);
+            }
+          }
+          if (metrics_smp_) {
+            metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
+          }
+          t = t_out;
+          if (fabric_) {
+            const double t_fab =
+                fabric_->acquire(msg.src_node, msg.dst_node, msg.bytes, t);
+            // Fabric wait folds queueing and link serialization together
+            // (the fabric returns only the final acquire time).
+            if (metrics_smp_) {
+              metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
+            }
+            t = t_fab;
+          }
+          std::int32_t in_server = msg.dst_nic;
+          if (faults_ && faults_->has_outages()) {
+            bool failover = false;
+            in_server = fault_route_nic(msg.dst_node, msg.dst_nic, t,
+                                        failover, msg.src, msg.dst,
+                                        fault_path);
+            if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
+          }
+          const double t_in =
+              nic_in_[in_server].acquire(t, fst.nic_occupancy_dst);
+          if (metrics_inv_) {
+            metrics_inv_->on_occupancy(obs::SimResource::NicIn,
+                                       fst.nic_occupancy_dst);
+          }
+          if (metrics_smp_) {
+            metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
+          }
+          t = t_in;
+        }
+        const double t_drain =
+            recv_port_[msg.dst].acquire(t, fst.drain_occupancy);
+        if (metrics_inv_) {
+          metrics_inv_->on_occupancy(obs::SimResource::RecvPort,
+                                     fst.drain_occupancy);
+        }
+        if (metrics_smp_) {
+          metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
+        }
+        t = t_drain;
+
+        completion = t + noise_.perturb(fst.completion_base) + hop_latency;
+
+        if (fault_lost(fst, attempt)) {
+          ++attempt;
+          if (attempt >= fst.loss->retry.max_attempts) {
+            throw_retries_exhausted(msg.src, msg.dst, fault_path, attempt);
+          }
+          const double delay = retry_delay(fst.loss->retry, attempt - 1);
+          if (metrics_smp_) metrics_smp_->on_fault_retry(delay);
+          ready = completion + delay;
+          continue;
+        }
+        break;
+      }
+
       const double sender_done =
           msg.rendezvous ? completion : send_port_[msg.src].free_at();
       clock_[msg.src] = std::max(clock_[msg.src], sender_done);
@@ -349,7 +414,7 @@ void Engine::execute(const core::CompiledPlan& plan) {
         const core::CompiledPhase::MessageMeta& meta = phase.message_meta[i];
         trace_.messages.push_back({msg.src, msg.dst, msg.bytes, meta.tag,
                                    meta.space, meta.protocol, meta.path,
-                                   ready, t, completion});
+                                   ready0, t, completion});
       }
     }
     network_bytes_ += phase.network_bytes;

@@ -138,6 +138,7 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       slot = std::make_unique<Engine>(topo, params,
                                       NoiseModel(0, options.noise_sigma));
       if (options.fabric) slot->set_fabric(*options.fabric);
+      if (options.faults) slot->set_faults(options.faults);
     }
     if (options.collect_metrics) {
       // Plan-invariant slots record on repetition 0 only (exactly once per
@@ -193,7 +194,17 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
 
   const auto start = std::chrono::steady_clock::now();
   runtime::ThreadPool pool(jobs);
-  pool.parallel_for(options.reps, run_rep);
+  try {
+    pool.parallel_for(options.reps, run_rep);
+  } catch (const FaultAbort& e) {
+    if (e.strategy.empty()) {
+      // Stamp the structured error with the plan it killed; everything else
+      // (ranks, path class, attempt count) came from the engine.
+      throw FaultAbort(e.reason, plan.strategy_name, e.src, e.dst, e.path_id,
+                       e.path, e.attempts);
+    }
+    throw;
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -64,6 +64,13 @@ struct MeasureOptions {
   /// Recording never perturbs the simulation: clocks, traces and statistics
   /// are bit-identical with this on or off (and for every jobs value).
   bool collect_metrics = false;
+  /// Caller-owned fault model attached to every per-worker engine (nullptr
+  /// or an empty model = unfaulted).  Faulted results stay bit-identical
+  /// across `jobs` values and engine modes (the fault stream is keyed by
+  /// repetition seed and schedule-order message id, never worker identity).
+  /// A FaultAbort raised mid-sweep is rethrown with the plan's strategy
+  /// name filled in; no partial result is returned.
+  const FaultModel* faults = nullptr;
 };
 
 struct MeasureResult {

@@ -1,0 +1,283 @@
+#include "fault/fault_json.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace hetcomm::fault {
+
+namespace {
+
+using obs::JsonValue;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Emission.
+
+JsonValue window_json(const FaultWindow& w) {
+  JsonValue out = JsonValue::object();
+  out.set("begin", w.begin);
+  if (w.end != kInf) out.set("end", w.end);
+  return out;
+}
+
+/// Append "window" only when it constrains anything: an always-active
+/// window round-trips as an absent key.
+void emit_window(JsonValue& obj, const FaultWindow& w) {
+  if (!w.always()) obj.set("window", window_json(w));
+}
+
+JsonValue retry_json(const RetryPolicy& r) {
+  JsonValue out = JsonValue::object();
+  out.set("timeout", r.timeout);
+  out.set("backoff", r.backoff);
+  out.set("max_delay", r.max_delay);
+  out.set("max_attempts", r.max_attempts);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers.  Error strings name the JSON location (rule kind +
+// array index) so a failing file is diagnosable without a debugger.
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw std::invalid_argument("fault plan JSON: " + where + ": " + what);
+}
+
+const JsonValue& require(const JsonValue& obj, std::string_view key,
+                         const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(where, "missing required key \"" + std::string(key) + '"');
+  return *v;
+}
+
+double number_at(const JsonValue& obj, std::string_view key,
+                 const std::string& where, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail(where, '"' + std::string(key) + "\" must be a number");
+  return v->as_double();
+}
+
+int int_at(const JsonValue& obj, std::string_view key, const std::string& where,
+           int fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind() != JsonValue::Kind::Int) {
+    fail(where, '"' + std::string(key) + "\" must be an integer");
+  }
+  return static_cast<int>(v->as_int());
+}
+
+std::string string_at(const JsonValue& obj, std::string_view key,
+                      const std::string& where, const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) fail(where, '"' + std::string(key) + "\" must be a string");
+  return v->as_string();
+}
+
+FaultWindow window_at(const JsonValue& obj, const std::string& where) {
+  FaultWindow w;  // defaults to always-active
+  const JsonValue* v = obj.find("window");
+  if (v == nullptr) return w;
+  if (!v->is_object()) fail(where, "\"window\" must be an object");
+  const std::string wwhere = where + ".window";
+  w.begin = number_at(*v, "begin", wwhere, 0.0);
+  w.end = number_at(*v, "end", wwhere, kInf);
+  return w;
+}
+
+RetryPolicy retry_at(const JsonValue& obj, const std::string& where) {
+  RetryPolicy r;  // schema defaults
+  const JsonValue* v = obj.find("retry");
+  if (v == nullptr) return r;
+  if (!v->is_object()) fail(where, "\"retry\" must be an object");
+  const std::string rwhere = where + ".retry";
+  r.timeout = number_at(*v, "timeout", rwhere, r.timeout);
+  r.backoff = number_at(*v, "backoff", rwhere, r.backoff);
+  r.max_delay = number_at(*v, "max_delay", rwhere, r.max_delay);
+  r.max_attempts = int_at(*v, "max_attempts", rwhere, r.max_attempts);
+  return r;
+}
+
+/// Visit each element of an optional array-of-objects key.
+template <typename Fn>
+void each_rule(const JsonValue& doc, std::string_view key, Fn&& fn) {
+  const JsonValue* arr = doc.find(key);
+  if (arr == nullptr) return;
+  if (!arr->is_array()) {
+    fail(std::string(key), "must be an array of rule objects");
+  }
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const std::string where =
+        std::string(key) + '[' + std::to_string(i) + ']';
+    const JsonValue& rule = arr->at(i);
+    if (!rule.is_object()) fail(where, "rule must be an object");
+    fn(rule, where);
+  }
+}
+
+}  // namespace
+
+JsonValue to_json(const FaultPlan& plan) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kFaultSchema);
+  if (!plan.name.empty()) doc.set("name", plan.name);
+  doc.set("seed", static_cast<std::int64_t>(plan.seed));
+
+  if (!plan.link_degradations.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const LinkDegradation& r : plan.link_degradations) {
+      JsonValue rule = JsonValue::object();
+      rule.set("path", r.path);
+      rule.set("alpha_factor", r.alpha_factor);
+      rule.set("beta_factor", r.beta_factor);
+      emit_window(rule, r.window);
+      arr.push_back(std::move(rule));
+    }
+    doc.set("link_degradations", std::move(arr));
+  }
+  if (!plan.nic_degradations.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const NicDegradation& r : plan.nic_degradations) {
+      JsonValue rule = JsonValue::object();
+      rule.set("node", r.node);
+      rule.set("lane", r.lane);
+      rule.set("alpha_factor", r.alpha_factor);
+      rule.set("beta_factor", r.beta_factor);
+      emit_window(rule, r.window);
+      arr.push_back(std::move(rule));
+    }
+    doc.set("nic_degradations", std::move(arr));
+  }
+  if (!plan.nic_outages.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const NicOutage& r : plan.nic_outages) {
+      JsonValue rule = JsonValue::object();
+      rule.set("node", r.node);
+      rule.set("lane", r.lane);
+      emit_window(rule, r.window);
+      arr.push_back(std::move(rule));
+    }
+    doc.set("nic_outages", std::move(arr));
+  }
+  if (!plan.stragglers.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const Straggler& s : plan.stragglers) {
+      JsonValue rule = JsonValue::object();
+      rule.set("rank", s.rank);
+      rule.set("compute_factor", s.compute_factor);
+      rule.set("injection_factor", s.injection_factor);
+      arr.push_back(std::move(rule));
+    }
+    doc.set("stragglers", std::move(arr));
+  }
+  if (!plan.message_loss.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const MessageLoss& r : plan.message_loss) {
+      JsonValue rule = JsonValue::object();
+      rule.set("path", r.path);
+      rule.set("probability", r.probability);
+      rule.set("retry", retry_json(r.retry));
+      emit_window(rule, r.window);
+      arr.push_back(std::move(rule));
+    }
+    doc.set("message_loss", std::move(arr));
+  }
+  return doc;
+}
+
+FaultPlan plan_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument(
+        "fault plan JSON: document must be an object");
+  }
+  const JsonValue& schema = require(doc, "schema", "document");
+  if (!schema.is_string() || schema.as_string() != kFaultSchema) {
+    const std::string got = schema.is_string() ? schema.as_string() : "<non-string>";
+    throw std::invalid_argument("fault plan JSON: unexpected schema \"" + got +
+                                "\" (expected \"" + kFaultSchema + "\")");
+  }
+
+  FaultPlan plan;
+  plan.name = string_at(doc, "name", "document", "");
+  const JsonValue* seed = doc.find("seed");
+  if (seed != nullptr) {
+    if (seed->kind() != JsonValue::Kind::Int || seed->as_int() < 0) {
+      fail("document", "\"seed\" must be a non-negative integer");
+    }
+    plan.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+
+  each_rule(doc, "link_degradations",
+            [&](const JsonValue& rule, const std::string& where) {
+              LinkDegradation r;
+              r.path = string_at(rule, "path", where, "");
+              r.alpha_factor = number_at(rule, "alpha_factor", where, 1.0);
+              r.beta_factor = number_at(rule, "beta_factor", where, 1.0);
+              r.window = window_at(rule, where);
+              plan.link_degradations.push_back(std::move(r));
+            });
+  each_rule(doc, "nic_degradations",
+            [&](const JsonValue& rule, const std::string& where) {
+              NicDegradation r;
+              r.node = int_at(rule, "node", where, -1);
+              r.lane = int_at(rule, "lane", where, -1);
+              r.alpha_factor = number_at(rule, "alpha_factor", where, 1.0);
+              r.beta_factor = number_at(rule, "beta_factor", where, 1.0);
+              r.window = window_at(rule, where);
+              plan.nic_degradations.push_back(r);
+            });
+  each_rule(doc, "nic_outages",
+            [&](const JsonValue& rule, const std::string& where) {
+              NicOutage r;
+              r.node = int_at(rule, "node", where, -1);
+              r.lane = int_at(rule, "lane", where, 0);
+              r.window = window_at(rule, where);
+              plan.nic_outages.push_back(r);
+            });
+  each_rule(doc, "stragglers",
+            [&](const JsonValue& rule, const std::string& where) {
+              Straggler s;
+              s.rank = int_at(rule, "rank", where, 0);
+              s.compute_factor = number_at(rule, "compute_factor", where, 1.0);
+              s.injection_factor =
+                  number_at(rule, "injection_factor", where, 1.0);
+              plan.stragglers.push_back(s);
+            });
+  each_rule(doc, "message_loss",
+            [&](const JsonValue& rule, const std::string& where) {
+              MessageLoss r;
+              r.path = string_at(rule, "path", where, "");
+              r.probability = number_at(rule, "probability", where, 0.0);
+              r.retry = retry_at(rule, where);
+              r.window = window_at(rule, where);
+              plan.message_loss.push_back(std::move(r));
+            });
+
+  plan.validate();
+  return plan;
+}
+
+FaultPlan load_fault_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open fault plan file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return plan_from_json(JsonValue::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    // Parse errors carry line/column context; re-key every failure to the
+    // file so CLI diagnostics always name their source.
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace hetcomm::fault

@@ -1,0 +1,51 @@
+#pragma once
+// JSON projection of fault plans: the hetcomm.fault.v1 schema.
+//
+// Document shape (arrays may be omitted when empty; a window object may
+// omit "end" for an open-ended window, and a missing "window" means
+// always-active):
+//
+//   {
+//     "schema": "hetcomm.fault.v1",
+//     "name": "lossy-fabric",
+//     "seed": 7,
+//     "link_degradations": [
+//       {"path": "off-node", "alpha_factor": 1.0, "beta_factor": 3.0,
+//        "window": {"begin": 0.0, "end": 0.002}}
+//     ],
+//     "nic_degradations": [
+//       {"node": -1, "lane": 0, "alpha_factor": 2.0, "beta_factor": 2.0}
+//     ],
+//     "nic_outages": [{"node": 0, "lane": 0,
+//                      "window": {"begin": 0.0, "end": 0.001}}],
+//     "stragglers": [{"rank": 0, "compute_factor": 2.0,
+//                     "injection_factor": 1.5}],
+//     "message_loss": [
+//       {"path": "", "probability": 0.05,
+//        "retry": {"timeout": 1e-4, "backoff": 2.0, "max_delay": 1e-2,
+//                  "max_attempts": 5}}
+//     ]
+//   }
+//
+// plan_from_json(to_json(p)) reproduces p exactly; loading errors are
+// std::invalid_argument with the file path and (for parse errors)
+// line/column context, mapping to CLI exit code 2.
+
+#include <string>
+
+#include "fault/plan.hpp"
+#include "obs/json.hpp"
+
+namespace hetcomm::fault {
+
+inline constexpr const char* kFaultSchema = "hetcomm.fault.v1";
+
+[[nodiscard]] obs::JsonValue to_json(const FaultPlan& plan);
+[[nodiscard]] FaultPlan plan_from_json(const obs::JsonValue& doc);
+
+/// Read + parse + validate a hetcomm.fault.v1 file.  Every failure --
+/// unreadable path, malformed JSON, wrong schema tag, invalid rule --
+/// throws std::invalid_argument prefixed with the path.
+[[nodiscard]] FaultPlan load_fault_file(const std::string& path);
+
+}  // namespace hetcomm::fault

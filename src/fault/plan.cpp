@@ -1,0 +1,182 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetcomm::fault {
+
+namespace {
+
+void check_factor(double f, const std::string& rule, const char* which) {
+  if (!(f > 0.0) || !std::isfinite(f)) {
+    throw std::invalid_argument("fault plan: " + rule + ": " + which +
+                                " factor must be finite and > 0");
+  }
+}
+
+void check_window(const FaultWindow& w, const std::string& rule) {
+  if (std::isnan(w.begin) || std::isnan(w.end) || w.begin < 0.0) {
+    throw std::invalid_argument("fault plan: " + rule +
+                                ": window begin/end must be >= 0");
+  }
+}
+
+/// Resolve a taxonomy class name to a dense id; "" means every class (-1).
+int resolve_path(const ParamSet& params, const std::string& path,
+                 const std::string& rule) {
+  if (path.empty()) return -1;
+  const int id = params.taxonomy.id_of(path);
+  if (id < 0) {
+    throw std::invalid_argument(
+        "fault plan: " + rule + ": undeclared path class '" + path +
+        "' (the machine's taxonomy does not define it)");
+  }
+  return id;
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const noexcept {
+  for (const LinkDegradation& r : link_degradations) {
+    if (r.alpha_factor != 1.0 || r.beta_factor != 1.0) return false;
+  }
+  for (const NicDegradation& r : nic_degradations) {
+    if (r.alpha_factor != 1.0 || r.beta_factor != 1.0) return false;
+  }
+  if (!nic_outages.empty()) return false;
+  for (const Straggler& s : stragglers) {
+    if (s.compute_factor != 1.0 || s.injection_factor != 1.0) return false;
+  }
+  for (const MessageLoss& r : message_loss) {
+    if (r.probability != 0.0) return false;
+  }
+  return true;
+}
+
+void FaultPlan::validate() const {
+  for (const LinkDegradation& r : link_degradations) {
+    check_factor(r.alpha_factor, "link degradation", "alpha");
+    check_factor(r.beta_factor, "link degradation", "beta");
+    check_window(r.window, "link degradation");
+  }
+  for (const NicDegradation& r : nic_degradations) {
+    if (r.node < -1) {
+      throw std::invalid_argument("fault plan: NIC degradation: node must "
+                                  "be >= 0, or -1 for every node");
+    }
+    if (r.lane < -1) {
+      throw std::invalid_argument("fault plan: NIC degradation: lane must "
+                                  "be >= 0, or -1 for every lane");
+    }
+    check_factor(r.alpha_factor, "NIC degradation", "alpha");
+    check_factor(r.beta_factor, "NIC degradation", "beta");
+    check_window(r.window, "NIC degradation");
+  }
+  for (const NicOutage& r : nic_outages) {
+    if (r.node < -1) {
+      throw std::invalid_argument(
+          "fault plan: NIC outage: node must be >= 0, or -1 for every node");
+    }
+    if (r.lane < -1) {
+      throw std::invalid_argument(
+          "fault plan: NIC outage: lane must be >= 0, or -1 for every lane");
+    }
+    check_window(r.window, "NIC outage");
+  }
+  for (const Straggler& s : stragglers) {
+    if (s.rank < 0) {
+      throw std::invalid_argument("fault plan: straggler: rank must be >= 0");
+    }
+    check_factor(s.compute_factor, "straggler", "compute");
+    check_factor(s.injection_factor, "straggler", "injection");
+  }
+  for (const MessageLoss& r : message_loss) {
+    if (!(r.probability >= 0.0) || !(r.probability <= 1.0)) {
+      throw std::invalid_argument(
+          "fault plan: message loss: probability must be in [0, 1]");
+    }
+    if (!(r.retry.timeout >= 0.0) || !std::isfinite(r.retry.timeout)) {
+      throw std::invalid_argument(
+          "fault plan: message loss: retry timeout must be finite and >= 0");
+    }
+    if (!(r.retry.backoff >= 1.0) || !std::isfinite(r.retry.backoff)) {
+      throw std::invalid_argument(
+          "fault plan: message loss: retry backoff must be >= 1");
+    }
+    if (!(r.retry.max_delay >= 0.0)) {
+      throw std::invalid_argument(
+          "fault plan: message loss: retry max_delay must be >= 0");
+    }
+    if (r.retry.max_attempts < 1) {
+      throw std::invalid_argument(
+          "fault plan: message loss: retry max_attempts must be >= 1");
+    }
+    check_window(r.window, "message loss");
+  }
+}
+
+FaultModel FaultPlan::compile(const Topology& topo,
+                              const ParamSet& params) const {
+  validate();
+  FaultModel model;
+  model.seed = seed;
+
+  // Factor-neutral rules (x1.0 degradations, p=0 losses) are dropped here
+  // so an operationally empty plan compiles to an empty model, which
+  // Engine::set_faults then normalizes to a fully detached fault layer.
+  // Scope resolution still runs first: a neutral rule naming an undeclared
+  // path class is an input error, not a silent no-op.
+  for (const LinkDegradation& r : link_degradations) {
+    LinkDegradeRule out;
+    out.path_id = resolve_path(params, r.path, "link degradation");
+    out.alpha_factor = r.alpha_factor;
+    out.beta_factor = r.beta_factor;
+    out.window = r.window;
+    if (out.alpha_factor != 1.0 || out.beta_factor != 1.0) {
+      model.degradations.push_back(out);
+    }
+  }
+  for (const NicDegradation& r : nic_degradations) {
+    if (r.alpha_factor != 1.0 || r.beta_factor != 1.0) {
+      model.nic_degradations.push_back(
+          {r.node, r.lane, r.alpha_factor, r.beta_factor, r.window});
+    }
+  }
+  for (const NicOutage& r : nic_outages) {
+    model.outages.push_back({r.node, r.lane, r.window});
+  }
+  for (const MessageLoss& r : message_loss) {
+    LossRule out;
+    out.path_id = resolve_path(params, r.path, "message loss");
+    out.probability = r.probability;
+    out.retry = r.retry;
+    out.window = r.window;
+    if (out.probability != 0.0) model.losses.push_back(out);
+  }
+  if (!stragglers.empty()) {
+    const std::size_t n = static_cast<std::size_t>(topo.num_ranks());
+    model.compute_factor.assign(n, 1.0);
+    model.injection_factor.assign(n, 1.0);
+    for (const Straggler& s : stragglers) {
+      if (s.rank >= topo.num_ranks()) {
+        throw std::invalid_argument(
+            "fault plan: straggler: rank " + std::to_string(s.rank) +
+            " out of range (machine has " +
+            std::to_string(topo.num_ranks()) + " ranks)");
+      }
+      model.compute_factor[static_cast<std::size_t>(s.rank)] *=
+          s.compute_factor;
+      model.injection_factor[static_cast<std::size_t>(s.rank)] *=
+          s.injection_factor;
+    }
+  }
+
+  // Final structural cross-check against the machine (node/lane/path
+  // ranges), exactly the check Engine::set_faults repeats defensively.
+  model.validate(topo.num_ranks(), params.taxonomy.num_classes(),
+                 topo.num_nodes(), std::max(1, params.injection.nics_per_node));
+  return model;
+}
+
+}  // namespace hetcomm::fault

@@ -1,0 +1,100 @@
+#pragma once
+// Declarative fault plans.
+//
+// A FaultPlan is the user-facing description of a degraded-machine
+// scenario: rules are scoped by *names* (taxonomy path classes) and
+// machine-relative indices (nodes, NIC lanes, ranks), so one plan can be
+// applied to any machine that declares the referenced scopes.  Plans are
+// constructible in code and round-trippable through the hetcomm.fault.v1
+// JSON schema (fault_json.hpp); compile() cross-validates a plan against a
+// concrete machine and lowers it into the dense runtime FaultModel the
+// engine consumes (hetsim/faults.hpp).
+//
+// The split mirrors machine::MachineModel vs ParamSet: the declarative
+// layer owns names, schemas and validation; the runtime layer owns the
+// hot-path representation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetsim/faults.hpp"
+#include "hetsim/params.hpp"
+#include "hetsim/topology.hpp"
+
+namespace hetcomm::fault {
+
+/// Postal-parameter degradation on one taxonomy path class ("" = every
+/// class): alpha scales by alpha_factor and beta by beta_factor while the
+/// window is active.
+struct LinkDegradation {
+  std::string path;  ///< taxonomy class name; "" = every class
+  double alpha_factor = 1.0;
+  double beta_factor = 1.0;
+  FaultWindow window;
+};
+
+/// NIC-lane degradation on (node, lane); -1 = every node / every lane.
+struct NicDegradation {
+  int node = -1;
+  int lane = -1;
+  double alpha_factor = 1.0;  ///< scales the per-message NIC overhead
+  double beta_factor = 1.0;   ///< scales the inverse injection rate
+  FaultWindow window;
+};
+
+/// NIC rail outage: the lane is down over the window; off-node traffic
+/// fails over to surviving lanes (re-queued on their busy servers) or
+/// waits for the earliest recovery.
+struct NicOutage {
+  int node = -1;  ///< -1 = every node
+  int lane = 0;
+  FaultWindow window;
+};
+
+/// Per-rank slowdown: compute_factor dilates compute/pack/copy durations;
+/// injection_factor dilates the rank's send-port and NIC-egress
+/// occupancies.
+struct Straggler {
+  int rank = 0;
+  double compute_factor = 1.0;
+  double injection_factor = 1.0;
+};
+
+/// Transient message loss on a path class ("" = every class) with an
+/// exponential-backoff retry policy; exhausting max_attempts raises
+/// FaultAbort.
+struct MessageLoss {
+  std::string path;  ///< taxonomy class name; "" = every class
+  double probability = 0.0;
+  RetryPolicy retry;
+  FaultWindow window;
+};
+
+struct FaultPlan {
+  std::string name;        ///< scenario label (reports, stability sweeps)
+  std::uint64_t seed = 0;  ///< fault-stream seed; vary for ensemble members
+
+  std::vector<LinkDegradation> link_degradations;
+  std::vector<NicDegradation> nic_degradations;
+  std::vector<NicOutage> nic_outages;
+  std::vector<Straggler> stragglers;
+  std::vector<MessageLoss> message_loss;
+
+  /// True when the plan perturbs nothing (no rules, or only neutral ones).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Machine-independent sanity checks (factors finite and positive,
+  /// probabilities in [0, 1], retry policies sane, windows ordered);
+  /// throws std::invalid_argument naming the offending rule.
+  void validate() const;
+
+  /// Cross-validate against a concrete machine and lower into the dense
+  /// runtime model: path names resolve through the machine's taxonomy
+  /// (unknown names throw std::invalid_argument), node/lane/rank indices
+  /// are range-checked, stragglers densify into per-rank factor arrays.
+  [[nodiscard]] FaultModel compile(const Topology& topo,
+                                   const ParamSet& params) const;
+};
+
+}  // namespace hetcomm::fault

@@ -1,0 +1,186 @@
+#include "fault/stability.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/strategy.hpp"
+#include "fault/fault_json.hpp"
+#include "hetsim/faults.hpp"
+#include "hetsim/noise.hpp"
+
+namespace hetcomm::fault {
+
+namespace {
+
+using obs::JsonValue;
+
+/// Winner of one instance: the lowest non-failed max_avg, ties broken by
+/// Table-5 order (outcomes keep that order).  "" when everything failed.
+std::string pick_winner(const std::vector<StrategyOutcome>& outcomes) {
+  double best = std::numeric_limits<double>::infinity();
+  std::string winner;
+  for (const StrategyOutcome& o : outcomes) {
+    if (!o.failed && o.max_avg < best) {
+      best = o.max_avg;
+      winner = o.strategy;
+    }
+  }
+  return winner;
+}
+
+/// Measure every Table-5 plan under one fault model (nullptr = nominal).
+std::vector<StrategyOutcome> measure_all(
+    const std::vector<core::CommPlan>& plans, const Topology& topo,
+    const ParamSet& params, const FaultModel* faults,
+    const core::MeasureOptions& base) {
+  std::vector<StrategyOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  for (const core::CommPlan& plan : plans) {
+    StrategyOutcome o;
+    o.strategy = plan.strategy_name;
+    core::MeasureOptions mopts = base;
+    mopts.faults = faults;
+    try {
+      o.max_avg = core::measure(plan, topo, params, mopts).max_avg;
+    } catch (const FaultAbort& e) {
+      o.failed = true;
+      o.error = e.what();
+    }
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+JsonValue outcome_json(const StrategyOutcome& o) {
+  JsonValue v = JsonValue::object();
+  v.set("strategy", o.strategy);
+  if (o.failed) {
+    v.set("failed", true);
+    v.set("error", o.error);
+  } else {
+    v.set("max_avg", o.max_avg);
+  }
+  return v;
+}
+
+JsonValue instance_json(const StabilityInstance& inst, bool with_seed) {
+  JsonValue v = JsonValue::object();
+  if (with_seed) {
+    v.set("instance", inst.instance);
+    v.set("fault_seed", static_cast<std::int64_t>(inst.fault_seed));
+  }
+  v.set("winner", inst.winner);
+  JsonValue arr = JsonValue::array();
+  for (const StrategyOutcome& o : inst.outcomes) {
+    arr.push_back(outcome_json(o));
+  }
+  v.set("outcomes", std::move(arr));
+  return v;
+}
+
+}  // namespace
+
+JsonValue StabilityReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kStabilitySchema);
+  doc.set("machine", machine);
+  doc.set("nodes", nodes);
+  doc.set("fault_plan", fault_plan);
+  doc.set("plan_seed", static_cast<std::int64_t>(plan_seed));
+  doc.set("instances", instances);
+  doc.set("reps", reps);
+  doc.set("seed", static_cast<std::int64_t>(seed));
+  doc.set("engine", engine);
+  doc.set("nominal", instance_json(nominal, /*with_seed=*/false));
+  JsonValue arr = JsonValue::array();
+  for (const StabilityInstance& inst : results) {
+    arr.push_back(instance_json(inst, /*with_seed=*/true));
+  }
+  doc.set("results", std::move(arr));
+  JsonValue summary = JsonValue::object();
+  summary.set("winner_survived", winner_survived);
+  summary.set("survival_rate", survival_rate);
+  JsonValue per = JsonValue::array();
+  for (const StrategySummary& s : strategies) {
+    JsonValue row = JsonValue::object();
+    row.set("strategy", s.strategy);
+    row.set("wins", s.wins);
+    row.set("failures", s.failures);
+    per.push_back(std::move(row));
+  }
+  summary.set("strategies", std::move(per));
+  doc.set("summary", std::move(summary));
+  return doc;
+}
+
+StabilityReport ranking_stability(const core::CommPattern& pattern,
+                                  const Topology& topo, const ParamSet& params,
+                                  const FaultPlan& plan,
+                                  const StabilityOptions& options) {
+  if (options.instances < 1) {
+    throw std::invalid_argument(
+        "ranking stability: instances must be >= 1");
+  }
+  if (options.measure.faults != nullptr) {
+    throw std::invalid_argument(
+        "ranking stability: MeasureOptions::faults is managed by the sweep");
+  }
+  // Compile fault plan first: scope errors (unknown path class, bad lane)
+  // should surface before any simulation work happens.
+  plan.validate();
+  { const FaultModel probe = plan.compile(topo, params); (void)probe; }
+
+  // Build each Table-5 plan once; plans are rep- and fault-invariant.
+  std::vector<core::CommPlan> plans;
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    plans.push_back(core::build_plan(pattern, topo, params, cfg));
+  }
+
+  StabilityReport report;
+  report.machine = params.name;
+  report.nodes = topo.num_nodes();
+  report.fault_plan = plan.name;
+  report.plan_seed = plan.seed;
+  report.instances = options.instances;
+  report.reps = options.measure.reps;
+  report.seed = options.measure.seed;
+  report.engine = core::to_string(options.measure.engine);
+
+  report.nominal.outcomes =
+      measure_all(plans, topo, params, nullptr, options.measure);
+  report.nominal.winner = pick_winner(report.nominal.outcomes);
+
+  for (const core::CommPlan& p : plans) {
+    report.strategies.push_back({p.strategy_name, 0, 0});
+  }
+
+  for (int k = 0; k < options.instances; ++k) {
+    FaultPlan member = plan;
+    member.seed = mix_seed(plan.seed, static_cast<std::uint64_t>(k));
+    const FaultModel model = member.compile(topo, params);
+
+    StabilityInstance inst;
+    inst.instance = k;
+    inst.fault_seed = member.seed;
+    inst.outcomes = measure_all(plans, topo, params, &model, options.measure);
+    inst.winner = pick_winner(inst.outcomes);
+
+    if (!inst.winner.empty() && inst.winner == report.nominal.winner) {
+      ++report.winner_survived;
+    }
+    for (std::size_t i = 0; i < inst.outcomes.size(); ++i) {
+      if (inst.outcomes[i].failed) ++report.strategies[i].failures;
+      if (!inst.winner.empty() &&
+          inst.outcomes[i].strategy == inst.winner) {
+        ++report.strategies[i].wins;
+      }
+    }
+    report.results.push_back(std::move(inst));
+  }
+  report.survival_rate = static_cast<double>(report.winner_survived) /
+                         static_cast<double>(options.instances);
+  return report;
+}
+
+}  // namespace hetcomm::fault

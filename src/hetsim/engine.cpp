@@ -84,7 +84,9 @@ void Engine::copy(int rank, int gpu, CopyDir dir, std::int64_t bytes,
       dir == CopyDir::HostToDevice ? dma_h2d_[gpu] : dma_d2h_[gpu];
   const double ready = clock_[rank];
   const double start = dma.acquire(ready, occupancy);
-  const double duration = noise_.perturb(cp.time(bytes));
+  double base = cp.time(bytes);
+  if (faults_) base = faults_->rank_compute_factor(rank) * base;
+  const double duration = noise_.perturb(base);
   clock_[rank] = start + duration;
 
   if (metrics_inv_ || metrics_smp_) {
@@ -113,14 +115,18 @@ void Engine::set_fabric(const FatTreeConfig& config) {
 void Engine::compute(int rank, double seconds) {
   check_rank(rank);
   if (seconds < 0) throw std::invalid_argument("Engine::compute: negative");
+  // Straggler ranks dilate their local work multiplicatively (a factor of
+  // exactly 1.0 is bit-exact, so neutral fault models change nothing).
+  if (faults_) seconds = faults_->rank_compute_factor(rank) * seconds;
   clock_[rank] += noise_.perturb(seconds);
 }
 
 void Engine::pack(int rank, std::int64_t bytes) {
   check_rank(rank);
   if (bytes < 0) throw std::invalid_argument("Engine::pack: negative size");
-  const double duration = noise_.perturb(params_.overheads.pack_per_byte *
-                                         static_cast<double>(bytes));
+  double base = params_.overheads.pack_per_byte * static_cast<double>(bytes);
+  if (faults_) base = faults_->rank_compute_factor(rank) * base;
+  const double duration = noise_.perturb(base);
   clock_[rank] += duration;
   if (metrics_smp_) metrics_smp_->on_pack(bytes, duration);
 }
@@ -139,6 +145,39 @@ void Engine::set_metrics(obs::EngineMetrics* sink, bool record_invariants,
       metrics_->path_names.push_back(c.name);
     }
   }
+}
+
+void Engine::set_faults(const FaultModel* faults) {
+  if (faults != nullptr && faults->empty()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->validate(topo_.num_ranks(), params_.taxonomy.num_classes(),
+                     topo_.num_nodes(),
+                     std::max(1, params_.injection.nics_per_node));
+  }
+  faults_ = faults;
+  refresh_fault_stream();
+}
+
+void Engine::refresh_fault_stream() noexcept {
+  // Salted double-mix: decoheres the fault stream from the noise stream
+  // (which consumes the raw run seed) and from other fault-model seeds.
+  constexpr std::uint64_t kFaultStreamSalt = 0xfa17'5eedULL;
+  fault_stream_ =
+      faults_ ? mix_seed(mix_seed(run_seed_, kFaultStreamSalt), faults_->seed)
+              : 0;
+}
+
+void Engine::throw_retries_exhausted(std::int32_t src, std::int32_t dst,
+                                     std::uint8_t path_id,
+                                     int attempts) const {
+  throw FaultAbort(FaultAbort::Reason::RetriesExhausted, "", src, dst,
+                   path_id, params_.taxonomy.cls(path_id).name, attempts);
+}
+
+void Engine::throw_nic_unavailable(std::int32_t src, std::int32_t dst,
+                                   std::uint8_t path_id) const {
+  throw FaultAbort(FaultAbort::Reason::NicUnavailable, "", src, dst, path_id,
+                   params_.taxonomy.cls(path_id).name, 0);
 }
 
 void Engine::fail_resolve(const std::string& what) {
@@ -235,7 +274,16 @@ void Engine::resolve() {
   recv_depth_scratch_.assign(static_cast<std::size_t>(topo_.num_ranks()), 0);
   for (const PendingOp& r : recvs_) ++recv_depth_scratch_[r.self];
 
-  for (Matched& m : matched_scratch_) schedule(m, recv_depth_scratch_);
+  // A mid-plan FaultAbort honors the same failure contract as a matching
+  // failure: every pending operation is dropped so the engine is reusable
+  // (reset() for full recovery), then the structured error propagates.
+  try {
+    for (Matched& m : matched_scratch_) schedule(m, recv_depth_scratch_);
+  } catch (...) {
+    sends_.clear();
+    recvs_.clear();
+    throw;
+  }
 
   sends_.clear();
   recvs_.clear();
@@ -248,75 +296,144 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   const Protocol proto = params_.thresholds.select(s.space, s.bytes);
   const PostalParams pp = params_.messages.get(s.space, proto, path_id);
   const double size = static_cast<double>(s.bytes);
+  const bool off_node = path == PathClass::OffNode;
 
-  // Sender-side occupancy: the sending process cannot initiate the next
-  // message until this one's latency+transfer work is handed off.
-  double t = send_port_[s.self].acquire(m.ready, pp.alpha + pp.beta * size);
-  if (metrics_inv_) {
-    metrics_inv_->on_message(path_id, proto, s.bytes);
-    metrics_inv_->on_occupancy(obs::SimResource::SendPort,
-                               pp.alpha + pp.beta * size);
-  }
-  if (metrics_smp_) {
-    metrics_smp_->on_wait(obs::SimResource::SendPort, m.ready, t);
-  }
+  // Rep-invariant costs.  completion_base folds the queue-search term in
+  // (left-associated exactly like the historical inline expression, so the
+  // fault-free doubles are bit-identical to the pre-fault engine).
+  const double send_occupancy = pp.alpha + pp.beta * size;
+  const double drain_occupancy = pp.beta * size;
+  const double completion_base =
+      send_occupancy +
+      params_.overheads.queue_search_per_entry * recv_queue_depth[s.peer];
 
-  if (path == PathClass::OffNode) {
+  double nic_occupancy = 0.0;
+  int src_node = -1;
+  int dst_node = -1;
+  std::int32_t src_nic = -1;
+  std::int32_t dst_nic = -1;
+  if (off_node) {
     const double inv_rate = s.space == MemSpace::Host
                                 ? params_.injection.inv_rate_cpu
                                 : params_.injection.inv_rate_gpu;
-    const int src_node = topo_.node_of_rank(s.self);
-    const int dst_node = topo_.node_of_rank(s.peer);
-    const double nic_occupancy =
-        inv_rate * size + params_.overheads.nic_message_overhead;
-    const double t_out =
-        nic_out_[nic_of_rank_[s.self]].acquire(t, nic_occupancy);
-    if (metrics_inv_) {
-      metrics_inv_->on_occupancy(obs::SimResource::NicOut, nic_occupancy);
-      metrics_inv_->on_nic_egress(src_node, s.bytes);
-    }
-    if (metrics_smp_) metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
-    t = t_out;
-    if (fabric_) {
-      const double t_fab = fabric_->acquire(src_node, dst_node, s.bytes, t);
-      // Fabric wait folds queueing and link serialization together (the
-      // fabric returns only the final acquire time).
-      if (metrics_smp_) {
-        metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
-      }
-      t = t_fab;
-    }
-    const double t_in =
-        nic_in_[nic_of_rank_[s.peer]].acquire(t, nic_occupancy);
-    if (metrics_inv_) {
-      metrics_inv_->on_occupancy(obs::SimResource::NicIn, nic_occupancy);
-    }
-    if (metrics_smp_) metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
-    t = t_in;
-    network_bytes_ += s.bytes;
-    ++network_messages_;
+    src_node = topo_.node_of_rank(s.self);
+    dst_node = topo_.node_of_rank(s.peer);
+    src_nic = nic_of_rank_[s.self];
+    dst_nic = nic_of_rank_[s.peer];
+    nic_occupancy = inv_rate * size + params_.overheads.nic_message_overhead;
   }
 
-  // Receiver-side drain occupancy.
-  const double t_drain = recv_port_[s.peer].acquire(t, pp.beta * size);
-  if (metrics_inv_) {
-    metrics_inv_->on_occupancy(obs::SimResource::RecvPort, pp.beta * size);
+  FaultMsgState fst;
+  fst.send_occupancy = send_occupancy;
+  fst.drain_occupancy = drain_occupancy;
+  fst.completion_base = completion_base;
+  fst.nic_occupancy_src = nic_occupancy;
+  fst.nic_occupancy_dst = nic_occupancy;
+  if (faults_) {
+    fst = fault_prepare(s.self, path_id, off_node, src_node, dst_node,
+                        src_nic, dst_nic, send_occupancy, drain_occupancy,
+                        completion_base, nic_occupancy, m.ready);
+    if (fst.degraded && metrics_smp_) {
+      metrics_smp_->on_fault_degraded(path_id, fst.extra_seconds);
+    }
   }
-  if (metrics_smp_) {
-    metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
-  }
-  t = t_drain;
 
-  const double queue_cost = params_.overheads.queue_search_per_entry *
-                            recv_queue_depth[s.peer];
   const double hop_latency =
-      (path == PathClass::OffNode && fabric_)
-          ? fabric_->hop_latency(topo_.node_of_rank(s.self),
-                                 topo_.node_of_rank(s.peer))
-          : 0.0;
-  const double completion =
-      t + noise_.perturb(pp.alpha + pp.beta * size + queue_cost) +
-      hop_latency;
+      (off_node && fabric_) ? fabric_->hop_latency(src_node, dst_node) : 0.0;
+
+  // Send/resend loop.  Without a matching loss rule (fst.loss == nullptr)
+  // the body runs exactly once and is the historical scheduling path.  A
+  // lost attempt still consumed every resource it acquired (the wire time
+  // is real); the retry re-queues from scratch after the backoff delay.
+  double ready = m.ready;
+  double t = 0.0;
+  double completion = 0.0;
+  for (int attempt = 0;;) {
+    // Sender-side occupancy: the sending process cannot initiate the next
+    // message until this one's latency+transfer work is handed off.
+    t = send_port_[s.self].acquire(ready, fst.send_occupancy);
+    if (metrics_inv_) {
+      if (attempt == 0) metrics_inv_->on_message(path_id, proto, s.bytes);
+      metrics_inv_->on_occupancy(obs::SimResource::SendPort,
+                                 fst.send_occupancy);
+    }
+    if (metrics_smp_) {
+      metrics_smp_->on_wait(obs::SimResource::SendPort, ready, t);
+    }
+
+    if (off_node) {
+      std::int32_t out_server = src_nic;
+      if (faults_ && faults_->has_outages()) {
+        bool failover = false;
+        out_server = fault_route_nic(src_node, src_nic, t, failover, s.self,
+                                     s.peer, path_id);
+        if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
+      }
+      const double t_out =
+          nic_out_[out_server].acquire(t, fst.nic_occupancy_src);
+      if (metrics_inv_) {
+        metrics_inv_->on_occupancy(obs::SimResource::NicOut,
+                                   fst.nic_occupancy_src);
+        if (attempt == 0) metrics_inv_->on_nic_egress(src_node, s.bytes);
+      }
+      if (metrics_smp_) {
+        metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
+      }
+      t = t_out;
+      if (fabric_) {
+        const double t_fab = fabric_->acquire(src_node, dst_node, s.bytes, t);
+        // Fabric wait folds queueing and link serialization together (the
+        // fabric returns only the final acquire time).
+        if (metrics_smp_) {
+          metrics_smp_->on_wait(obs::SimResource::FabricLink, t, t_fab);
+        }
+        t = t_fab;
+      }
+      std::int32_t in_server = dst_nic;
+      if (faults_ && faults_->has_outages()) {
+        bool failover = false;
+        in_server = fault_route_nic(dst_node, dst_nic, t, failover, s.self,
+                                    s.peer, path_id);
+        if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
+      }
+      const double t_in = nic_in_[in_server].acquire(t, fst.nic_occupancy_dst);
+      if (metrics_inv_) {
+        metrics_inv_->on_occupancy(obs::SimResource::NicIn,
+                                   fst.nic_occupancy_dst);
+      }
+      if (metrics_smp_) metrics_smp_->on_wait(obs::SimResource::NicIn, t, t_in);
+      t = t_in;
+      if (attempt == 0) {
+        network_bytes_ += s.bytes;
+        ++network_messages_;
+      }
+    }
+
+    // Receiver-side drain occupancy.
+    const double t_drain = recv_port_[s.peer].acquire(t, fst.drain_occupancy);
+    if (metrics_inv_) {
+      metrics_inv_->on_occupancy(obs::SimResource::RecvPort,
+                                 fst.drain_occupancy);
+    }
+    if (metrics_smp_) {
+      metrics_smp_->on_wait(obs::SimResource::RecvPort, t, t_drain);
+    }
+    t = t_drain;
+
+    completion = t + noise_.perturb(fst.completion_base) + hop_latency;
+
+    if (fault_lost(fst, attempt)) {
+      ++attempt;
+      if (attempt >= fst.loss->retry.max_attempts) {
+        throw_retries_exhausted(s.self, s.peer, path_id, attempt);
+      }
+      const double delay = retry_delay(fst.loss->retry, attempt - 1);
+      if (metrics_smp_) metrics_smp_->on_fault_retry(delay);
+      ready = completion + delay;
+      continue;
+    }
+    break;
+  }
 
   // Sender finishes when its buffer may be reused: for rendezvous that is
   // the full transfer; for short/eager the data is buffered once the local
@@ -382,11 +499,14 @@ void Engine::reset() {
   trace_.clear();
   network_bytes_ = 0;
   network_messages_ = 0;
+  fault_msg_counter_ = 0;
 }
 
 void Engine::reset(std::uint64_t noise_seed) {
   reset();
   noise_.reseed(noise_seed);
+  run_seed_ = noise_seed;
+  refresh_fault_stream();
 }
 
 PostalParams copy_params_for(const CopyParamTable& table, CopyDir dir,

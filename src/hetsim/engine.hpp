@@ -16,10 +16,13 @@
 // noise create the spread between the analytic models and "measured" times,
 // just as on real hardware.
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
+#include "hetsim/faults.hpp"
 #include "hetsim/network.hpp"
 #include "hetsim/noise.hpp"
 #include "hetsim/params.hpp"
@@ -166,6 +169,22 @@ class Engine {
     return metrics_smp_;
   }
 
+  /// Attach a caller-owned fault model (nullptr detaches; the default).
+  /// The model is validated structurally against this engine's machine
+  /// (taxonomy classes, node count, NIC lanes, ranks; a mismatch throws
+  /// std::invalid_argument) and then shared read-only -- one model may be
+  /// attached to many per-worker engines.  An empty model is normalized to
+  /// nullptr, so zero-fault plans take the exact unfaulted hot path and are
+  /// bit-identical to running with no fault layer at all.  Fault decisions
+  /// draw from a dedicated mix_seed stream keyed by (run seed, model seed,
+  /// message id, attempt) -- never from the noise stream and never from
+  /// worker identity -- so faulted runs keep the bit-identical-across-jobs
+  /// guarantee.  Exhausted retries and permanent NIC outages raise
+  /// FaultAbort; resolve() then drops all pending operations (same contract
+  /// as a matching failure) and the engine is reusable after reset().
+  void set_faults(const FaultModel* faults);
+  [[nodiscard]] const FaultModel* faults() const noexcept { return faults_; }
+
   /// Total bytes that crossed the network (off-node messages), since reset.
   [[nodiscard]] std::int64_t network_bytes() const noexcept {
     return network_bytes_;
@@ -195,6 +214,99 @@ class Engine {
   void check_rank(int rank) const;
   void schedule(Matched& m, std::vector<int>& recv_queue_depth);
   void fail_resolve(const std::string& what);  ///< clear pending, then throw
+
+  /// Per-message fault state resolved once before the (re)send loop.
+  /// Occupancies default to the unfaulted inputs; loss stays null when no
+  /// rule matches, which also disables the retry loop entirely.
+  struct FaultMsgState {
+    double send_occupancy = 0.0;
+    double drain_occupancy = 0.0;
+    double completion_base = 0.0;
+    double nic_occupancy_src = 0.0;
+    double nic_occupancy_dst = 0.0;
+    const LossRule* loss = nullptr;
+    std::uint64_t msg_id = 0;
+    bool degraded = false;
+    double extra_seconds = 0.0;
+  };
+
+  // The fault helpers are inline members so the interpreted (engine.cpp)
+  // and compiled (core/compiled_plan.cpp) scheduling paths share the exact
+  // same expression trees -- a requirement for the bit-identity contract
+  // between the two engine modes.  Only call them when faults_ != nullptr.
+  [[nodiscard]] FaultMsgState fault_prepare(
+      std::int32_t src, std::uint8_t path_id, bool off_node,
+      std::int32_t src_node, std::int32_t dst_node, std::int32_t src_nic,
+      std::int32_t dst_nic, double send_occupancy, double drain_occupancy,
+      double completion_base, double nic_occupancy, double ready) {
+    FaultMsgState st;
+    st.msg_id = fault_msg_counter_++;
+    const int lanes = std::max(1, params_.injection.nics_per_node);
+    FaultModel::MessageView view;
+    view.src = src;
+    view.path_id = path_id;
+    view.off_node = off_node;
+    view.src_node = src_node;
+    view.dst_node = dst_node;
+    view.src_lane = off_node ? src_nic - src_node * lanes : -1;
+    view.dst_lane = off_node ? dst_nic - dst_node * lanes : -1;
+    view.send_occupancy = send_occupancy;
+    view.drain_occupancy = drain_occupancy;
+    view.completion_base = completion_base;
+    view.nic_occupancy = nic_occupancy;
+    view.nic_overhead = params_.overheads.nic_message_overhead;
+    const FaultModel::EffectiveMessage eff = faults_->effective(view, ready);
+    st.send_occupancy = eff.send_occupancy;
+    st.drain_occupancy = eff.drain_occupancy;
+    st.completion_base = eff.completion_base;
+    st.nic_occupancy_src = eff.nic_occupancy_src;
+    st.nic_occupancy_dst = eff.nic_occupancy_dst;
+    st.degraded = eff.degraded;
+    st.extra_seconds = eff.extra_seconds;
+    st.loss = faults_->loss_rule(path_id, ready);
+    return st;
+  }
+
+  /// Outage-aware lane selection for NIC server `nic_server`
+  /// (= node*lanes + lane) at time `t`.  Returns the server index to use,
+  /// advancing `t` to the earliest recovery when every lane of the node is
+  /// down; sets `failover` when the home lane was not used.  Throws
+  /// FaultAbort when no lane of the node ever recovers.
+  [[nodiscard]] std::int32_t fault_route_nic(std::int32_t node,
+                                             std::int32_t nic_server,
+                                             double& t, bool& failover,
+                                             std::int32_t src,
+                                             std::int32_t dst,
+                                             std::uint8_t path_id) {
+    const int lanes = std::max(1, params_.injection.nics_per_node);
+    const FaultModel::LaneRoute r =
+        faults_->route_lane(node, nic_server - node * lanes, lanes, t);
+    if (r.at == std::numeric_limits<double>::infinity()) {
+      throw_nic_unavailable(src, dst, path_id);
+    }
+    failover = r.failover;
+    if (r.at > t) t = r.at;
+    return node * lanes + r.lane;
+  }
+
+  /// Deterministic loss decision for send attempt `attempt` (0-based).
+  [[nodiscard]] bool fault_lost(const FaultMsgState& st,
+                                int attempt) const noexcept {
+    return st.loss != nullptr &&
+           fault_uniform(fault_stream_, st.msg_id,
+                         static_cast<std::uint32_t>(attempt)) <
+               st.loss->probability;
+  }
+
+  // Cold structured-failure paths (defined in engine.cpp; they build the
+  // taxonomy-name string, which must stay out of the scheduling loop).
+  [[noreturn]] void throw_retries_exhausted(std::int32_t src,
+                                            std::int32_t dst,
+                                            std::uint8_t path_id,
+                                            int attempts) const;
+  [[noreturn]] void throw_nic_unavailable(std::int32_t src, std::int32_t dst,
+                                          std::uint8_t path_id) const;
+  void refresh_fault_stream() noexcept;
 
   Topology topo_;
   ParamSet params_;
@@ -237,6 +349,16 @@ class Engine {
   obs::EngineMetrics* metrics_smp_ = nullptr;  ///< sampled statistics
   std::int64_t network_bytes_ = 0;
   std::int64_t network_messages_ = 0;
+
+  // Fault layer (null = no faults, the hot paths' fast case).  The stream
+  // mixes the run seed with the model seed so distinct fault seeds decohere
+  // even under the same run seed; the message counter advances in schedule
+  // order (identical across worker counts and engine modes) and resets with
+  // the engine, keying every loss decision deterministically.
+  const FaultModel* faults_ = nullptr;  ///< caller-owned; may be null
+  std::uint64_t run_seed_ = 0x5eedULL;
+  std::uint64_t fault_stream_ = 0;
+  std::uint64_t fault_msg_counter_ = 0;
 };
 
 /// Copy parameters for `np` processes sharing one GPU's DMA engine.

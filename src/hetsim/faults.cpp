@@ -1,0 +1,158 @@
+#include "hetsim/faults.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace hetcomm {
+
+namespace {
+
+std::string format_abort(FaultAbort::Reason reason,
+                         const std::string& strategy, int src, int dst,
+                         const std::string& path, int attempts) {
+  std::ostringstream os;
+  os << "fault abort";
+  if (!strategy.empty()) os << " [strategy " << strategy << "]";
+  os << ": message " << src << "->" << dst << " on path '" << path << "'";
+  switch (reason) {
+    case FaultAbort::Reason::RetriesExhausted:
+      os << ": lost on all " << attempts << " send attempts"
+         << " (retry budget exhausted)";
+      break;
+    case FaultAbort::Reason::NicUnavailable:
+      os << ": every NIC lane is down with no scheduled recovery";
+      break;
+  }
+  return os.str();
+}
+
+void check_window(const FaultWindow& w, const char* rule) {
+  if (std::isnan(w.begin) || std::isnan(w.end) || w.begin < 0.0) {
+    throw std::invalid_argument(std::string("fault model: ") + rule +
+                                ": invalid window");
+  }
+}
+
+void check_factor(double f, const char* rule, const char* which) {
+  if (!(f > 0.0) || !std::isfinite(f)) {
+    throw std::invalid_argument(std::string("fault model: ") + rule + ": " +
+                                which + " factor must be finite and > 0");
+  }
+}
+
+void check_rank_factors(const std::vector<double>& factors, int num_ranks,
+                        const char* which) {
+  if (factors.size() > static_cast<std::size_t>(num_ranks)) {
+    throw std::invalid_argument(std::string("fault model: ") + which +
+                                " factors cover more ranks than the machine "
+                                "has (" +
+                                std::to_string(factors.size()) + " > " +
+                                std::to_string(num_ranks) + ")");
+  }
+  for (double f : factors) check_factor(f, which, "per-rank");
+}
+
+}  // namespace
+
+FaultAbort::FaultAbort(Reason reason_in, std::string strategy_in, int src_in,
+                       int dst_in, int path_id_in, std::string path_in,
+                       int attempts_in)
+    : std::runtime_error(format_abort(reason_in, strategy_in, src_in, dst_in,
+                                      path_in, attempts_in)),
+      reason(reason_in),
+      strategy(std::move(strategy_in)),
+      src(src_in),
+      dst(dst_in),
+      path_id(path_id_in),
+      path(std::move(path_in)),
+      attempts(attempts_in) {}
+
+bool FaultModel::empty() const noexcept {
+  if (!degradations.empty() || !nic_degradations.empty() ||
+      !outages.empty() || !losses.empty()) {
+    return false;
+  }
+  for (double f : compute_factor) {
+    if (f != 1.0) return false;
+  }
+  for (double f : injection_factor) {
+    if (f != 1.0) return false;
+  }
+  return true;
+}
+
+void FaultModel::validate(int num_ranks, int num_paths, int num_nodes,
+                          int nic_lanes) const {
+  for (const LinkDegradeRule& r : degradations) {
+    if (r.path_id < -1 || r.path_id >= num_paths) {
+      throw std::invalid_argument(
+          "fault model: link degradation: path class id " +
+          std::to_string(r.path_id) + " out of range (machine declares " +
+          std::to_string(num_paths) + ")");
+    }
+    check_factor(r.alpha_factor, "link degradation", "alpha");
+    check_factor(r.beta_factor, "link degradation", "beta");
+    check_window(r.window, "link degradation");
+  }
+  for (const NicDegradeRule& r : nic_degradations) {
+    if (r.node < -1 || r.node >= num_nodes) {
+      throw std::invalid_argument("fault model: NIC degradation: node " +
+                                  std::to_string(r.node) + " out of range");
+    }
+    if (r.lane < -1 || r.lane >= nic_lanes) {
+      throw std::invalid_argument("fault model: NIC degradation: lane " +
+                                  std::to_string(r.lane) +
+                                  " out of range (machine has " +
+                                  std::to_string(nic_lanes) + " lanes)");
+    }
+    check_factor(r.alpha_factor, "NIC degradation", "alpha");
+    check_factor(r.beta_factor, "NIC degradation", "beta");
+    check_window(r.window, "NIC degradation");
+  }
+  for (const NicOutageRule& r : outages) {
+    if (r.node < -1 || r.node >= num_nodes) {
+      throw std::invalid_argument("fault model: NIC outage: node " +
+                                  std::to_string(r.node) + " out of range");
+    }
+    if (r.lane < -1 || r.lane >= nic_lanes) {
+      throw std::invalid_argument("fault model: NIC outage: lane " +
+                                  std::to_string(r.lane) +
+                                  " out of range (machine has " +
+                                  std::to_string(nic_lanes) + " lanes)");
+    }
+    check_window(r.window, "NIC outage");
+  }
+  for (const LossRule& r : losses) {
+    if (r.path_id < -1 || r.path_id >= num_paths) {
+      throw std::invalid_argument("fault model: message loss: path class id " +
+                                  std::to_string(r.path_id) +
+                                  " out of range (machine declares " +
+                                  std::to_string(num_paths) + ")");
+    }
+    if (!(r.probability >= 0.0) || !(r.probability <= 1.0)) {
+      throw std::invalid_argument(
+          "fault model: message loss: probability must be in [0, 1]");
+    }
+    if (!(r.retry.timeout >= 0.0) || !std::isfinite(r.retry.timeout)) {
+      throw std::invalid_argument(
+          "fault model: message loss: retry timeout must be finite and >= 0");
+    }
+    if (!(r.retry.backoff >= 1.0) || !std::isfinite(r.retry.backoff)) {
+      throw std::invalid_argument(
+          "fault model: message loss: retry backoff must be >= 1");
+    }
+    if (!(r.retry.max_delay >= 0.0)) {
+      throw std::invalid_argument(
+          "fault model: message loss: retry max_delay must be >= 0");
+    }
+    if (r.retry.max_attempts < 1) {
+      throw std::invalid_argument(
+          "fault model: message loss: retry max_attempts must be >= 1");
+    }
+    check_window(r.window, "message loss");
+  }
+  check_rank_factors(compute_factor, num_ranks, "compute");
+  check_rank_factors(injection_factor, num_ranks, "injection");
+}
+
+}  // namespace hetcomm

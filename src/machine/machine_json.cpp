@@ -318,7 +318,9 @@ MachineModel machine_from_json(const JsonValue& doc) {
 
 MachineModel load_machine_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open machine file " + path);
+  // invalid_argument, not runtime_error: an unreadable path is an input
+  // error and must map to CLI exit code 2 (see cli::main_guarded).
+  if (!in) throw std::invalid_argument("cannot open machine file " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   try {

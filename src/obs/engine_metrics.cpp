@@ -21,6 +21,11 @@ void EngineMetrics::reset() noexcept {
   pack_bytes = 0;
   pack_seconds = 0.0;
   phase_makespan.clear();
+  fault_retries = 0;
+  fault_failovers = 0;
+  fault_degraded = 0;
+  fault_retry_seconds = 0.0;
+  std::memset(fault_degraded_seconds, 0, sizeof(fault_degraded_seconds));
 }
 
 void EngineMetrics::merge(const EngineMetrics& other) {
@@ -52,6 +57,13 @@ void EngineMetrics::merge(const EngineMetrics& other) {
   packs += other.packs;
   pack_bytes += other.pack_bytes;
   pack_seconds += other.pack_seconds;
+  fault_retries += other.fault_retries;
+  fault_failovers += other.fault_failovers;
+  fault_degraded += other.fault_degraded;
+  fault_retry_seconds += other.fault_retry_seconds;
+  for (int p = 0; p < kPaths; ++p) {
+    fault_degraded_seconds[p] += other.fault_degraded_seconds[p];
+  }
   if (phase_makespan.empty()) {
     phase_makespan = other.phase_makespan;
   } else if (!other.phase_makespan.empty()) {
@@ -144,6 +156,19 @@ void EngineMetrics::publish(Registry& registry) const {
     const MetricId g = registry.gauge("pack_seconds");
     registry.set(g, registry.gauge_value(g) + pack_seconds);
   }
+  if (any_faults()) {
+    registry.add(registry.counter("fault_retries"), fault_retries);
+    registry.add(registry.counter("fault_failovers"), fault_failovers);
+    registry.add(registry.counter("fault_degraded_msgs"), fault_degraded);
+    const MetricId g = registry.gauge("fault_retry_seconds");
+    registry.set(g, registry.gauge_value(g) + fault_retry_seconds);
+    for (int p = 0; p < kPaths; ++p) {
+      if (fault_degraded_seconds[p] == 0.0) continue;
+      const MetricId d = registry.gauge(
+          label("fault_degraded_seconds", {{"path", path_name(p)}}));
+      registry.set(d, registry.gauge_value(d) + fault_degraded_seconds[p]);
+    }
+  }
 }
 
 bool EngineMetrics::same_counts(const EngineMetrics& other) const noexcept {
@@ -170,7 +195,10 @@ bool EngineMetrics::same_counts(const EngineMetrics& other) const noexcept {
     }
   }
   return packs == other.packs && pack_bytes == other.pack_bytes &&
-         phase_makespan.size() == other.phase_makespan.size();
+         phase_makespan.size() == other.phase_makespan.size() &&
+         fault_retries == other.fault_retries &&
+         fault_failovers == other.fault_failovers &&
+         fault_degraded == other.fault_degraded;
 }
 
 }  // namespace hetcomm::obs

@@ -124,6 +124,14 @@ struct EngineMetrics {
   /// contributions (they sum to the final makespan exactly).
   std::vector<double> phase_makespan;
 
+  // -- Faults (sampled tier; all zero when no fault model is attached) ----
+  std::int64_t fault_retries = 0;     ///< lost send attempts that retried
+  std::int64_t fault_failovers = 0;   ///< NIC-lane reroutes around outages
+  std::int64_t fault_degraded = 0;    ///< messages with degraded occupancies
+  double fault_retry_seconds = 0.0;   ///< backoff delay injected by retries
+  /// Extra occupancy seconds added by degradation, per path class.
+  double fault_degraded_seconds[kPaths] = {};
+
   /// Size the per-node slots; called by Engine::set_metrics.
   void ensure_nodes(int num_nodes) {
     if (static_cast<int>(nic_bytes.size()) < num_nodes) {
@@ -183,6 +191,28 @@ struct EngineMetrics {
     pack_seconds += seconds;
   }
   void on_phase_end(double makespan) { phase_makespan.push_back(makespan); }
+  void on_fault_retry(double delay_seconds) noexcept {
+    ++fault_retries;
+    fault_retry_seconds += delay_seconds;
+  }
+  void on_fault_failover() noexcept { ++fault_failovers; }
+  void on_fault_degraded(int path, double extra_seconds) noexcept {
+    ++fault_degraded;
+    fault_degraded_seconds[path] += extra_seconds;
+  }
+
+  /// True when any fault slot is nonzero (gates the report's faults
+  /// section, so fault-free output is byte-identical to the pre-fault
+  /// schema).
+  [[nodiscard]] bool any_faults() const noexcept {
+    if (fault_retries != 0 || fault_failovers != 0 || fault_degraded != 0) {
+      return true;
+    }
+    for (double s : fault_degraded_seconds) {
+      if (s != 0.0) return true;
+    }
+    return false;
+  }
 
   // ---- Aggregation and export -------------------------------------------
   /// Merge another run's slots into this one (plain adds; phase makespans

@@ -203,8 +203,22 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
+    // Line/column context (1-based) so errors in hand-edited machine or
+    // fault files point at the offending spot, not just a byte offset.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::runtime_error("JSON parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column) + " (byte " +
+                             std::to_string(pos_) + "): " + what);
   }
 
   void skip_ws() {
@@ -341,6 +355,11 @@ class Parser {
     char* end = nullptr;
     const double d = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') fail("bad number '" + token + "'");
+    if (!std::isfinite(d)) {
+      // 1e999 etc.: reject instead of silently storing inf, which every
+      // downstream validator would then have to defend against.
+      fail("number '" + token + "' out of double range");
+    }
     return JsonValue(d);
   }
 
@@ -379,6 +398,12 @@ class Parser {
     for (;;) {
       skip_ws();
       std::string key = parse_string();
+      // set() would silently overwrite, hiding typos in hand-edited files;
+      // emitted documents never carry duplicates (set() dedups), so strict
+      // parsing cannot break a round trip.
+      if (out.find(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+      }
       skip_ws();
       expect(':');
       out.set(std::move(key), parse_value());

@@ -121,6 +121,24 @@ void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
   report.packs = per_sampled(metrics.packs);
   report.pack_bytes = per_sampled(metrics.pack_bytes);
   report.pack_seconds = metrics.pack_seconds * inv_sampled;
+
+  // Fault slots ride the sampled tier.  Unlike the plan-invariant counters,
+  // loss/failover counts vary per repetition (the fault stream is keyed by
+  // the per-rep run seed), so the integer divisions are floor averages --
+  // fine for diagnostics, which is all this section is for.
+  report.faults = FaultStat{};
+  if (metrics.any_faults()) {
+    report.faults.retries = per_sampled(metrics.fault_retries);
+    report.faults.failovers = per_sampled(metrics.fault_failovers);
+    report.faults.degraded_msgs = per_sampled(metrics.fault_degraded);
+    report.faults.retry_seconds = metrics.fault_retry_seconds * inv_sampled;
+    for (int p = 0; p < EngineMetrics::kPaths; ++p) {
+      if (metrics.fault_degraded_seconds[p] == 0.0) continue;
+      report.faults.degraded.push_back(
+          {metrics.path_name(p),
+           metrics.fault_degraded_seconds[p] * inv_sampled});
+    }
+  }
 }
 
 JsonValue RunReport::metrics_json() const {
@@ -241,6 +259,25 @@ JsonValue RunReport::to_json() const {
   pack_obj.set("bytes", pack_bytes);
   pack_obj.set("seconds", pack_seconds);
   out.set("packs", std::move(pack_obj));
+
+  // Emitted only for degraded runs: fault-free reports keep the exact
+  // pre-fault document shape.
+  if (has_faults()) {
+    JsonValue fault_obj = JsonValue::object();
+    fault_obj.set("retries", faults.retries);
+    fault_obj.set("failovers", faults.failovers);
+    fault_obj.set("degraded_msgs", faults.degraded_msgs);
+    fault_obj.set("retry_seconds", faults.retry_seconds);
+    JsonValue degraded_array = JsonValue::array();
+    for (const FaultPathStat& d : faults.degraded) {
+      JsonValue entry = JsonValue::object();
+      entry.set("path", d.path);
+      entry.set("degraded_seconds", d.degraded_seconds);
+      degraded_array.push_back(std::move(entry));
+    }
+    fault_obj.set("degraded", std::move(degraded_array));
+    out.set("faults", std::move(fault_obj));
+  }
 
   out.set("wall_seconds", wall_seconds);
   out.set("reps_per_second", reps_per_second);

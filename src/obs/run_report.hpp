@@ -93,6 +93,28 @@ struct CopyStat {
   double seconds = 0.0;  ///< per repetition, as charged to rank clocks
 };
 
+/// Extra occupancy injected by fault degradation on one path class.
+struct FaultPathStat {
+  std::string path;
+  double degraded_seconds = 0.0;  ///< per sampled repetition
+};
+
+/// Fault-layer activity (zero / empty when no fault model was attached;
+/// the JSON section is omitted entirely then, keeping fault-free reports
+/// byte-identical to the pre-fault schema).
+struct FaultStat {
+  std::int64_t retries = 0;        ///< per sampled repetition
+  std::int64_t failovers = 0;      ///< per sampled repetition
+  std::int64_t degraded_msgs = 0;  ///< per sampled repetition
+  double retry_seconds = 0.0;      ///< backoff delay injected, per sampled rep
+  std::vector<FaultPathStat> degraded;
+
+  [[nodiscard]] bool any() const noexcept {
+    return retries != 0 || failovers != 0 || degraded_msgs != 0 ||
+           retry_seconds != 0.0 || !degraded.empty();
+  }
+};
+
 /// Utilization of one repetition-runner worker thread.
 struct WorkerStat {
   int worker = 0;
@@ -130,6 +152,9 @@ struct RunReport {
   std::int64_t packs = 0;
   std::int64_t pack_bytes = 0;
   double pack_seconds = 0.0;
+  FaultStat faults;
+
+  [[nodiscard]] bool has_faults() const noexcept { return faults.any(); }
 
   // -- Host-side execution -------------------------------------------------
   double wall_seconds = 0.0;

@@ -1,0 +1,119 @@
+// Malformed-input hardening: every file in tests/data/bad/ must produce a
+// structured std::invalid_argument -- with the file path in the message,
+// and line/column context for parse errors -- from the direct loaders, and
+// exit code 2 (never a crash, hang, or silent default) from the CLI.
+//
+// The corpus covers the JSON parser (truncation, NaN/Inf literals,
+// overflow, duplicate keys, bad escapes, trailing garbage, non-object
+// documents, empty files), schema versioning (unknown machine/fault schema
+// tags), and semantic validation (bad probabilities, bad retry policies,
+// path classes the target machine does not declare).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "fault/fault_json.hpp"
+#include "machine/machine_json.hpp"
+
+#ifndef HETCOMM_TEST_DATA_DIR
+#error "HETCOMM_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace hetcomm {
+namespace {
+
+enum class Loader { Machine, Fault };
+
+struct BadInput {
+  const char* file;       ///< relative to tests/data/bad/
+  Loader loader;          ///< which direct loader rejects it
+  const char* expect;     ///< substring the diagnostic must contain
+};
+
+const BadInput kCorpus[] = {
+    {"truncated.json", Loader::Machine, "line"},
+    {"overflow_number.json", Loader::Machine, "out of double range"},
+    {"duplicate_key.json", Loader::Machine, "duplicate object key"},
+    {"unknown_schema.json", Loader::Machine, "hetcomm.machine.v99"},
+    {"not_an_object.json", Loader::Machine, ""},
+    {"empty.json", Loader::Machine, "line"},
+    {"bad_escape.json", Loader::Machine, "line"},
+    {"nan_literal.json", Loader::Machine, "line"},
+    {"trailing_garbage.json", Loader::Machine, "line"},
+    {"fault_unknown_schema.json", Loader::Fault, "hetcomm.fault.v99"},
+    {"fault_bad_probability.json", Loader::Fault, "probability"},
+    {"fault_bad_retry.json", Loader::Fault, "max_attempts"},
+};
+
+std::string bad_path(const char* file) {
+  return std::string(HETCOMM_TEST_DATA_DIR) + "/bad/" + file;
+}
+
+TEST(BadInput, DirectLoadersRejectWithStructuredErrors) {
+  for (const BadInput& c : kCorpus) {
+    const std::string path = bad_path(c.file);
+    try {
+      if (c.loader == Loader::Machine) {
+        (void)machine::load_machine_file(path);
+      } else {
+        (void)fault::load_fault_file(path);
+      }
+      FAIL() << c.file << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos)
+          << c.file << ": diagnostic must name the file: " << what;
+      if (*c.expect != '\0') {
+        EXPECT_NE(what.find(c.expect), std::string::npos)
+            << c.file << ": diagnostic must mention \"" << c.expect
+            << "\": " << what;
+      }
+    }
+    // No other exception type may escape; the try above fails the test on
+    // anything that is not invalid_argument (including crashes under ASan).
+  }
+}
+
+TEST(BadInput, CliExitsTwoOnEveryCorpusFile) {
+  for (const BadInput& c : kCorpus) {
+    const std::string path = bad_path(c.file);
+    std::ostringstream out;
+    std::ostringstream err;
+    const std::vector<std::string> args =
+        c.loader == Loader::Machine
+            ? std::vector<std::string>{"machine", "validate", "--machine",
+                                       path}
+            : std::vector<std::string>{"ranking-stability", "--nodes", "2",
+                                       "--faults", path};
+    EXPECT_EQ(cli::main_guarded(args, out, err), 2) << c.file;
+    EXPECT_NE(err.str().find("hetcomm: "), std::string::npos) << c.file;
+    EXPECT_NE(err.str().find(path), std::string::npos)
+        << c.file << ": stderr must name the offending file: " << err.str();
+  }
+}
+
+TEST(BadInput, UndeclaredPathClassIsAnInputError) {
+  // fault_unknown_path.json is schema-valid; it fails *compilation* against
+  // a machine whose taxonomy lacks the class -- still exit 2.
+  const std::string path = bad_path("fault_unknown_path.json");
+  const fault::FaultPlan plan = fault::load_fault_file(path);  // loads fine
+  EXPECT_EQ(plan.link_degradations.size(), 1u);
+
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = cli::main_guarded(
+      {"ranking-stability", "--machine", "lassen", "--nodes", "2", "--reps",
+       "2", "--faults", path},
+      out, err);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.str().find("warp-drive"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find(path), std::string::npos) << err.str();
+}
+
+}  // namespace
+}  // namespace hetcomm

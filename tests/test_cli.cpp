@@ -262,5 +262,119 @@ TEST_F(CliRunTest, MachineActionIsValidated) {
                std::invalid_argument);
 }
 
+TEST(CliParse, FaultFlags) {
+  EXPECT_EQ(parse({"compare"}).faults_file, "");
+  EXPECT_EQ(parse({"compare", "--faults", "f.json"}).faults_file, "f.json");
+  EXPECT_EQ(parse({"ranking-stability"}).fault_seeds, 4);
+  EXPECT_EQ(parse({"ranking-stability", "--fault-seeds", "7"}).fault_seeds, 7);
+  EXPECT_THROW((void)parse({"compare", "--faults"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"compare", "--faults", ""}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"ranking-stability", "--fault-seeds", "0"}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Exit-code contract: every subcommand returns 0 on success, 2 on
+// usage/input errors, and 3 with a one-line stderr diagnostic on
+// simulation failures -- never an abort.  main_guarded is exactly what the
+// hetcomm binary's main() runs.
+
+class CliExitCodeTest : public ::testing::Test {
+ protected:
+  int guarded(std::initializer_list<const char*> args) {
+    out_.str("");
+    err_.str("");
+    return main_guarded(
+        std::vector<std::string>(args.begin(), args.end()), out_, err_);
+  }
+
+  /// Write a fault plan that loses every off-node message attempt.
+  std::string write_fatal_plan() {
+    const std::string path = ::testing::TempDir() + "/cli_fatal_faults.json";
+    std::ofstream f(path);
+    f << "{\"schema\": \"hetcomm.fault.v1\", \"name\": \"fatal\",\n"
+         " \"message_loss\": [{\"path\": \"off-node\", \"probability\": 1.0,\n"
+         "   \"retry\": {\"max_attempts\": 2}}]}\n";
+    return path;
+  }
+
+  /// Write a mild degradation plan every machine can run to completion.
+  std::string write_mild_plan() {
+    const std::string path = ::testing::TempDir() + "/cli_mild_faults.json";
+    std::ofstream f(path);
+    f << "{\"schema\": \"hetcomm.fault.v1\", \"name\": \"mild\", \"seed\": 5,\n"
+         " \"link_degradations\": [{\"path\": \"off-node\",\n"
+         "   \"alpha_factor\": 1.5, \"beta_factor\": 2.0}]}\n";
+    return path;
+  }
+
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliExitCodeTest, SuccessReturnsZero) {
+  EXPECT_EQ(guarded({"machine", "validate", "--machine", "lassen"}), 0);
+  EXPECT_EQ(guarded({"machine", "list"}), 0);
+  EXPECT_EQ(guarded({"report", "--nodes", "2", "--reps", "2", "--jobs", "1",
+                     "--strategy", "split+MD"}),
+            0);
+  const std::string mild = write_mild_plan();
+  EXPECT_EQ(guarded({"compare", "--nodes", "2", "--reps", "2", "--jobs", "1",
+                     "--faults", mild.c_str()}),
+            0);
+  std::remove(mild.c_str());
+}
+
+TEST_F(CliExitCodeTest, UsageAndInputErrorsReturnTwo) {
+  EXPECT_EQ(guarded({}), 2);
+  EXPECT_EQ(guarded({"frobnicate"}), 2);
+  EXPECT_EQ(guarded({"compare", "--bogus"}), 2);
+  EXPECT_EQ(guarded({"compare", "--machine", "cray1"}), 2);
+  EXPECT_EQ(guarded({"machine", "validate", "--machine", "cray1"}), 2);
+  EXPECT_EQ(guarded({"report", "--faults", "/nonexistent/faults.json"}), 2);
+  EXPECT_EQ(guarded({"ranking-stability", "--nodes", "2"}), 2)
+      << "ranking-stability requires --faults";
+  // Every failure leaves a one-line "hetcomm: ..." diagnostic on stderr.
+  EXPECT_NE(err_.str().find("hetcomm: "), std::string::npos);
+}
+
+TEST_F(CliExitCodeTest, SimulationFailureReturnsThreeWithMessage) {
+  const std::string fatal = write_fatal_plan();
+  EXPECT_EQ(guarded({"report", "--nodes", "2", "--reps", "2", "--jobs", "1",
+                     "--strategy", "standard", "--faults", fatal.c_str()}),
+            3);
+  const std::string what = err_.str();
+  EXPECT_NE(what.find("hetcomm: "), std::string::npos) << what;
+  EXPECT_NE(what.find("attempt"), std::string::npos)
+      << "diagnostic must carry the structured abort context: " << what;
+  EXPECT_NE(what.find("off-node"), std::string::npos) << what;
+  std::remove(fatal.c_str());
+}
+
+TEST_F(CliExitCodeTest, RankingStabilityEmitsValidatedReport) {
+  const std::string mild = write_mild_plan();
+  const std::string report_path =
+      ::testing::TempDir() + "/cli_stability.json";
+  EXPECT_EQ(guarded({"ranking-stability", "--nodes", "2", "--reps", "2",
+                     "--jobs", "1", "--fault-seeds", "2", "--faults",
+                     mild.c_str(), "--out", report_path.c_str()}),
+            0);
+  EXPECT_NE(out_.str().find("winner survived"), std::string::npos);
+  EXPECT_NE(out_.str().find("nominal winner"), std::string::npos);
+
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::JsonValue::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "hetcomm.stability.v1");
+  EXPECT_EQ(doc.at("instances").as_int(), 2);
+  EXPECT_EQ(doc.at("results").size(), 2u);
+  EXPECT_EQ(doc.at("nominal").at("outcomes").size(), 8u);
+  std::remove(report_path.c_str());
+  std::remove(mild.c_str());
+}
+
 }  // namespace
 }  // namespace hetcomm::cli

@@ -1,0 +1,614 @@
+// Fault-injection subsystem tests: retry/backoff math, the
+// hetcomm.fault.v1 round trip, plan-to-model compilation, the
+// zero-overhead-when-off and faulted bit-identity guarantees, the
+// FaultAbort failure contract (engine reusable afterwards), the metrics
+// fault section, and ranking-stability determinism.
+
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/comm_pattern.hpp"
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "fault/fault_json.hpp"
+#include "fault/stability.hpp"
+#include "hetsim/engine.hpp"
+#include "hetsim/faults.hpp"
+#include "machine/machine.hpp"
+#include "obs/json.hpp"
+
+namespace hetcomm {
+namespace {
+
+using core::ExecMode;
+using fault::FaultPlan;
+
+// ---------------------------------------------------------------------------
+// Retry / backoff math.
+
+TEST(RetryMath, DelayMonotoneCappedDeterministic) {
+  RetryPolicy policy;
+  policy.timeout = 1e-4;
+  policy.backoff = 2.0;
+  policy.max_delay = 1e-2;
+  policy.max_attempts = 64;
+
+  double prev = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double d = retry_delay(policy, i);
+    EXPECT_GE(d, prev) << "retry delay must be nondecreasing at " << i;
+    EXPECT_LE(d, policy.max_delay) << "retry delay must respect the cap";
+    EXPECT_EQ(d, retry_delay(policy, i)) << "retry delay must be pure";
+    prev = d;
+  }
+  // The exponential ramp reaches the cap and stays there.
+  EXPECT_EQ(retry_delay(policy, 63), policy.max_delay);
+
+  // Total delay is monotone in the retry count and exactly the prefix sum.
+  double total = 0.0;
+  for (int retries = 0; retries <= 16; ++retries) {
+    const double t = total_retry_delay(policy, retries);
+    EXPECT_EQ(t, total) << "total delay must be the prefix sum of delays";
+    EXPECT_EQ(t, total_retry_delay(policy, retries)) << "and deterministic";
+    total += retry_delay(policy, retries);
+  }
+}
+
+TEST(RetryMath, HugeRetryIndexDoesNotOverflow) {
+  RetryPolicy policy;
+  policy.timeout = 1e-4;
+  policy.backoff = 10.0;
+  policy.max_delay = 1.0;
+  // 1e-4 * 10^1000 would overflow without the early cap exit.
+  EXPECT_EQ(retry_delay(policy, 1000), policy.max_delay);
+}
+
+TEST(RetryMath, FaultUniformDeterministicAndInRange) {
+  for (std::uint64_t msg = 0; msg < 64; ++msg) {
+    for (std::uint32_t attempt = 0; attempt < 4; ++attempt) {
+      const double u = fault_uniform(0x1234, msg, attempt);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LT(u, 1.0);
+      EXPECT_EQ(u, fault_uniform(0x1234, msg, attempt));
+    }
+  }
+  // Different streams / messages decorrelate.
+  EXPECT_NE(fault_uniform(1, 0, 0), fault_uniform(2, 0, 0));
+  EXPECT_NE(fault_uniform(1, 0, 0), fault_uniform(1, 1, 0));
+  EXPECT_NE(fault_uniform(1, 0, 0), fault_uniform(1, 0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Plan model: empty(), JSON round trip, compile cross-validation.
+
+FaultPlan rich_plan() {
+  FaultPlan plan;
+  plan.name = "rich";
+  plan.seed = 42;
+  plan.link_degradations.push_back({"off-node", 1.5, 3.0, {0.0, 0.002}});
+  plan.nic_degradations.push_back({-1, 1, 2.0, 2.0, {}});
+  plan.nic_outages.push_back({0, 0, {0.0, 0.001}});
+  plan.stragglers.push_back({0, 1.5, 1.25});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.05;
+    loss.retry.timeout = 2e-4;
+    loss.retry.backoff = 3.0;
+    loss.retry.max_delay = 5e-3;
+    loss.retry.max_attempts = 7;
+    plan.message_loss.push_back(loss);
+  }
+  return plan;
+}
+
+TEST(FaultPlanModel, EmptyDetectsNeutralRules) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.link_degradations.push_back({"off-node", 1.0, 1.0, {}});
+  plan.stragglers.push_back({0, 1.0, 1.0});
+  {
+    fault::MessageLoss loss;
+    loss.path = "";
+    loss.probability = 0.0;
+    plan.message_loss.push_back(loss);
+  }
+  EXPECT_TRUE(plan.empty()) << "neutral rules perturb nothing";
+  plan.link_degradations.push_back({"off-node", 2.0, 1.0, {}});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanModel, JsonRoundTripIsExact) {
+  const FaultPlan plan = rich_plan();
+  const obs::JsonValue doc = fault::to_json(plan);
+  EXPECT_EQ(doc.at("schema").as_string(), fault::kFaultSchema);
+  const FaultPlan back =
+      fault::plan_from_json(obs::JsonValue::parse(doc.dump_string()));
+
+  EXPECT_EQ(back.name, plan.name);
+  EXPECT_EQ(back.seed, plan.seed);
+  ASSERT_EQ(back.link_degradations.size(), 1u);
+  EXPECT_EQ(back.link_degradations[0].path, "off-node");
+  EXPECT_EQ(back.link_degradations[0].alpha_factor, 1.5);
+  EXPECT_EQ(back.link_degradations[0].beta_factor, 3.0);
+  EXPECT_EQ(back.link_degradations[0].window.begin, 0.0);
+  EXPECT_EQ(back.link_degradations[0].window.end, 0.002);
+  ASSERT_EQ(back.nic_degradations.size(), 1u);
+  EXPECT_EQ(back.nic_degradations[0].node, -1);
+  EXPECT_EQ(back.nic_degradations[0].lane, 1);
+  EXPECT_TRUE(back.nic_degradations[0].window.always());
+  ASSERT_EQ(back.nic_outages.size(), 1u);
+  EXPECT_EQ(back.nic_outages[0].window.end, 0.001);
+  ASSERT_EQ(back.stragglers.size(), 1u);
+  EXPECT_EQ(back.stragglers[0].compute_factor, 1.5);
+  ASSERT_EQ(back.message_loss.size(), 1u);
+  EXPECT_EQ(back.message_loss[0].probability, 0.05);
+  EXPECT_EQ(back.message_loss[0].retry.backoff, 3.0);
+  EXPECT_EQ(back.message_loss[0].retry.max_attempts, 7);
+
+  // A second projection of the reconstructed plan is byte-identical.
+  EXPECT_EQ(fault::to_json(back).dump_string(), doc.dump_string());
+}
+
+TEST(FaultPlanModel, LoadFaultFileErrors) {
+  EXPECT_THROW((void)fault::load_fault_file("/nonexistent/faults.json"),
+               std::invalid_argument);
+
+  const std::string path = ::testing::TempDir() + "/bad_schema_faults.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"hetcomm.fault.v99\", \"seed\": 1}\n";
+  }
+  try {
+    (void)fault::load_fault_file(path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("hetcomm.fault.v99"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultPlanModel, CompileCrossValidatesScopes) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+
+  FaultPlan unknown_path;
+  unknown_path.link_degradations.push_back({"warp-drive", 2.0, 2.0, {}});
+  try {
+    (void)unknown_path.compile(topo, mach.params);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("warp-drive"), std::string::npos);
+  }
+
+  FaultPlan bad_rank;
+  bad_rank.stragglers.push_back({100000, 2.0, 1.0});
+  EXPECT_THROW((void)bad_rank.compile(topo, mach.params),
+               std::invalid_argument);
+
+  FaultPlan bad_lane;
+  bad_lane.nic_outages.push_back({0, 5, {}});  // lassen has one NIC lane
+  EXPECT_THROW((void)bad_lane.compile(topo, mach.params),
+               std::invalid_argument);
+
+  FaultPlan bad_probability;
+  {
+    fault::MessageLoss loss;
+    loss.probability = 1.5;
+    bad_probability.message_loss.push_back(loss);
+  }
+  EXPECT_THROW(bad_probability.validate(), std::invalid_argument);
+
+  // A valid plan compiles and densifies stragglers.
+  FaultPlan good;
+  good.stragglers.push_back({1, 2.0, 1.5});
+  const FaultModel model = good.compile(topo, mach.params);
+  EXPECT_EQ(model.rank_compute_factor(1), 2.0);
+  EXPECT_EQ(model.rank_injection_factor(1), 1.5);
+  EXPECT_EQ(model.rank_compute_factor(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation guarantees.
+
+struct Measurement {
+  double max_avg;
+  double makespan_mean;
+  double makespan_min;
+  double makespan_max;
+  std::vector<double> per_rank_mean;
+
+  bool operator==(const Measurement&) const = default;
+};
+
+Measurement measure_with(const core::CommPlan& plan, const Topology& topo,
+                         const ParamSet& params, const FaultModel* faults,
+                         ExecMode engine, int jobs) {
+  core::MeasureOptions opts;
+  opts.reps = 3;
+  opts.seed = 99;
+  opts.noise_sigma = 0.02;
+  opts.jobs = jobs;
+  opts.engine = engine;
+  opts.faults = faults;
+  const core::MeasureResult r = core::measure(plan, topo, params, opts);
+  return {r.max_avg, r.makespan_mean, r.makespan_min, r.makespan_max,
+          r.per_rank_mean};
+}
+
+TEST(FaultSim, ZeroOverheadWhenOff) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+
+  // Two flavors of "off": a fully neutral plan (normalized to a detached
+  // fault layer) and a non-neutral plan whose only rule is scoped to a
+  // window that never activates (fault layer attached, all hooks live).
+  FaultPlan neutral;
+  neutral.link_degradations.push_back({"off-node", 1.0, 1.0, {}});
+  neutral.stragglers.push_back({0, 1.0, 1.0});
+  const FaultModel neutral_model = neutral.compile(topo, mach.params);
+  EXPECT_TRUE(neutral_model.empty());
+
+  FaultPlan dormant;
+  dormant.link_degradations.push_back({"off-node", 4.0, 4.0, {5.0, 5.0}});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.9;
+    loss.window = {5.0, 5.0};  // empty window: never active
+    dormant.message_loss.push_back(loss);
+  }
+  const FaultModel dormant_model = dormant.compile(topo, mach.params);
+  EXPECT_FALSE(dormant_model.empty());
+
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    const core::CommPlan plan =
+        core::build_plan(pattern, topo, mach.params, cfg);
+    const Measurement baseline = measure_with(plan, topo, mach.params, nullptr,
+                                              ExecMode::Compiled, 1);
+    for (const ExecMode engine : {ExecMode::Compiled, ExecMode::Interpreted}) {
+      for (const int jobs : {1, 2}) {
+        EXPECT_EQ(measure_with(plan, topo, mach.params, &neutral_model,
+                               engine, jobs),
+                  baseline)
+            << cfg.name() << " neutral " << to_string(engine) << " jobs "
+            << jobs;
+        EXPECT_EQ(measure_with(plan, topo, mach.params, &dormant_model,
+                               engine, jobs),
+                  baseline)
+            << cfg.name() << " dormant " << to_string(engine) << " jobs "
+            << jobs;
+      }
+    }
+  }
+}
+
+/// A composite plan exercising all four perturbation kinds at once on the
+/// dual-rail nvisland machine.
+FaultPlan composite_plan() {
+  FaultPlan plan;
+  plan.name = "composite";
+  plan.seed = 3;
+  plan.link_degradations.push_back({"off-node", 1.5, 2.0, {}});
+  plan.nic_degradations.push_back({-1, 1, 1.5, 1.5, {}});
+  plan.nic_outages.push_back({0, 0, {0.0, 2e-4}});
+  plan.stragglers.push_back({0, 1.5, 1.25});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.2;
+    loss.retry.max_attempts = 12;  // deep budget: never exhausts here
+    plan.message_loss.push_back(loss);
+  }
+  return plan;
+}
+
+TEST(FaultSim, FaultedBitIdenticalAcrossJobsAndEngines) {
+  const machine::MachineModel mach = machine::preset_machine("nvisland");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const FaultModel model = composite_plan().compile(topo, mach.params);
+
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    const core::CommPlan plan =
+        core::build_plan(pattern, topo, mach.params, cfg);
+    const Measurement reference = measure_with(plan, topo, mach.params, &model,
+                                               ExecMode::Compiled, 1);
+    const Measurement unfaulted = measure_with(plan, topo, mach.params,
+                                               nullptr, ExecMode::Compiled, 1);
+    EXPECT_NE(reference.max_avg, unfaulted.max_avg)
+        << cfg.name() << ": the composite plan must actually perturb";
+    for (const ExecMode engine : {ExecMode::Compiled, ExecMode::Interpreted}) {
+      for (const int jobs : {1, 4, 0}) {
+        EXPECT_EQ(measure_with(plan, topo, mach.params, &model, engine, jobs),
+                  reference)
+            << cfg.name() << " " << to_string(engine) << " jobs " << jobs;
+      }
+    }
+  }
+}
+
+TEST(FaultSim, DegradationSlowsRunsDown) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  FaultPlan slow;
+  slow.link_degradations.push_back({"", 4.0, 4.0, {}});
+  const FaultModel model = slow.compile(topo, mach.params);
+  const double faulted =
+      measure_with(plan, topo, mach.params, &model, ExecMode::Compiled, 1)
+          .max_avg;
+  const double nominal =
+      measure_with(plan, topo, mach.params, nullptr, ExecMode::Compiled, 1)
+          .max_avg;
+  EXPECT_GT(faulted, nominal);
+}
+
+TEST(FaultSim, OutageFailsOverToSurvivingLane) {
+  const machine::MachineModel mach = machine::preset_machine("nvisland");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  FaultPlan outage;
+  outage.nic_outages.push_back({-1, 0, {}});  // rail 0 down everywhere forever
+  const FaultModel model = outage.compile(topo, mach.params);
+
+  core::MeasureOptions opts;
+  opts.reps = 3;
+  opts.seed = 99;
+  opts.jobs = 1;
+  opts.faults = &model;
+  opts.collect_metrics = true;
+  const core::MeasureResult r = core::measure(plan, topo, mach.params, opts);
+  ASSERT_TRUE(r.metrics.has_value());
+  EXPECT_GT(r.metrics->faults.failovers, 0)
+      << "off-node traffic homed on rail 0 must fail over to rail 1";
+
+  // Squeezing two rails' traffic through one cannot speed anything up.
+  const double nominal =
+      measure_with(plan, topo, mach.params, nullptr, ExecMode::Compiled, 1)
+          .max_avg;
+  EXPECT_GE(r.max_avg, nominal);
+}
+
+TEST(FaultSim, AllLanesDownForeverIsStructuredFailure) {
+  const machine::MachineModel mach = machine::preset_machine("nvisland");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  FaultPlan dead;
+  dead.nic_outages.push_back({-1, -1, {}});  // every lane, forever
+  const FaultModel model = dead.compile(topo, mach.params);
+  core::MeasureOptions opts;
+  opts.reps = 2;
+  opts.seed = 99;
+  opts.jobs = 1;
+  opts.faults = &model;
+  try {
+    (void)core::measure(plan, topo, mach.params, opts);
+    FAIL() << "expected FaultAbort";
+  } catch (const FaultAbort& e) {
+    EXPECT_EQ(e.reason, FaultAbort::Reason::NicUnavailable);
+    EXPECT_EQ(e.strategy, plan.strategy_name);
+    EXPECT_FALSE(e.path.empty());
+  }
+}
+
+TEST(FaultSim, ExhaustedRetriesAbortWithStructuredError) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  FaultPlan lossy;
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 1.0;  // every attempt lost
+    loss.retry.max_attempts = 3;
+    lossy.message_loss.push_back(loss);
+  }
+  const FaultModel model = lossy.compile(topo, mach.params);
+
+  core::MeasureOptions opts;
+  opts.reps = 3;
+  opts.seed = 99;
+  opts.jobs = 1;
+  opts.faults = &model;
+  try {
+    (void)core::measure(plan, topo, mach.params, opts);
+    FAIL() << "expected FaultAbort";
+  } catch (const FaultAbort& e) {
+    EXPECT_EQ(e.reason, FaultAbort::Reason::RetriesExhausted);
+    EXPECT_EQ(e.attempts, 3);
+    EXPECT_EQ(e.strategy, plan.strategy_name)
+        << "measure() fills the strategy before propagating";
+    EXPECT_EQ(e.path, "off-node");
+    EXPECT_GE(e.src, 0);
+    EXPECT_GE(e.dst, 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("off-node"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultSim, EngineReusableAfterFaultAbort) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  FaultPlan lossy;
+  {
+    fault::MessageLoss loss;
+    loss.probability = 1.0;
+    loss.retry.max_attempts = 2;
+    lossy.message_loss.push_back(loss);
+  }
+  const FaultModel model = lossy.compile(topo, mach.params);
+
+  // A mid-plan abort must leave no pending operations behind (the
+  // resolve() failure contract) and a reset engine must be event-for-event
+  // equivalent to a fresh one.
+  Engine engine(topo, mach.params, NoiseModel(99, 0.02));
+  engine.set_faults(&model);
+  EXPECT_THROW((void)core::run_plan(engine, plan), FaultAbort);
+  EXPECT_FALSE(engine.has_pending());
+
+  engine.set_faults(nullptr);
+  engine.reset(123);
+  const std::vector<double> reused = core::run_plan(engine, plan);
+
+  Engine fresh(topo, mach.params, NoiseModel(99, 0.02));
+  fresh.reset(123);
+  EXPECT_EQ(reused, core::run_plan(fresh, plan));
+
+  // The measure() layer recovers the same way: an aborted sweep does not
+  // poison a later unfaulted measurement.
+  core::MeasureOptions opts;
+  opts.reps = 3;
+  opts.seed = 99;
+  opts.jobs = 1;
+  opts.faults = &model;
+  EXPECT_THROW((void)core::measure(plan, topo, mach.params, opts), FaultAbort);
+  opts.faults = nullptr;
+  const Measurement after =
+      measure_with(plan, topo, mach.params, nullptr, ExecMode::Compiled, 1);
+  EXPECT_EQ(after, measure_with(plan, topo, mach.params, nullptr,
+                                ExecMode::Compiled, 1));
+}
+
+TEST(FaultSim, MetricsGrowFaultSectionOnlyWhenFaulted) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+
+  core::MeasureOptions opts;
+  opts.reps = 3;
+  opts.seed = 99;
+  opts.jobs = 1;
+  opts.collect_metrics = true;
+
+  const core::MeasureResult clean = core::measure(plan, topo, mach.params, opts);
+  ASSERT_TRUE(clean.metrics.has_value());
+  EXPECT_FALSE(clean.metrics->has_faults());
+  EXPECT_EQ(clean.metrics->to_json().find("faults"), nullptr)
+      << "fault-free reports keep the pre-fault document shape";
+
+  FaultPlan slow;
+  slow.link_degradations.push_back({"", 2.0, 2.0, {}});
+  {
+    fault::MessageLoss loss;
+    loss.probability = 0.3;
+    loss.retry.max_attempts = 12;
+    slow.message_loss.push_back(loss);
+  }
+  const FaultModel model = slow.compile(topo, mach.params);
+  opts.faults = &model;
+  const core::MeasureResult faulted =
+      core::measure(plan, topo, mach.params, opts);
+  ASSERT_TRUE(faulted.metrics.has_value());
+  EXPECT_TRUE(faulted.metrics->has_faults());
+  EXPECT_GT(faulted.metrics->faults.retries, 0);
+  EXPECT_GT(faulted.metrics->faults.degraded_msgs, 0);
+  EXPECT_GT(faulted.metrics->faults.retry_seconds, 0.0);
+  EXPECT_NE(faulted.metrics->to_json().find("faults"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Ranking stability.
+
+TEST(RankingStability, DeterministicReportWithConsistentSummary) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+
+  FaultPlan plan;
+  plan.name = "stability-test";
+  plan.seed = 7;
+  plan.link_degradations.push_back({"off-node", 1.5, 3.0, {}});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.1;
+    loss.retry.max_attempts = 12;
+    plan.message_loss.push_back(loss);
+  }
+
+  fault::StabilityOptions sopts;
+  sopts.instances = 3;
+  sopts.measure.reps = 2;
+  sopts.measure.seed = 99;
+  sopts.measure.jobs = 2;
+
+  const fault::StabilityReport report =
+      fault::ranking_stability(pattern, topo, mach.params, plan, sopts);
+  EXPECT_EQ(report.machine, mach.params.name);
+  EXPECT_EQ(report.fault_plan, "stability-test");
+  EXPECT_FALSE(report.nominal.winner.empty());
+  EXPECT_EQ(report.nominal.outcomes.size(), core::table5_strategies().size());
+  ASSERT_EQ(report.results.size(), 3u);
+
+  // Instance fault seeds are derived, distinct, and reproducible.
+  EXPECT_EQ(report.results[0].fault_seed, mix_seed(7, 0));
+  EXPECT_NE(report.results[0].fault_seed, report.results[1].fault_seed);
+
+  int survived = 0;
+  for (const fault::StabilityInstance& inst : report.results) {
+    EXPECT_EQ(inst.outcomes.size(), report.nominal.outcomes.size());
+    if (inst.winner == report.nominal.winner) ++survived;
+  }
+  EXPECT_EQ(report.winner_survived, survived);
+  EXPECT_DOUBLE_EQ(report.survival_rate, survived / 3.0);
+  int wins = 0;
+  for (const fault::StrategySummary& s : report.strategies) wins += s.wins;
+  EXPECT_EQ(wins, 3) << "every instance crowns exactly one winner here";
+
+  // The whole report -- every clock in every instance -- is reproducible.
+  const fault::StabilityReport again =
+      fault::ranking_stability(pattern, topo, mach.params, plan, sopts);
+  EXPECT_EQ(again.to_json().dump_string(), report.to_json().dump_string());
+}
+
+TEST(RankingStability, RejectsBadOptions) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const FaultPlan plan = rich_plan();
+
+  fault::StabilityOptions sopts;
+  sopts.instances = 0;
+  EXPECT_THROW((void)fault::ranking_stability(pattern, topo, mach.params,
+                                              plan, sopts),
+               std::invalid_argument);
+
+  FaultPlan bad;
+  bad.link_degradations.push_back({"no-such-class", 2.0, 2.0, {}});
+  EXPECT_THROW((void)fault::ranking_stability(pattern, topo, mach.params, bad,
+                                              fault::StabilityOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm

@@ -1,4 +1,6 @@
-// hetcomm CLI entry point; all logic lives in src/cli (testable).
+// hetcomm CLI entry point; all logic (including the exit-code contract:
+// 0 success, 2 usage/input error, 3 simulation failure) lives in src/cli
+// so tests can drive it in-process.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -6,12 +8,6 @@
 #include "cli/cli.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  try {
-    const hetcomm::cli::Options opts = hetcomm::cli::Options::parse(args);
-    return hetcomm::cli::run(opts, std::cout);
-  } catch (const std::exception& e) {
-    std::cerr << "hetcomm: " << e.what() << "\n";
-    return 2;
-  }
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return hetcomm::cli::main_guarded(args, std::cout, std::cerr);
 }

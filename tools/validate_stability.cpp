@@ -1,0 +1,203 @@
+// Validator for hetcomm.stability.v1 ranking-stability reports.
+//
+// Usage: validate_stability FILE...
+//
+// Parses each file with the strict obs JSON parser and checks the schema
+// contract CI relies on: schema tag, identity fields, a nominal instance
+// with one outcome per strategy, one result per declared ensemble
+// instance (each with the same strategy set, a winner drawn from it, and
+// outcomes that are either a numeric max_avg or a structured failure),
+// and a summary whose wins / survival counts are internally consistent
+// with the per-instance winners.  Exits non-zero with a one-line
+// diagnostic on the first violation so a malformed stability artifact
+// fails the pipeline instead of uploading.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using hetcomm::obs::JsonValue;
+
+constexpr const char* kStabilitySchema = "hetcomm.stability.v1";
+
+[[noreturn]] void fail(const std::string& file, const std::string& what) {
+  throw std::runtime_error(file + ": " + what);
+}
+
+const JsonValue& require(const std::string& file, const JsonValue& obj,
+                         const std::string& key, JsonValue::Kind kind) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != kind) fail(file, "field \"" + key + "\" has wrong type");
+  return *v;
+}
+
+const JsonValue& require_number(const std::string& file, const JsonValue& obj,
+                                const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != JsonValue::Kind::Int &&
+      v->kind() != JsonValue::Kind::Double) {
+    fail(file, "field \"" + key + "\" is not a number");
+  }
+  return *v;
+}
+
+/// Check one instance's outcomes; returns the strategy names in order.
+std::vector<std::string> check_outcomes(const std::string& file,
+                                        const JsonValue& inst,
+                                        const std::string& where) {
+  const JsonValue& outcomes =
+      require(file, inst, "outcomes", JsonValue::Kind::Array);
+  if (outcomes.size() == 0) fail(file, where + ": outcomes array is empty");
+  const std::string winner =
+      require(file, inst, "winner", JsonValue::Kind::String).as_string();
+  std::vector<std::string> strategies;
+  bool winner_found = winner.empty();
+  bool any_ok = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const JsonValue& o = outcomes.at(i);
+    const std::string name =
+        require(file, o, "strategy", JsonValue::Kind::String).as_string();
+    strategies.push_back(name);
+    if (name == winner) winner_found = true;
+    if (o.contains("failed")) {
+      if (!require(file, o, "failed", JsonValue::Kind::Bool).as_bool()) {
+        fail(file, where + ": outcome \"failed\" must be true when present");
+      }
+      require(file, o, "error", JsonValue::Kind::String);
+      if (o.contains("max_avg")) {
+        fail(file, where + ": failed outcome must not carry max_avg");
+      }
+    } else {
+      if (require_number(file, o, "max_avg").as_double() < 0.0) {
+        fail(file, where + ": max_avg must be >= 0");
+      }
+      any_ok = true;
+    }
+  }
+  if (!winner_found) {
+    fail(file, where + ": winner \"" + winner + "\" is not an outcome");
+  }
+  if (winner.empty() && any_ok) {
+    fail(file, where + ": empty winner but non-failed outcomes exist");
+  }
+  return strategies;
+}
+
+void validate_file(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) fail(file, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  const std::string schema =
+      require(file, doc, "schema", JsonValue::Kind::String).as_string();
+  if (schema != kStabilitySchema) {
+    fail(file, "unexpected schema \"" + schema + "\"");
+  }
+  require(file, doc, "machine", JsonValue::Kind::String);
+  require(file, doc, "fault_plan", JsonValue::Kind::String);
+  require(file, doc, "engine", JsonValue::Kind::String);
+  for (const char* key : {"nodes", "plan_seed", "instances", "reps", "seed"}) {
+    require_number(file, doc, key);
+  }
+  const std::int64_t instances =
+      require(file, doc, "instances", JsonValue::Kind::Int).as_int();
+  if (instances < 1) fail(file, "instances must be >= 1");
+
+  const JsonValue& nominal =
+      require(file, doc, "nominal", JsonValue::Kind::Object);
+  const std::vector<std::string> strategies =
+      check_outcomes(file, nominal, "nominal");
+  const std::string nominal_winner =
+      nominal.at("winner").as_string();
+
+  const JsonValue& results =
+      require(file, doc, "results", JsonValue::Kind::Array);
+  if (static_cast<std::int64_t>(results.size()) != instances) {
+    fail(file, "results array does not match the declared instance count");
+  }
+  std::int64_t survived = 0;
+  std::vector<std::int64_t> wins(strategies.size(), 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& inst = results.at(i);
+    const std::string where = "results[" + std::to_string(i) + "]";
+    if (require(file, inst, "instance", JsonValue::Kind::Int).as_int() !=
+        static_cast<std::int64_t>(i)) {
+      fail(file, where + ": instance index out of order");
+    }
+    require_number(file, inst, "fault_seed");
+    if (check_outcomes(file, inst, where) != strategies) {
+      fail(file, where + ": strategy set differs from the nominal run");
+    }
+    const std::string winner = inst.at("winner").as_string();
+    if (!winner.empty() && winner == nominal_winner) ++survived;
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      if (strategies[s] == winner) ++wins[s];
+    }
+  }
+
+  const JsonValue& summary =
+      require(file, doc, "summary", JsonValue::Kind::Object);
+  if (require(file, summary, "winner_survived", JsonValue::Kind::Int)
+          .as_int() != survived) {
+    fail(file, "summary.winner_survived disagrees with per-instance winners");
+  }
+  const double rate = require_number(file, summary, "survival_rate").as_double();
+  const double expect = static_cast<double>(survived) /
+                        static_cast<double>(instances);
+  if (rate < expect - 1e-9 || rate > expect + 1e-9) {
+    fail(file, "summary.survival_rate disagrees with winner_survived");
+  }
+  const JsonValue& per =
+      require(file, summary, "strategies", JsonValue::Kind::Array);
+  if (per.size() != strategies.size()) {
+    fail(file, "summary.strategies does not cover every strategy");
+  }
+  for (std::size_t s = 0; s < per.size(); ++s) {
+    const JsonValue& row = per.at(s);
+    const std::string where = "summary.strategies[" + std::to_string(s) + "]";
+    if (require(file, row, "strategy", JsonValue::Kind::String).as_string() !=
+        strategies[s]) {
+      fail(file, where + ": strategy order differs from the nominal run");
+    }
+    if (require(file, row, "wins", JsonValue::Kind::Int).as_int() != wins[s]) {
+      fail(file, where + ": wins disagree with per-instance winners");
+    }
+    const std::int64_t failures =
+        require(file, row, "failures", JsonValue::Kind::Int).as_int();
+    if (failures < 0 || failures > instances) {
+      fail(file, where + ": failures out of range");
+    }
+  }
+
+  std::cout << file << ": OK (" << instances << " instance"
+            << (instances == 1 ? "" : "s") << ", " << strategies.size()
+            << " strategies)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_stability FILE...\n";
+    return 2;
+  }
+  try {
+    for (int i = 1; i < argc; ++i) validate_file(argv[i]);
+  } catch (const std::exception& e) {
+    std::cerr << "validate_stability: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
