@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
   mopts.noise_sigma = 0.02;
   mopts.engine = opts.engine;
+  mopts.batch = opts.batch;
 
   Table table({"mapping", "strategy", "time [s]", "vs identity+standard"});
   double baseline = 0.0;

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   mopts.reps = opts.reps > 0 ? opts.reps : (opts.quick ? 3 : 10);
   mopts.noise_sigma = 0.02;
   mopts.engine = opts.engine;
+  mopts.batch = opts.batch;
 
   for (const StrategyConfig& cfg :
        {StrategyConfig{StrategyKind::Standard, MemSpace::Host},

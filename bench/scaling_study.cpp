@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   mopts.seed = opts.seed;
   mopts.noise_sigma = 0.02;
   mopts.engine = opts.engine;
+  mopts.batch = opts.batch;
 
   const std::vector<int> node_counts =
       opts.quick ? std::vector<int>{2, 8, 32} : std::vector<int>{2, 4, 8, 16, 32};

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hetcomm::core {
@@ -73,6 +74,10 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   if (options.jobs < 0) {
     throw std::invalid_argument("measure: jobs must be >= 0 (0 = hardware)");
   }
+  if (options.batch < 0) {
+    throw std::invalid_argument(
+        "measure: batch must be >= 0 (0 = auto, 1 = serial)");
+  }
 
   MeasureResult result;
   result.summary = plan.summarize(topo);
@@ -90,6 +95,37 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   std::optional<CompiledPlan> compiled;
   if (options.engine == ExecMode::Compiled) {
     compiled.emplace(plan, topo, params);
+  }
+
+  // Effective lane width.  batch=0 auto-sizes: start at 16 lanes, halve
+  // while the per-rank lane scratch would outgrow a cache-friendly budget
+  // (~8192 doubles of lane clocks), then cap at ceil(reps / jobs) so every
+  // worker still gets a block (--jobs x batch compose; an explicit batch
+  // width wins over worker occupancy).  Interpreted mode has no compiled
+  // tables to batch over and always runs the serial path, as does width 1.
+  int width = options.batch;
+  if (width == 0) {
+    width = 16;
+    while (width > 1 && topo.num_ranks() * width > 8192) width /= 2;
+    width = std::min(width, static_cast<int>((options.reps + jobs - 1) / jobs));
+  }
+  width = std::min(width, options.reps);
+  const bool batched = compiled.has_value() && width > 1;
+  result.batch = batched ? width : 1;
+
+  // Lane blocks (batched path): contiguous repetition ranges handed to
+  // Engine::execute_batch, the trailing partial block included.  Workers
+  // pick up whole blocks, so --jobs composes with --batch.
+  std::vector<runtime::LaneBlock> blocks;
+  std::vector<std::uint64_t> rep_seeds;
+  if (batched) {
+    blocks = runtime::lane_blocks(options.reps, width);
+    jobs = std::min(jobs, static_cast<int>(blocks.size()));
+    rep_seeds.resize(static_cast<std::size_t>(options.reps));
+    for (std::int64_t rep = 0; rep < options.reps; ++rep) {
+      rep_seeds[static_cast<std::size_t>(rep)] =
+          mix_seed(options.seed, static_cast<std::uint64_t>(rep));
+    }
   }
 
   // Per-repetition clocks in one flat reps x num_ranks buffer (a single
@@ -192,10 +228,75 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     }
   };
 
+  // Batched counterpart of run_rep: one task per lane block, all lanes of
+  // the block run in lockstep by Engine::execute_batch.  Lane l of block b
+  // is bit-identical to run_rep(b.start + l), so the rep-keyed reduction
+  // below is oblivious to which path filled rep_clocks.
+  const auto run_block = [&](std::int64_t block, int worker) {
+    std::unique_ptr<Engine>& slot = engines[static_cast<std::size_t>(worker)];
+    if (!slot) {
+      slot = std::make_unique<Engine>(topo, params,
+                                      NoiseModel(0, options.noise_sigma));
+      if (options.fabric) slot->set_fabric(*options.fabric);
+      if (options.faults) slot->set_faults(options.faults);
+    }
+    const runtime::LaneBlock blk = blocks[static_cast<std::size_t>(block)];
+    if (options.collect_metrics) {
+      // execute_batch records lane 0 only, so attaching the sink to the
+      // block that starts at repetition 0 reproduces the serial sampling
+      // policy exactly: invariants and samples from repetition 0, nothing
+      // from any other repetition (sample_stride == reps).
+      const bool leading = blk.start == 0;
+      slot->set_metrics(leading
+                            ? &worker_metrics[static_cast<std::size_t>(worker)]
+                            : nullptr,
+                        leading, leading);
+    }
+    Engine& engine = *slot;
+    const bool traced =
+        options.trace_last_rep &&
+        blk.start + blk.width == static_cast<std::int64_t>(options.reps);
+    engine.set_tracing(traced);
+    const auto block_start = options.collect_metrics
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+    const std::span<const std::uint64_t> lane_seeds(
+        rep_seeds.data() + blk.start, static_cast<std::size_t>(blk.width));
+    const std::span<double> clocks_out(
+        rep_clocks.data() + static_cast<std::size_t>(blk.start) * num_ranks,
+        static_cast<std::size_t>(blk.width) * num_ranks);
+    engine.execute_batch(*compiled, lane_seeds, clocks_out,
+                         traced ? blk.width - 1 : -1);
+    if (options.collect_metrics) {
+      obs::EngineMetrics& sink =
+          worker_metrics[static_cast<std::size_t>(worker)];
+      // Only the leading block's sink holds phase-end clocks (lane 0 ==
+      // repetition 0); move them into that repetition's row.
+      for (std::size_t p = 0; p < sink.phase_makespan.size(); ++p) {
+        phase_ends[static_cast<std::size_t>(blk.start) * num_phases + p] =
+            sink.phase_makespan[p];
+      }
+      sink.phase_makespan.clear();
+      worker_rep_count[static_cast<std::size_t>(worker)] += blk.width;
+      worker_busy_seconds[static_cast<std::size_t>(worker)] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        block_start)
+              .count();
+    }
+    if (traced) {
+      last_trace = engine.trace();
+      engine.set_tracing(false);
+    }
+  };
+
   const auto start = std::chrono::steady_clock::now();
   runtime::ThreadPool pool(jobs);
   try {
-    pool.parallel_for(options.reps, run_rep);
+    if (batched) {
+      pool.parallel_for(static_cast<std::int64_t>(blocks.size()), run_block);
+    } else {
+      pool.parallel_for(options.reps, run_rep);
+    }
   } catch (const FaultAbort& e) {
     if (e.strategy.empty()) {
       // Stamp the structured error with the plan it killed; everything else
@@ -248,6 +349,7 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     report.engine = to_string(options.engine);
     report.reps = options.reps;
     report.jobs = jobs;
+    report.batch = result.batch;
     report.seed = options.seed;
     report.noise_sigma = options.noise_sigma;
     report.ranks = topo.num_ranks();

@@ -50,11 +50,20 @@ struct MeasureOptions {
 
   int reps = 25;              ///< repetitions (the paper uses 1000)
   std::uint64_t seed = 0x5eedULL;
-  double noise_sigma = 0.02;  ///< lognormal noise; 0 = deterministic
+  double noise_sigma = 0.02;  ///< mean-one jitter factor; 0 = deterministic
   bool trace_last_rep = false;
   /// Worker threads for repetitions: 1 = serial (default), 0 = hardware
   /// concurrency.  Results are bit-identical for every value.
   int jobs = 1;
+  /// Lane width for batched execution (Engine::execute_batch): repetitions
+  /// run `batch` at a time in lockstep over the shared CompiledPlan.
+  /// 0 = auto (a width sized to keep lane scratch cache-resident),
+  /// 1 = the historical one-rep-at-a-time path.  Composes with `jobs`
+  /// (workers pick up lane *blocks*; a trailing partial block is a
+  /// narrower batch, never a serial fallback) and is bit-identical to
+  /// batch=1 for every width.  Ignored (always serial) in Interpreted
+  /// mode, which has no compiled tables to batch over.
+  int batch = 0;
   /// Attach a tapered fat-tree fabric to every engine (what-if studies).
   std::optional<FatTreeConfig> fabric;
   /// Execution path; Compiled is the default fast path, Interpreted is the
@@ -83,6 +92,9 @@ struct MeasureResult {
   Trace trace;                ///< last repetition's events (trace_last_rep)
   double wall_seconds = 0.0;  ///< wall time spent simulating repetitions
   double reps_per_second = 0.0;
+  /// Effective lane width the repetitions actually ran at (resolves
+  /// batch=0 auto; 1 whenever the serial path ran, e.g. Interpreted mode).
+  int batch = 1;
   /// Aggregated run report (collect_metrics).  `name` is left empty for the
   /// caller to label.  Simulated-time sections depend only on the plan,
   /// machine, seed and noise; the `workers` / wall-time sections describe

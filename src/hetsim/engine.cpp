@@ -158,13 +158,16 @@ void Engine::set_faults(const FaultModel* faults) {
   refresh_fault_stream();
 }
 
-void Engine::refresh_fault_stream() noexcept {
+std::uint64_t Engine::fault_stream_for(std::uint64_t run_seed) const noexcept {
   // Salted double-mix: decoheres the fault stream from the noise stream
   // (which consumes the raw run seed) and from other fault-model seeds.
   constexpr std::uint64_t kFaultStreamSalt = 0xfa17'5eedULL;
-  fault_stream_ =
-      faults_ ? mix_seed(mix_seed(run_seed_, kFaultStreamSalt), faults_->seed)
-              : 0;
+  return faults_ ? mix_seed(mix_seed(run_seed, kFaultStreamSalt), faults_->seed)
+                 : 0;
+}
+
+void Engine::refresh_fault_stream() noexcept {
+  fault_stream_ = fault_stream_for(run_seed_);
 }
 
 void Engine::throw_retries_exhausted(std::int32_t src, std::int32_t dst,
@@ -332,7 +335,8 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   if (faults_) {
     fst = fault_prepare(s.self, path_id, off_node, src_node, dst_node,
                         src_nic, dst_nic, send_occupancy, drain_occupancy,
-                        completion_base, nic_occupancy, m.ready);
+                        completion_base, nic_occupancy, m.ready,
+                        fault_msg_counter_++);
     if (fst.degraded && metrics_smp_) {
       metrics_smp_->on_fault_degraded(path_id, fst.extra_seconds);
     }
@@ -422,7 +426,7 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
 
     completion = t + noise_.perturb(fst.completion_base) + hop_latency;
 
-    if (fault_lost(fst, attempt)) {
+    if (fault_lost(fst, attempt, fault_stream_)) {
       ++attempt;
       if (attempt >= fst.loss->retry.max_attempts) {
         throw_retries_exhausted(s.self, s.peer, path_id, attempt);

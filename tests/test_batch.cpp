@@ -1,0 +1,532 @@
+// The lane-batched execution contract: Engine::execute_batch runs N
+// repetitions in lockstep over one CompiledPlan, and lane l is bit-identical
+// -- clocks, traces, network counters, fault decisions -- to a serial
+// `reset(lane_seeds[l]); execute(plan)`, for every Table 5 strategy, on
+// multiple machine presets, with and without faults and a fabric, at any
+// lane width including odd ones.  A per-lane FaultAbort must not poison
+// sibling lanes, and the engine stays reusable (serial or batched)
+// afterwards.  core::measure's --batch wiring composes with jobs and
+// trailing partial blocks without diverging from the batch=1 reference.
+
+#include "hetsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "benchutil/bench_options.hpp"
+#include "core/comm_pattern.hpp"
+#include "core/compiled_plan.hpp"
+#include "core/executor.hpp"
+#include "core/strategy.hpp"
+#include "fault/plan.hpp"
+#include "hetsim/faults.hpp"
+#include "hetsim/noise.hpp"
+#include "machine/machine.hpp"
+#include "runtime/sweep.hpp"
+
+namespace hetcomm {
+namespace {
+
+using core::CompiledPlan;
+using core::ExecMode;
+using fault::FaultPlan;
+
+void expect_traces_identical(const Trace& a, const Trace& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.messages.size(), b.messages.size()) << label;
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    const MessageTrace& ma = a.messages[i];
+    const MessageTrace& mb = b.messages[i];
+    EXPECT_EQ(ma.src, mb.src) << label << " message " << i;
+    EXPECT_EQ(ma.dst, mb.dst) << label << " message " << i;
+    EXPECT_EQ(ma.bytes, mb.bytes) << label << " message " << i;
+    EXPECT_EQ(ma.ready, mb.ready) << label << " message " << i;
+    EXPECT_EQ(ma.start, mb.start) << label << " message " << i;
+    EXPECT_EQ(ma.completion, mb.completion) << label << " message " << i;
+  }
+  ASSERT_EQ(a.copies.size(), b.copies.size()) << label;
+  for (std::size_t i = 0; i < a.copies.size(); ++i) {
+    EXPECT_EQ(a.copies[i].start, b.copies[i].start) << label << " copy " << i;
+    EXPECT_EQ(a.copies[i].completion, b.copies[i].completion)
+        << label << " copy " << i;
+  }
+}
+
+constexpr double kSigma = 0.03;
+constexpr std::uint64_t kSeedBase = 0xb47c;
+
+std::vector<std::uint64_t> lane_seeds(std::size_t width) {
+  std::vector<std::uint64_t> seeds(width);
+  for (std::size_t l = 0; l < width; ++l) seeds[l] = mix_seed(kSeedBase, l);
+  return seeds;
+}
+
+/// One serial repetition on a reused engine: clocks, counters, trace, and
+/// the abort if the fault model killed the run.
+struct SerialRep {
+  std::vector<double> clocks;
+  std::int64_t net_bytes = 0;
+  std::int64_t net_messages = 0;
+  Trace trace;
+  std::optional<FaultAbort> abort;
+};
+
+SerialRep serial_rep(Engine& engine, const CompiledPlan& plan,
+                     std::uint64_t seed) {
+  SerialRep rep;
+  engine.reset(seed);
+  try {
+    engine.execute(plan);
+    rep.clocks = engine.clocks();
+    rep.trace = engine.trace();
+  } catch (const FaultAbort& abort) {
+    rep.abort = abort;
+  }
+  rep.net_bytes = engine.network_bytes();
+  rep.net_messages = engine.network_messages();
+  return rep;
+}
+
+/// The full engine-level matrix for one machine: every Table 5 strategy,
+/// widths 1 / 4 / odd 5 / 16, clocks + counters + traced-lane trace all
+/// bit-identical to per-lane serial replays.
+void check_machine(const machine::MachineModel& mach, int nodes,
+                   const FaultModel* faults) {
+  const Topology topo = mach.topology(nodes);
+  const core::CommPattern pattern = core::random_pattern(topo, 24, 8192, 7);
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+  const std::vector<std::uint64_t> seeds = lane_seeds(16);
+
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    const core::CommPlan plan =
+        core::build_plan(pattern, topo, mach.params, cfg);
+    const CompiledPlan compiled(plan, topo, mach.params);
+
+    Engine serial(topo, mach.params, NoiseModel(0, kSigma));
+    serial.set_tracing(true);
+    serial.set_faults(faults);
+    std::vector<SerialRep> reference;
+    for (std::size_t l = 0; l < seeds.size(); ++l) {
+      reference.push_back(serial_rep(serial, compiled, seeds[l]));
+      ASSERT_FALSE(reference.back().abort)
+          << cfg.name() << ": matrix fixtures must not abort";
+    }
+
+    Engine batch(topo, mach.params, NoiseModel(0, kSigma));
+    batch.set_tracing(true);
+    batch.set_faults(faults);
+    for (const std::size_t width : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{5}, std::size_t{16}}) {
+      const std::string label = cfg.name() + " width " + std::to_string(width);
+      batch.reset();
+      std::vector<double> clocks(width * num_ranks);
+      const std::span<const std::uint64_t> span(seeds.data(), width);
+      batch.execute_batch(compiled, span, clocks,
+                          static_cast<int>(width) - 1);
+
+      std::int64_t bytes = 0;
+      std::int64_t messages = 0;
+      for (std::size_t l = 0; l < width; ++l) {
+        bytes += reference[l].net_bytes;
+        messages += reference[l].net_messages;
+        for (std::size_t r = 0; r < num_ranks; ++r) {
+          ASSERT_EQ(clocks[l * num_ranks + r], reference[l].clocks[r])
+              << label << " lane " << l << " rank " << r;
+        }
+      }
+      EXPECT_EQ(batch.network_bytes(), bytes) << label;
+      EXPECT_EQ(batch.network_messages(), messages) << label;
+      expect_traces_identical(batch.trace(), reference[width - 1].trace,
+                              label);
+    }
+  }
+}
+
+TEST(BatchExec, BitIdenticalOnLassenForAllStrategiesAndWidths) {
+  check_machine(machine::preset_machine("lassen"), 2, nullptr);
+}
+
+TEST(BatchExec, BitIdenticalOnNvislandForAllStrategiesAndWidths) {
+  check_machine(machine::preset_machine("nvisland"), 2, nullptr);
+}
+
+/// The composite fault plan from the fault-injection suite: all four
+/// perturbation kinds at once, retry budget deep enough to never abort.
+FaultPlan composite_plan() {
+  FaultPlan plan;
+  plan.name = "composite";
+  plan.seed = 3;
+  plan.link_degradations.push_back({"off-node", 1.5, 2.0, {}});
+  plan.nic_degradations.push_back({-1, 1, 1.5, 1.5, {}});
+  plan.nic_outages.push_back({0, 0, {0.0, 2e-4}});
+  plan.stragglers.push_back({0, 1.5, 1.25});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.2;
+    loss.retry.max_attempts = 12;
+    plan.message_loss.push_back(loss);
+  }
+  return plan;
+}
+
+TEST(BatchExec, FaultedBitIdenticalOnNvisland) {
+  const machine::MachineModel mach = machine::preset_machine("nvisland");
+  const FaultModel model =
+      composite_plan().compile(mach.topology(2), mach.params);
+  check_machine(mach, 2, &model);
+}
+
+TEST(BatchExec, FabricBitIdentical) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(4);
+  const core::CommPattern pattern = core::random_pattern(topo, 24, 8192, 7);
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+  FatTreeConfig fabric;
+  fabric.nodes_per_pod = 2;
+  fabric.taper = 2.0;
+
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  const CompiledPlan compiled(plan, topo, mach.params);
+  const std::vector<std::uint64_t> seeds = lane_seeds(8);
+
+  Engine serial(topo, mach.params, NoiseModel(0, kSigma));
+  serial.set_fabric(fabric);
+  std::vector<SerialRep> reference;
+  for (const std::uint64_t seed : seeds) {
+    reference.push_back(serial_rep(serial, compiled, seed));
+  }
+
+  Engine batch(topo, mach.params, NoiseModel(0, kSigma));
+  batch.set_fabric(fabric);
+  std::vector<double> clocks(seeds.size() * num_ranks);
+  batch.execute_batch(compiled, seeds, clocks);
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      ASSERT_EQ(clocks[l * num_ranks + r], reference[l].clocks[r])
+          << "lane " << l << " rank " << r;
+    }
+  }
+}
+
+TEST(BatchExec, MidBatchFaultAbortDoesNotPoisonSiblings) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 24, 8192, 7);
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  const CompiledPlan compiled(plan, topo, mach.params);
+
+  // Shallow retry budget: each lane's private fault stream decides its
+  // fate, so some lanes abort and some survive.
+  FaultPlan lossy;
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.1;
+    loss.retry.max_attempts = 2;
+    lossy.message_loss.push_back(loss);
+  }
+  const FaultModel model = lossy.compile(topo, mach.params);
+  const std::vector<std::uint64_t> seeds = lane_seeds(8);
+
+  Engine serial(topo, mach.params, NoiseModel(0, kSigma));
+  serial.set_faults(&model);
+  std::vector<SerialRep> reference;
+  for (const std::uint64_t seed : seeds) {
+    reference.push_back(serial_rep(serial, compiled, seed));
+  }
+  std::size_t first_dead = seeds.size();
+  std::size_t survivors = 0;
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    if (reference[l].abort) {
+      if (first_dead == seeds.size()) first_dead = l;
+    } else {
+      ++survivors;
+    }
+  }
+  ASSERT_LT(first_dead, seeds.size())
+      << "fixture must make at least one lane abort";
+  ASSERT_GT(survivors, 0u) << "fixture must leave at least one survivor";
+
+  Engine batch(topo, mach.params, NoiseModel(0, kSigma));
+  batch.set_faults(&model);
+  std::vector<double> clocks(seeds.size() * num_ranks);
+  bool aborted = false;
+  try {
+    batch.execute_batch(compiled, seeds, clocks);
+  } catch (const FaultAbort& abort) {
+    aborted = true;
+    // The rethrown abort is the lowest-indexed dead lane's -- the failure a
+    // serial jobs=1 sweep would have surfaced first.
+    const FaultAbort& expected = *reference[first_dead].abort;
+    EXPECT_EQ(abort.reason, expected.reason);
+    EXPECT_EQ(abort.src, expected.src);
+    EXPECT_EQ(abort.dst, expected.dst);
+    EXPECT_EQ(abort.path, expected.path);
+    EXPECT_EQ(abort.attempts, expected.attempts);
+  }
+  EXPECT_TRUE(aborted);
+
+  // Every surviving lane ran to completion with bit-identical clocks.
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    if (reference[l].abort) continue;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      ASSERT_EQ(clocks[l * num_ranks + r], reference[l].clocks[r])
+          << "surviving lane " << l << " rank " << r;
+    }
+  }
+
+  // The engine's serial state is untouched: no reset needed before the next
+  // batch, and a serial replay still matches the per-lane reference.
+  std::vector<double> again(seeds.size() * num_ranks);
+  EXPECT_THROW(batch.execute_batch(compiled, seeds, again), FaultAbort);
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    if (reference[l].abort) continue;
+    for (std::size_t r = 0; r < num_ranks; ++r) {
+      ASSERT_EQ(again[l * num_ranks + r], reference[l].clocks[r]);
+    }
+  }
+  const SerialRep replay = serial_rep(batch, compiled, seeds[0]);
+  ASSERT_FALSE(replay.abort);
+  EXPECT_EQ(replay.clocks, reference[0].clocks);
+}
+
+TEST(BatchExec, EngineReusableAcrossSerialAndBatchedRuns) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 24, 8192, 7);
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  const CompiledPlan compiled(plan, topo, mach.params);
+  const std::vector<std::uint64_t> seeds = lane_seeds(4);
+
+  Engine fresh(topo, mach.params, NoiseModel(0, kSigma));
+  const SerialRep want = serial_rep(fresh, compiled, seeds[2]);
+
+  Engine engine(topo, mach.params, NoiseModel(0, kSigma));
+  std::vector<double> first(seeds.size() * num_ranks);
+  engine.execute_batch(compiled, seeds, first);
+
+  // Serial execution after a batch matches a fresh engine bit-for-bit.
+  const SerialRep after = serial_rep(engine, compiled, seeds[2]);
+  EXPECT_EQ(after.clocks, want.clocks);
+
+  // And a second batch over the same seeds reproduces the first.
+  engine.reset();
+  std::vector<double> second(seeds.size() * num_ranks);
+  engine.execute_batch(compiled, seeds, second);
+  EXPECT_EQ(second, first);
+}
+
+TEST(BatchExec, ValidatesShapesAndLaneArguments) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  const CompiledPlan compiled(plan, topo, mach.params);
+  const std::vector<std::uint64_t> seeds = lane_seeds(4);
+  const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
+
+  Engine engine(topo, mach.params, NoiseModel(0, kSigma));
+  std::vector<double> wrong(seeds.size() * num_ranks - 1);
+  EXPECT_THROW(engine.execute_batch(compiled, seeds, wrong),
+               std::invalid_argument);
+  std::vector<double> clocks(seeds.size() * num_ranks);
+  EXPECT_THROW(engine.execute_batch(compiled, seeds, clocks, 4),
+               std::invalid_argument);
+
+  // Zero lanes is a no-op, not an error.
+  engine.execute_batch(compiled, {}, {});
+
+  // A plan compiled for a different machine shape is rejected.
+  Engine other(mach.topology(4), mach.params, NoiseModel(0, kSigma));
+  std::vector<double> other_clocks(
+      seeds.size() * static_cast<std::size_t>(mach.topology(4).num_ranks()));
+  EXPECT_THROW(other.execute_batch(compiled, seeds, other_clocks),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// core::measure composition: widths x jobs x faults never diverge from the
+// batch=1 reference, including the trace and trailing partial blocks.
+
+struct Measurement {
+  double max_avg;
+  double makespan_mean;
+  double makespan_min;
+  double makespan_max;
+  std::vector<double> per_rank_mean;
+
+  bool operator==(const Measurement&) const = default;
+};
+
+core::MeasureResult measure_result(const core::CommPlan& plan,
+                                   const Topology& topo,
+                                   const ParamSet& params,
+                                   const FaultModel* faults, ExecMode engine,
+                                   int jobs, int batch) {
+  core::MeasureOptions opts;
+  opts.reps = 10;  // not a multiple of 4 or 16: trailing partial blocks
+  opts.seed = 0xfeed;
+  opts.noise_sigma = 0.02;
+  opts.trace_last_rep = true;
+  opts.jobs = jobs;
+  opts.batch = batch;
+  opts.engine = engine;
+  opts.faults = faults;
+  return core::measure(plan, topo, params, opts);
+}
+
+Measurement project(const core::MeasureResult& r) {
+  return {r.max_avg, r.makespan_mean, r.makespan_min, r.makespan_max,
+          r.per_rank_mean};
+}
+
+TEST(MeasureBatch, BitIdenticalAcrossWidthsJobsAndFaults) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+
+  FaultPlan faults_on;
+  faults_on.seed = 3;
+  faults_on.link_degradations.push_back({"off-node", 1.5, 2.0, {}});
+  faults_on.stragglers.push_back({0, 1.5, 1.25});
+  {
+    fault::MessageLoss loss;
+    loss.path = "off-node";
+    loss.probability = 0.1;
+    loss.retry.max_attempts = 12;
+    faults_on.message_loss.push_back(loss);
+  }
+  const FaultModel model = faults_on.compile(topo, mach.params);
+
+  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+    const core::CommPlan plan =
+        core::build_plan(pattern, topo, mach.params, cfg);
+    for (const FaultModel* faults : {(const FaultModel*)nullptr, &model}) {
+      const core::MeasureResult reference = measure_result(
+          plan, topo, mach.params, faults, ExecMode::Compiled, 1, 1);
+      EXPECT_EQ(reference.batch, 1) << cfg.name();
+      for (const int batch : {0, 4, 5, 16}) {
+        for (const int jobs : {1, 4, 0}) {
+          const core::MeasureResult got = measure_result(
+              plan, topo, mach.params, faults, ExecMode::Compiled, jobs,
+              batch);
+          const std::string label = cfg.name() + (faults ? " faulted" : "") +
+                                    " batch " + std::to_string(batch) +
+                                    " jobs " + std::to_string(jobs);
+          EXPECT_EQ(project(got), project(reference)) << label;
+          expect_traces_identical(got.trace, reference.trace, label);
+          if (batch > 1) {
+            // The effective width is recorded, clamped to the rep count.
+            EXPECT_EQ(got.batch, std::min(batch, 10)) << label;
+          } else if (batch == 0) {
+            EXPECT_GT(got.batch, 1) << label << ": auto must actually batch";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MeasureBatch, InterpretedModeIgnoresBatch) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 16, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  const core::MeasureResult serial = measure_result(
+      plan, topo, mach.params, nullptr, ExecMode::Compiled, 1, 1);
+  const core::MeasureResult interpreted = measure_result(
+      plan, topo, mach.params, nullptr, ExecMode::Interpreted, 1, 8);
+  EXPECT_EQ(project(interpreted), project(serial));
+  EXPECT_EQ(interpreted.batch, 1)
+      << "interpreted mode has no compiled tables to batch over";
+}
+
+TEST(MeasureBatch, RejectsNegativeWidth) {
+  const machine::MachineModel mach = machine::preset_machine("lassen");
+  const Topology topo = mach.topology(2);
+  const core::CommPattern pattern = core::random_pattern(topo, 8, 4096, 5);
+  const core::CommPlan plan = core::build_plan(pattern, topo, mach.params,
+                                               core::table5_strategies()[0]);
+  core::MeasureOptions opts;
+  opts.batch = -1;
+  EXPECT_THROW((void)core::measure(plan, topo, mach.params, opts),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-block partitioning: trailing remainders are narrower batches, never
+// a divergent serial fallback.
+
+TEST(LaneBlocks, PartitionsWithTrailingPartialBlock) {
+  using runtime::LaneBlock;
+  const std::vector<runtime::LaneBlock> blocks = runtime::lane_blocks(10, 4);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (LaneBlock{0, 4}));
+  EXPECT_EQ(blocks[1], (LaneBlock{4, 4}));
+  EXPECT_EQ(blocks[2], (LaneBlock{8, 2}));
+
+  EXPECT_EQ(runtime::lane_blocks(8, 4).size(), 2u);  // exact fit: no stub
+  EXPECT_EQ(runtime::lane_blocks(3, 16),
+            (std::vector<runtime::LaneBlock>{{0, 3}}));
+  EXPECT_TRUE(runtime::lane_blocks(0, 4).empty());
+}
+
+TEST(LaneBlocks, CoversEveryRepExactlyOnce) {
+  for (const std::int64_t total : {1, 7, 16, 100}) {
+    for (const int width : {1, 3, 16, 200}) {
+      std::vector<int> seen(static_cast<std::size_t>(total), 0);
+      for (const runtime::LaneBlock& blk : runtime::lane_blocks(total, width)) {
+        EXPECT_GE(blk.width, 1);
+        EXPECT_LE(blk.width, width);
+        for (int l = 0; l < blk.width; ++l) {
+          ++seen[static_cast<std::size_t>(blk.start + l)];
+        }
+      }
+      for (const int count : seen) EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+TEST(LaneBlocks, RejectsBadArguments) {
+  EXPECT_THROW((void)runtime::lane_blocks(-1, 4), std::invalid_argument);
+  EXPECT_THROW((void)runtime::lane_blocks(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)runtime::lane_blocks(4, -2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// --batch flag parsing (shared by every bench main).
+
+TEST(BenchBatchFlag, ParsesAutoAndExplicitWidths) {
+  EXPECT_EQ(benchutil::BenchOptions::parse_tokens({}).batch, 0);
+  EXPECT_EQ(benchutil::BenchOptions::parse_tokens({"--batch", "auto"}).batch,
+            0);
+  EXPECT_EQ(benchutil::BenchOptions::parse_tokens({"--batch", "16"}).batch,
+            16);
+}
+
+TEST(BenchBatchFlag, RejectsZeroAndGarbage) {
+  EXPECT_THROW((void)benchutil::BenchOptions::parse_tokens({"--batch", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)benchutil::BenchOptions::parse_tokens({"--batch", "x"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)benchutil::BenchOptions::parse_tokens({"--batch", "-4"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)benchutil::BenchOptions::parse_tokens({"--batch"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetcomm
