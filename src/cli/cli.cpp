@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "hetsim/faults.hpp"
 #include "machine/machine_json.hpp"
 #include "runtime/sweep.hpp"
+#include "serve/service.hpp"
 #include "hetsim/trace_export.hpp"
 #include "sparse/comm_graph.hpp"
 #include "sparse/matrix_market.hpp"
@@ -50,13 +52,55 @@ double to_double(const std::string& v, const char* flag) {
   }
 }
 
+/// The single subcommand table: usage(), the unknown-command diagnostic and
+/// parse validation all enumerate this, so a new subcommand registered here
+/// shows up everywhere at once (test_cli holds that contract).
+struct Subcommand {
+  const char* name;
+  const char* summary;
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"compare", "run every strategy on a workload and rank measured times"},
+    {"advise", "model-driven strategy recommendation (no simulation)"},
+    {"model", "print the Table 6 model decomposition for a pattern"},
+    {"params", "print a machine's calibrated parameter set"},
+    {"trace", "execute one strategy; dump a Chrome trace / ASCII Gantt"},
+    {"report", "measure one strategy with per-phase/path/contention metrics"},
+    {"machine", "list/describe/export/validate machine descriptions"},
+    {"ranking-stability",
+     "sweep a fault ensemble; report nominal-winner survival"},
+    {"serve", "persistent strategy-advisor service (NDJSON on stdin/socket)"},
+};
+
+bool known_command(const std::string& name) {
+  for (const Subcommand& sub : kSubcommands) {
+    if (name == sub.name) return true;
+  }
+  return false;
+}
+
+std::string command_list() {
+  std::string out;
+  for (const Subcommand& sub : kSubcommands) {
+    if (!out.empty()) out += '|';
+    out += sub.name;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string usage() {
-  return
-      "usage: hetcomm <compare|advise|model|params|trace|report> [flags]\n"
-      "       hetcomm machine <list|describe|export|validate> [flags]\n"
-      "       hetcomm ranking-stability --faults FILE.json [flags]\n"
+  std::string text = "usage: hetcomm <command> [flags]\ncommands:\n";
+  for (const Subcommand& sub : kSubcommands) {
+    const std::string name(sub.name);
+    text += "  " + name + std::string(19 - name.size(), ' ');
+    text += sub.summary;
+    text += '\n';
+  }
+  text +=
+      "flags:\n"
       "  --machine NAME|FILE.json   preset (lassen summit frontier delta\n"
       "                             nvisland) or hetcomm.machine.v1 file\n"
       "                             (default lassen)\n"
@@ -69,13 +113,22 @@ std::string usage() {
       "  --jobs N             worker threads (default: hardware concurrency)\n"
       "  --batch W            repetition lane width: auto (default), 1 =\n"
       "                       serial, or a positive width\n"
-      "  --metrics FILE       for `report`: also write the JSON run report\n"
+      "  --metrics FILE       for `report`/`serve`: write the JSON metrics\n"
       "  --faults FILE.json   attach a hetcomm.fault.v1 degradation plan\n"
       "                       (compare, trace, report, ranking-stability)\n"
       "  --fault-seeds N      for `ranking-stability`: ensemble size\n"
       "                       (default 4); --out FILE writes the\n"
       "                       hetcomm.stability.v1 report\n"
+      "  --socket PATH        for `serve`: listen on a unix socket instead\n"
+      "                       of stdin/stdout\n"
+      "  --window N           for `serve`: max requests per batch window\n"
+      "                       (default 64)\n"
+      "  --cache-entries N    for `serve`: compiled-plan cache capacity\n"
+      "                       (default 256; 0 disables caching)\n"
+      "  --cache-shards N     for `serve`: plan cache shards (default 8)\n"
+      "  --max-requests N     for `serve`: stop after N data requests\n"
       "  --reps N --seed S --csv\n";
+  return text;
 }
 
 Options Options::parse(const std::vector<std::string>& args) {
@@ -84,12 +137,9 @@ Options Options::parse(const std::vector<std::string>& args) {
   }
   Options opts;
   opts.command = args[0];
-  if (opts.command != "compare" && opts.command != "advise" &&
-      opts.command != "model" && opts.command != "params" &&
-      opts.command != "trace" && opts.command != "report" &&
-      opts.command != "machine" && opts.command != "ranking-stability") {
-    throw std::invalid_argument("unknown command '" + opts.command + "'\n" +
-                                usage());
+  if (!known_command(opts.command)) {
+    throw std::invalid_argument("unknown command '" + opts.command + "' (" +
+                                command_list() + ")\n" + usage());
   }
   std::size_t first_flag = 1;
   if (opts.command == "machine") {
@@ -163,6 +213,21 @@ Options Options::parse(const std::vector<std::string>& args) {
       }
     } else if (flag == "--fault-seeds") {
       opts.fault_seeds = static_cast<int>(to_int(value(), "--fault-seeds"));
+    } else if (flag == "--socket") {
+      opts.socket_path = value();
+      if (opts.socket_path.empty()) {
+        throw std::invalid_argument("--socket needs a non-empty path");
+      }
+    } else if (flag == "--window") {
+      opts.window = static_cast<int>(to_int(value(), "--window"));
+    } else if (flag == "--cache-entries") {
+      opts.cache_entries =
+          static_cast<std::int64_t>(to_int(value(), "--cache-entries"));
+    } else if (flag == "--cache-shards") {
+      opts.cache_shards = static_cast<int>(to_int(value(), "--cache-shards"));
+    } else if (flag == "--max-requests") {
+      opts.max_requests =
+          static_cast<std::int64_t>(to_int(value(), "--max-requests"));
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + usage());
     }
@@ -174,6 +239,16 @@ Options Options::parse(const std::vector<std::string>& args) {
   }
   if (opts.jobs < 0) {
     throw std::invalid_argument("--jobs must be >= 1 (or 0 for hardware)");
+  }
+  if (opts.window < 1) throw std::invalid_argument("--window must be >= 1");
+  if (opts.cache_entries < 0) {
+    throw std::invalid_argument("--cache-entries must be >= 0");
+  }
+  if (opts.cache_shards < 1) {
+    throw std::invalid_argument("--cache-shards must be >= 1");
+  }
+  if (opts.max_requests < 0) {
+    throw std::invalid_argument("--max-requests must be >= 0");
   }
   const int sources = (opts.pattern_file.empty() ? 0 : 1) +
                       (opts.matrix_file.empty() ? 0 : 1) +
@@ -546,6 +621,11 @@ int cmd_ranking_stability(const Options& opts, std::ostream& os) {
   os << "winner survived " << report.winner_survived << "/"
      << report.instances << " instances (survival rate "
      << Table::num(100.0 * report.survival_rate, 1) << "%)\n";
+  if (report.plans_precompiled) {
+    os << "plans compiled once (" << Table::sci(report.compile_seconds)
+       << " s), reused across the ensemble (saved "
+       << Table::sci(report.saved_compile_seconds) << " s of recompiles)\n";
+  }
 
   if (!opts.out_file.empty()) {
     std::ofstream out(opts.out_file);
@@ -556,6 +636,41 @@ int cmd_ranking_stability(const Options& opts, std::ostream& os) {
     report.to_json().dump(out);
     out << "\n";
     os << "stability report written to " << opts.out_file << "\n";
+  }
+  return 0;
+}
+
+// Long-running advisor service: NDJSON requests on stdin (or a unix
+// socket with --socket), one JSON response line each.  The heavy lifting
+// -- plan caching, window batching, metrics -- lives in serve::Service;
+// this driver only maps flags and writes the metrics artifact on exit.
+int cmd_serve(const Options& opts, std::ostream& os) {
+  serve::ServiceOptions sopts;
+  sopts.jobs = opts.jobs;
+  sopts.window = opts.window;
+  sopts.cache_shards = opts.cache_shards;
+  sopts.cache_capacity = static_cast<std::size_t>(opts.cache_entries);
+  sopts.batch = opts.batch;
+  sopts.max_requests = opts.max_requests;
+  sopts.default_machine = opts.machine;
+  serve::Service service(std::move(sopts));
+  if (!opts.socket_path.empty()) {
+    service.run_socket(opts.socket_path);
+  } else {
+    // Unsynced cin owns its own buffer, so Service::run can see how many
+    // request lines are already buffered and batch them into one window;
+    // with stdio sync on, in_avail() is always 0 and every window is one
+    // request.
+    std::ios::sync_with_stdio(false);
+    service.run(std::cin, os);
+  }
+  if (!opts.metrics_file.empty()) {
+    std::ofstream out(opts.metrics_file);
+    if (!out) {
+      throw std::runtime_error("serve: cannot open " + opts.metrics_file);
+    }
+    service.metrics_json().dump(out);
+    out << "\n";
   }
   return 0;
 }
@@ -649,6 +764,7 @@ int run(const Options& opts, std::ostream& os) {
   if (opts.command == "ranking-stability") {
     return cmd_ranking_stability(opts, os);
   }
+  if (opts.command == "serve") return cmd_serve(opts, os);
   throw std::logic_error("unreachable command");
 }
 

@@ -17,6 +17,11 @@
 //            every Table 5 strategy and report how often the nominal
 //            winner survives (hetcomm.stability.v1 with --out FILE; see
 //            docs/faults.md)
+//   serve    persistent strategy-advisor service: NDJSON requests on
+//            stdin/stdout or a unix socket (--socket), with a sharded
+//            compiled-plan cache and batched request execution (see
+//            docs/serve.md; --metrics FILE writes the serve artifact on
+//            exit)
 //
 // Common flags:
 //   --machine NAME|FILE.json                 (default lassen; presets:
@@ -62,9 +67,14 @@ struct Options {
   int batch = 0;       ///< repetition lane width; 0 = auto, 1 = serial
   std::uint64_t seed = 1;
   bool csv = false;
-  std::string metrics_file;  ///< report: also write the JSON run report
+  std::string metrics_file;  ///< report/serve: also write the JSON metrics
   std::string faults_file;   ///< hetcomm.fault.v1 plan ("" = unfaulted)
   int fault_seeds = 4;       ///< ranking-stability: ensemble size
+  std::string socket_path;   ///< serve: unix socket ("" = stdin/stdout)
+  int window = 64;           ///< serve: max requests per batch window
+  std::int64_t cache_entries = 256;  ///< serve: plan cache capacity (0 = off)
+  int cache_shards = 8;      ///< serve: plan cache shards
+  std::int64_t max_requests = 0;  ///< serve: stop after N requests (0 = inf)
 
   /// Parse argv (excluding the program name).  Throws std::invalid_argument
   /// with a usage-style message on errors.

@@ -91,10 +91,17 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
   const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
 
   // Compile the rep-invariant work once; the immutable CompiledPlan is
-  // shared by const reference across every worker thread.
-  std::optional<CompiledPlan> compiled;
+  // shared by const reference across every worker thread.  A caller-owned
+  // precompiled plan (serve cache, stability ensemble) skips even that.
+  std::optional<CompiledPlan> compiled_local;
+  const CompiledPlan* compiled = nullptr;
   if (options.engine == ExecMode::Compiled) {
-    compiled.emplace(plan, topo, params);
+    if (options.precompiled != nullptr) {
+      compiled = options.precompiled;
+    } else {
+      compiled_local.emplace(plan, topo, params);
+      compiled = &*compiled_local;
+    }
   }
 
   // Effective lane width.  batch=0 auto-sizes: start at 16 lanes, halve
@@ -110,7 +117,7 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     width = std::min(width, static_cast<int>((options.reps + jobs - 1) / jobs));
   }
   width = std::min(width, options.reps);
-  const bool batched = compiled.has_value() && width > 1;
+  const bool batched = compiled != nullptr && width > 1;
   result.batch = batched ? width : 1;
 
   // Lane blocks (batched path): contiguous repetition ranges handed to

@@ -80,6 +80,14 @@ struct MeasureOptions {
   /// A FaultAbort raised mid-sweep is rethrown with the plan's strategy
   /// name filled in; no partial result is returned.
   const FaultModel* faults = nullptr;
+  /// Caller-owned pre-compiled plan to replay instead of compiling inside
+  /// measure() (Compiled mode only; ignored when Interpreted).  Must have
+  /// been compiled from exactly the (plan, topo, params) triple passed to
+  /// measure() -- results are then bit-identical to the compile-in-call
+  /// path.  This is how callers that re-measure one plan many times (the
+  /// serve plan cache, the ranking-stability fault ensemble) skip the
+  /// per-call compile entirely.
+  const CompiledPlan* precompiled = nullptr;
 };
 
 struct MeasureResult {

@@ -7,7 +7,44 @@
 namespace hetcomm::core {
 
 namespace {
+
 constexpr const char* kHeader = "hetcomm-pattern v1";
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Fold one 64-bit word into the FNV-1a state byte by byte (little-endian
+/// byte order, so the hash is identical on every platform).
+constexpr std::uint64_t fnv1a_word(std::uint64_t h, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t pattern_hash(const CommPattern& pattern) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_word(h, static_cast<std::uint64_t>(pattern.num_gpus()));
+  for (int src = 0; src < pattern.num_gpus(); ++src) {
+    for (const GpuMessage& m : pattern.sends_from(src)) {
+      h = fnv1a_word(h, static_cast<std::uint64_t>(src));
+      h = fnv1a_word(h, static_cast<std::uint64_t>(m.dst_gpu));
+      h = fnv1a_word(h, static_cast<std::uint64_t>(m.bytes));
+      h = fnv1a_word(h, static_cast<std::uint64_t>(m.count));
+    }
+  }
+  for (const auto& [src, node, bytes] : pattern.node_dedup_entries()) {
+    // Tag dedup entries so a pattern with annotations can never collide
+    // with one whose message list happens to encode the same words.
+    h = fnv1a_word(h, 0xdedaULL);
+    h = fnv1a_word(h, static_cast<std::uint64_t>(src));
+    h = fnv1a_word(h, static_cast<std::uint64_t>(node));
+    h = fnv1a_word(h, static_cast<std::uint64_t>(bytes));
+  }
+  return h;
 }
 
 void write_pattern(std::ostream& os, const CommPattern& pattern) {

@@ -13,6 +13,7 @@
 // `msg` lines record `count` logical messages totaling `bytes`; `dedup`
 // lines carry the duplicate-data annotations (see CommPattern).
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -22,6 +23,16 @@ namespace hetcomm::core {
 
 void write_pattern(std::ostream& os, const CommPattern& pattern);
 [[nodiscard]] CommPattern read_pattern(std::istream& is);
+
+/// Stable 64-bit fingerprint of a pattern: FNV-1a over the canonicalized
+/// content -- GPU count, then every (src, dst, bytes, count) flow in
+/// (src, dst) order, then every (src, dst_node, bytes) dedup annotation in
+/// that order.  The canonical order is the one write_pattern emits, so two
+/// patterns hash equal exactly when their serialized forms are equal,
+/// regardless of the order add() calls built them in.  The value is stable
+/// across processes and platforms (no pointer or seed inputs) and keys the
+/// serve plan cache and sweep-level workload dedup.
+[[nodiscard]] std::uint64_t pattern_hash(const CommPattern& pattern);
 
 void write_pattern_file(const std::string& path, const CommPattern& pattern);
 [[nodiscard]] CommPattern read_pattern_file(const std::string& path);

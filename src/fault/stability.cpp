@@ -1,5 +1,6 @@
 #include "fault/stability.hpp"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -30,17 +31,22 @@ std::string pick_winner(const std::vector<StrategyOutcome>& outcomes) {
 }
 
 /// Measure every Table-5 plan under one fault model (nullptr = nominal).
+/// `compiled` (when non-null, index-aligned with `plans`) carries the
+/// once-compiled form each measurement replays instead of recompiling.
 std::vector<StrategyOutcome> measure_all(
-    const std::vector<core::CommPlan>& plans, const Topology& topo,
+    const std::vector<core::CommPlan>& plans,
+    const std::vector<core::CompiledPlan>* compiled, const Topology& topo,
     const ParamSet& params, const FaultModel* faults,
     const core::MeasureOptions& base) {
   std::vector<StrategyOutcome> outcomes;
   outcomes.reserve(plans.size());
-  for (const core::CommPlan& plan : plans) {
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const core::CommPlan& plan = plans[i];
     StrategyOutcome o;
     o.strategy = plan.strategy_name;
     core::MeasureOptions mopts = base;
     mopts.faults = faults;
+    if (compiled != nullptr) mopts.precompiled = &(*compiled)[i];
     try {
       o.max_avg = core::measure(plan, topo, params, mopts).max_avg;
     } catch (const FaultAbort& e) {
@@ -101,6 +107,11 @@ JsonValue StabilityReport::to_json() const {
   JsonValue summary = JsonValue::object();
   summary.set("winner_survived", winner_survived);
   summary.set("survival_rate", survival_rate);
+  JsonValue compile = JsonValue::object();
+  compile.set("plans_precompiled", plans_precompiled);
+  compile.set("compile_seconds", compile_seconds);
+  compile.set("saved_compile_seconds", saved_compile_seconds);
+  summary.set("compile", std::move(compile));
   JsonValue per = JsonValue::array();
   for (const StrategySummary& s : strategies) {
     JsonValue row = JsonValue::object();
@@ -137,7 +148,31 @@ StabilityReport ranking_stability(const core::CommPattern& pattern,
     plans.push_back(core::build_plan(pattern, topo, params, cfg));
   }
 
+  // Compiled engine: pay the compile cost once per strategy here and replay
+  // the CompiledPlan across the nominal run plus every ensemble member.
+  // Fault models perturb execution (lane failures, retries), never the
+  // compiled event tables, so reuse is exact -- measurements stay
+  // bit-identical to the recompile-per-call path.
+  std::vector<core::CompiledPlan> compiled;
+  double compile_seconds = 0.0;
+  const bool precompile = options.measure.engine == core::ExecMode::Compiled;
+  if (precompile) {
+    compiled.reserve(plans.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::CommPlan& p : plans) {
+      compiled.emplace_back(p, topo, params);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    compile_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+  const std::vector<core::CompiledPlan>* compiled_ptr =
+      precompile ? &compiled : nullptr;
+
   StabilityReport report;
+  report.plans_precompiled = precompile;
+  report.compile_seconds = compile_seconds;
+  report.saved_compile_seconds =
+      compile_seconds * static_cast<double>(options.instances);
   report.machine = params.name;
   report.nodes = topo.num_nodes();
   report.fault_plan = plan.name;
@@ -148,7 +183,7 @@ StabilityReport ranking_stability(const core::CommPattern& pattern,
   report.engine = core::to_string(options.measure.engine);
 
   report.nominal.outcomes =
-      measure_all(plans, topo, params, nullptr, options.measure);
+      measure_all(plans, compiled_ptr, topo, params, nullptr, options.measure);
   report.nominal.winner = pick_winner(report.nominal.outcomes);
 
   for (const core::CommPlan& p : plans) {
@@ -163,7 +198,8 @@ StabilityReport ranking_stability(const core::CommPattern& pattern,
     StabilityInstance inst;
     inst.instance = k;
     inst.fault_seed = member.seed;
-    inst.outcomes = measure_all(plans, topo, params, &model, options.measure);
+    inst.outcomes = measure_all(plans, compiled_ptr, topo, params, &model,
+                                options.measure);
     inst.winner = pick_winner(inst.outcomes);
 
     if (!inst.winner.empty() && inst.winner == report.nominal.winner) {

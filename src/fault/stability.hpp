@@ -82,6 +82,18 @@ struct StabilityReport {
   StabilityInstance nominal;  ///< fault-free baseline (fault_seed unused)
   std::vector<StabilityInstance> results;
 
+  /// Compile-reuse accounting (Compiled engine mode): every Table-5 plan is
+  /// compiled exactly once and the CompiledPlan replayed across the nominal
+  /// run plus all `instances` ensemble members (fault models never change a
+  /// plan's compiled tables -- they perturb execution, not structure).
+  /// `compile_seconds` is the wall time of that single compile pass;
+  /// `saved_compile_seconds` estimates what re-compiling inside every
+  /// measurement would have cost on top: compile_seconds * instances.
+  /// Both are 0 in Interpreted mode, which has nothing to compile.
+  bool plans_precompiled = false;
+  double compile_seconds = 0.0;
+  double saved_compile_seconds = 0.0;
+
   /// True when instance `winner` matches the nominal winner.
   int winner_survived = 0;
   double survival_rate = 0.0;  ///< winner_survived / instances

@@ -1,0 +1,183 @@
+#pragma once
+// Sharded LRU cache for compiled artifacts, keyed by a stable 64-bit
+// fingerprint.
+//
+// The serve path answers a stream of advisor queries whose expensive part
+// -- build_plan + CompiledPlan construction -- depends only on (pattern,
+// machine, strategy).  ShardedLruCache amortizes that work across queries:
+// the key space is split across independently locked shards (so concurrent
+// workers rarely contend), each shard keeps an exact LRU order, and the
+// value builder runs *outside* the shard lock so one slow compile never
+// serializes unrelated lookups.  Two threads racing on the same missing key
+// may both build; the first insert wins and the loser adopts it, so every
+// caller for a key observes the same shared value.
+//
+// Values are held by shared_ptr<const V>: a cached plan stays alive for
+// callers that fetched it even if the LRU evicts it mid-flight.  The cache
+// is generic over the value type (runtime/ sits below core/, so it cannot
+// name core::CompiledPlan); serve instantiates it as the PlanCache.
+//
+// Hit/miss/eviction counters are exact and cheap (bumped under the shard
+// lock already being held) and feed the serve metrics artifact's
+// cache-effectiveness section.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hetcomm::runtime {
+
+/// Aggregate cache effectiveness counters (summed over shards).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;  ///< lookups that had to build the value
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;  ///< currently resident values
+
+  [[nodiscard]] std::int64_t lookups() const noexcept { return hits + misses; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::int64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `shards` independently locked partitions of `capacity` total entries
+  /// (split evenly; every shard holds at least one entry).  capacity = 0
+  /// disables caching entirely: every lookup builds and counts as a miss
+  /// -- the cold-path baseline the serve bench A/Bs against.
+  ShardedLruCache(int shards, std::size_t capacity) {
+    if (shards < 1) {
+      throw std::invalid_argument("ShardedLruCache: shards must be >= 1");
+    }
+    const std::size_t per_shard =
+        capacity == 0 ? 0
+                      : std::max<std::size_t>(
+                            1, (capacity + static_cast<std::size_t>(shards) - 1) /
+                                   static_cast<std::size_t>(shards));
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->capacity = per_shard;
+    }
+  }
+
+  [[nodiscard]] int num_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->capacity;
+    return total;
+  }
+
+  /// Return the cached value for `key`, building it via `make()` on a miss.
+  /// `make` must return a non-null shared_ptr; it runs without any cache
+  /// lock held.  When two threads miss the same key concurrently, both
+  /// builds run but a single value is kept and returned to everyone.
+  template <typename Make>
+  [[nodiscard]] std::shared_ptr<const V> get_or_create(std::uint64_t key,
+                                                       Make&& make) {
+    Shard& shard = shard_of(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        ++shard.stats.hits;
+        // Refresh LRU position: most recently used at the front.
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        return it->second->second;
+      }
+      ++shard.stats.misses;
+    }
+    std::shared_ptr<const V> built = std::forward<Make>(make)();
+    if (built == nullptr) {
+      throw std::logic_error("ShardedLruCache: builder returned null");
+    }
+    if (shard.capacity == 0) return built;  // caching disabled
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Lost the build race; adopt the resident value so all callers share.
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->second;
+    }
+    shard.order.emplace_front(key, std::move(built));
+    shard.index.emplace(key, shard.order.begin());
+    if (shard.order.size() > shard.capacity) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.stats.evictions;
+    }
+    return shard.order.front().second;
+  }
+
+  /// Peek without building; nullptr on a miss (counted as one).
+  [[nodiscard]] std::shared_ptr<const V> find(std::uint64_t key) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
+      return nullptr;
+    }
+    ++shard.stats.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Exact counters summed over shards.
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats total;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total.hits += s->stats.hits;
+      total.misses += s->stats.misses;
+      total.evictions += s->stats.evictions;
+      total.entries += static_cast<std::int64_t>(s->order.size());
+    }
+    return total;
+  }
+
+  /// Drop every entry (counters are kept; evictions are not bumped).
+  void clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->order.clear();
+      s->index.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;
+    /// Front = most recently used; pairs of (key, value).
+    std::list<std::pair<std::uint64_t, std::shared_ptr<const V>>> order;
+    std::unordered_map<
+        std::uint64_t,
+        typename std::list<
+            std::pair<std::uint64_t, std::shared_ptr<const V>>>::iterator>
+        index;
+    CacheStats stats;
+  };
+
+  Shard& shard_of(std::uint64_t key) noexcept {
+    // Fingerprints are already well mixed (FNV-1a / mix_seed outputs), so a
+    // plain modulus spreads keys evenly across shards.
+    return *shards_[static_cast<std::size_t>(key % shards_.size())];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hetcomm::runtime

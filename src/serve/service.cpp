@@ -1,0 +1,1056 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/compiled_plan.hpp"
+#include "core/comm_pattern.hpp"
+#include "core/executor.hpp"
+#include "core/pattern_io.hpp"
+#include "core/plan.hpp"
+#include "core/strategy.hpp"
+#include "fault/fault_json.hpp"
+#include "fault/plan.hpp"
+#include "hetsim/engine.hpp"
+#include "hetsim/faults.hpp"
+#include "hetsim/noise.hpp"
+#include "machine/machine_json.hpp"
+#include "obs/run_report.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/sweep.hpp"
+#include "runtime/thread_pool.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace hetcomm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a_bytes(std::string_view text,
+                          std::uint64_t h = kFnvOffset) noexcept {
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+/// Render a document as one NDJSON line (dump() appends a newline; the
+/// protocol frames lines itself).
+std::string to_line(const obs::JsonValue& doc) {
+  std::string text = doc.dump_string(0);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+/// Strict hex fingerprint parse ("0x" prefix optional); rejects partial
+/// consumption, so a typoed ref errors instead of aliasing another hash.
+std::uint64_t parse_hash(const std::string& text) {
+  std::size_t pos = 0;
+  std::uint64_t h = 0;
+  try {
+    h = std::stoull(text, &pos, 16);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad pattern ref '" + text + "'");
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("bad pattern ref '" + text + "'");
+  }
+  return h;
+}
+
+/// One resolved --machine argument, reused across requests.  The
+/// fingerprint hashes the exact serialized model (hetcomm.machine.v1 dumps
+/// doubles with max_digits10), so two machine files describing the same
+/// calibration share cache entries and two differing in any parameter
+/// never collide on purpose.
+struct MachineEntry {
+  machine::MachineModel model;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Cached value of the compiled-plan cache: everything a repeated query
+/// needs that does not depend on reps/seed.
+struct CachedPlan {
+  CachedPlan(const core::CommPattern& pattern, const Topology& topo,
+             const ParamSet& params, const core::StrategyConfig& config)
+      : plan(core::build_plan(pattern, topo, params, config)),
+        compiled(plan, topo, params),
+        summary(plan.summarize(topo)) {}
+
+  core::CommPlan plan;
+  core::CompiledPlan compiled;
+  core::PlanSummary summary;
+  double compile_seconds = 0.0;  ///< wall time build_plan + compile took
+};
+
+/// A parsed request plus everything computed for its response.
+struct Request {
+  // -- inputs ------------------------------------------------------------
+  obs::JsonValue id;  ///< echoed verbatim (null when absent)
+  bool control = false;
+  std::string cmd;  ///< "stats" or "shutdown" when control
+  const MachineEntry* machine = nullptr;
+  int nodes = 8;
+  std::shared_ptr<const core::CommPattern> pattern;
+  std::uint64_t pattern_fp = 0;
+  bool pattern_was_ref = false;
+  bool has_strategy = false;
+  core::StrategyConfig strategy;
+  std::shared_ptr<const FaultModel> faults;
+  std::uint64_t faults_fp = 0;
+  int reps = 0;  ///< 0 = predict-only
+  std::uint64_t seed = 0x5eedULL;
+  bool staged_only = false;
+  /// "rank": false skips the Advisor sweep and omits recommended/ranking
+  /// from the response -- the hot-path shape for clients that already know
+  /// their strategy and only want measurements.  Needs an explicit
+  /// strategy (the default strategy *is* the ranking winner).
+  bool want_ranking = true;
+
+  // -- outcome -----------------------------------------------------------
+  std::string error;  ///< nonempty = error response
+  std::vector<core::Recommendation> ranking;
+  std::shared_ptr<const CachedPlan> plan;
+  std::uint64_t plan_key = 0;
+  std::uint64_t engine_key = 0;
+  bool cache_hit = false;       ///< measured request served without a compile
+  bool compiled_here = false;   ///< this request ran the builder
+  // per-request measured reduction
+  double max_avg = 0.0;
+  obs::Summary makespan;
+  int batch = 1;
+
+  // -- timing ------------------------------------------------------------
+  Clock::time_point enqueued;
+  double queue_wait_seconds = 0.0;
+  double execute_seconds = 0.0;  ///< its group's total block wall time
+};
+
+struct TimedLine {
+  std::string text;
+  Clock::time_point enqueued;
+};
+
+/// One (plan, machine, faults) coalescing group: lanes from every member
+/// request concatenated in input order.
+struct Group {
+  std::shared_ptr<const CachedPlan> plan;
+  std::shared_ptr<const FaultModel> faults;
+  const MachineEntry* machine = nullptr;
+  std::uint64_t engine_key = 0;
+  int num_ranks = 0;
+  std::vector<std::size_t> requests;   ///< window indices, input order
+  std::vector<std::int64_t> lane_base; ///< first lane of each member
+  std::vector<std::uint64_t> lane_seeds;
+  std::vector<double> clocks;          ///< lanes x num_ranks
+  double execute_seconds = 0.0;        ///< summed block wall time
+};
+
+/// One Engine::execute_batch call: lanes [start, start+width) of a group.
+/// `request` is the owning window index for fault-attributable blocks, or
+/// SIZE_MAX when the block spans requests (only possible unfaulted, where
+/// FaultAbort cannot occur).
+struct Block {
+  std::size_t group = 0;
+  std::int64_t start = 0;
+  int width = 0;
+  std::size_t request = SIZE_MAX;
+  double seconds = 0.0;
+  std::string error;
+};
+
+}  // namespace
+
+struct Service::Impl {
+  explicit Impl(ServiceOptions opts)
+      : options(std::move(opts)),
+        pool(options.jobs),
+        plans(options.cache_shards, options.cache_capacity),
+        patterns(std::max(1, options.cache_shards / 2),
+                 options.pattern_capacity),
+        engines(static_cast<std::size_t>(pool.num_threads())) {
+    if (options.window < 1) {
+      throw std::invalid_argument("serve: window must be >= 1");
+    }
+    if (options.batch < 0) {
+      throw std::invalid_argument("serve: batch must be >= 0 (0 = auto)");
+    }
+  }
+
+  ServiceOptions options;
+  runtime::ThreadPool pool;
+  runtime::ShardedLruCache<CachedPlan> plans;
+  runtime::ShardedLruCache<core::CommPattern> patterns;
+
+  // Serial-phase caches (touched only by the window-driving thread).
+  std::unordered_map<std::string, MachineEntry> machines;
+  std::unordered_map<std::uint64_t, Topology> topos;  ///< by engine_key
+  std::unordered_map<std::string, std::shared_ptr<const FaultModel>> faults;
+
+  /// engines[worker][engine_key]: one reusable Engine per worker per
+  /// (machine, nodes); workers only ever touch their own map.
+  std::vector<std::unordered_map<std::uint64_t, std::unique_ptr<Engine>>>
+      engines;
+
+  bool shutdown = false;
+
+  // -- accounting (window-driving thread only) ---------------------------
+  std::int64_t requests_total = 0;
+  std::int64_t control_requests = 0;
+  std::int64_t errors = 0;
+  std::int64_t predict_only = 0;
+  std::int64_t measured_requests = 0;
+  std::int64_t measured_cache_hits = 0;
+  std::int64_t compiles = 0;
+  std::int64_t windows = 0;
+  std::int64_t window_max = 0;
+  std::int64_t groups_total = 0;
+  std::int64_t blocks_total = 0;
+  std::int64_t lanes_total = 0;
+  std::int64_t max_group_lanes = 0;
+  double compile_seconds_total = 0.0;
+  double execute_seconds_total = 0.0;
+  double busy_seconds = 0.0;
+  static constexpr std::size_t kMaxSamples = 1u << 20;
+  std::vector<double> latency_samples;
+  std::vector<double> queue_samples;
+  std::vector<double> compile_samples;
+  std::vector<double> block_samples;
+
+  void add_sample(std::vector<double>& v, double s) {
+    if (v.size() < kMaxSamples) v.push_back(s);
+  }
+
+  const MachineEntry& resolve_machine(const std::string& arg) {
+    auto it = machines.find(arg);
+    if (it != machines.end()) return it->second;
+    MachineEntry entry;
+    entry.model = machine::resolve_machine(arg);
+    entry.fingerprint =
+        fnv1a_bytes(machine::to_json(entry.model).dump_string(0));
+    return machines.emplace(arg, std::move(entry)).first->second;
+  }
+
+  const Topology& topology_for(const Request& req) {
+    auto it = topos.find(req.engine_key);
+    if (it != topos.end()) return it->second;
+    return topos
+        .emplace(req.engine_key, req.machine->model.topology(req.nodes))
+        .first->second;
+  }
+
+  /// Effective execute_batch lane width for a machine size.  Mirrors
+  /// core::measure's auto policy (minus its reps/jobs occupancy cap, which
+  /// does not apply when lanes from many requests coalesce).
+  [[nodiscard]] int lane_width(int num_ranks) const {
+    int width = options.batch;
+    if (width == 0) {
+      width = 16;
+      while (width > 1 && num_ranks * width > 8192) width /= 2;
+    }
+    return std::max(1, width);
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase A: parse one line into a Request (serial).
+  // ---------------------------------------------------------------------
+
+  void parse_request(const std::string& line, Request& req) {
+    const obs::JsonValue doc = obs::JsonValue::parse(line);
+    if (!doc.is_object()) {
+      throw std::invalid_argument("request must be a JSON object");
+    }
+    if (const obs::JsonValue* id = doc.find("id")) req.id = *id;
+
+    if (const obs::JsonValue* cmd = doc.find("cmd")) {
+      req.control = true;
+      req.cmd = cmd->as_string();
+      if (req.cmd != "stats" && req.cmd != "shutdown") {
+        throw std::invalid_argument("unknown cmd '" + req.cmd +
+                                    "' (stats|shutdown)");
+      }
+      for (const auto& member : doc.members()) {
+        if (member.first != "cmd" && member.first != "id") {
+          throw std::invalid_argument("cmd lines accept only 'cmd' and 'id'");
+        }
+      }
+      return;
+    }
+
+    for (const auto& member : doc.members()) {
+      const std::string& key = member.first;
+      if (key != "id" && key != "machine" && key != "nodes" &&
+          key != "pattern" && key != "strategy" && key != "faults" &&
+          key != "reps" && key != "seed" && key != "staged_only" &&
+          key != "rank") {
+        throw std::invalid_argument("unknown request key '" + key + "'");
+      }
+    }
+
+    std::string machine_arg = options.default_machine;
+    if (const obs::JsonValue* m = doc.find("machine")) {
+      machine_arg = m->as_string();
+    }
+    req.machine = &resolve_machine(machine_arg);
+
+    if (const obs::JsonValue* n = doc.find("nodes")) {
+      req.nodes = static_cast<int>(n->as_int());
+      if (req.nodes < 1 || req.nodes > 65536) {
+        throw std::invalid_argument("nodes must be in [1, 65536]");
+      }
+    }
+    req.engine_key =
+        mix_seed(req.machine->fingerprint,
+                 static_cast<std::uint64_t>(req.nodes));
+    const Topology& topo = topology_for(req);
+
+    if (const obs::JsonValue* r = doc.find("reps")) {
+      req.reps = static_cast<int>(r->as_int());
+      if (req.reps < 0 || req.reps > 100000) {
+        throw std::invalid_argument("reps must be in [0, 100000]");
+      }
+    }
+    if (const obs::JsonValue* s = doc.find("seed")) {
+      req.seed = static_cast<std::uint64_t>(s->as_int());
+    }
+    if (const obs::JsonValue* so = doc.find("staged_only")) {
+      req.staged_only = so->as_bool();
+    }
+    if (const obs::JsonValue* rk = doc.find("rank")) {
+      req.want_ranking = rk->as_bool();
+    }
+
+    parse_pattern(doc.find("pattern"), topo, req);
+
+    if (const obs::JsonValue* strat = doc.find("strategy")) {
+      req.has_strategy = true;
+      req.strategy = core::parse_strategy(strat->as_string());
+    }
+
+    if (const obs::JsonValue* f = doc.find("faults")) {
+      const std::string path = f->as_string();
+      // Fault models compile against a concrete machine; key the cache by
+      // (path, machine, nodes).  The file is read once per key -- edits to
+      // a fault file are not observed by a running server.
+      const std::string key = path + "\x1f" + hash_hex(req.engine_key);
+      auto it = faults.find(key);
+      if (it == faults.end()) {
+        const fault::FaultPlan plan = fault::load_fault_file(path);
+        auto model = std::make_shared<FaultModel>(
+            plan.compile(topo, req.machine->model.params));
+        it = faults.emplace(key, std::move(model)).first;
+      }
+      req.faults = it->second;
+      req.faults_fp = fnv1a_bytes(key);
+    }
+
+    // Model ranking: same Advisor call the `advise` subcommand makes, so a
+    // serve response ranks bit-identically to one-shot `hetcomm advise`.
+    // A request with an explicit strategy and "rank": false skips the sweep
+    // -- the advisor's O(strategies) predictions are pure response garnish
+    // once the client has picked its strategy.
+    if (req.want_ranking || !req.has_strategy) {
+      const core::Advisor advisor(topo, req.machine->model.params);
+      core::AdvisorOptions aopts;
+      aopts.staged_only = req.staged_only;
+      req.ranking = advisor.rank(*req.pattern, aopts);
+      if (!req.has_strategy) req.strategy = req.ranking.front().config;
+    }
+
+    req.plan_key = mix_seed(
+        mix_seed(req.pattern_fp, req.engine_key),
+        fnv1a_bytes(req.strategy.name()));
+  }
+
+  void parse_pattern(const obs::JsonValue* spec, const Topology& topo,
+                     Request& req) {
+    if (spec == nullptr) {
+      throw std::invalid_argument(
+          "request needs a pattern (inline object, file path, {\"random\": "
+          "...} or {\"ref\": hash})");
+    }
+    if (spec->is_string()) {
+      register_pattern(core::read_pattern_file(spec->as_string()), topo, req);
+      return;
+    }
+    if (!spec->is_object()) {
+      throw std::invalid_argument("pattern must be a string or an object");
+    }
+    if (const obs::JsonValue* ref = spec->find("ref")) {
+      if (spec->size() != 1) {
+        throw std::invalid_argument("a pattern ref carries no other keys");
+      }
+      std::uint64_t h = 0;
+      if (ref->is_string()) {
+        h = parse_hash(ref->as_string());
+      } else {
+        h = static_cast<std::uint64_t>(ref->as_int());
+      }
+      std::shared_ptr<const core::CommPattern> found = patterns.find(h);
+      if (found == nullptr) {
+        throw std::invalid_argument("unknown pattern ref " + hash_hex(h) +
+                                    " (the server has not seen it)");
+      }
+      if (found->num_gpus() != topo.num_gpus()) {
+        throw std::invalid_argument("pattern ref GPU count (" +
+                                    std::to_string(found->num_gpus()) +
+                                    ") does not match the machine (" +
+                                    std::to_string(topo.num_gpus()) + ")");
+      }
+      req.pattern = std::move(found);
+      req.pattern_fp = h;
+      req.pattern_was_ref = true;
+      return;
+    }
+    if (const obs::JsonValue* rnd = spec->find("random")) {
+      if (spec->size() != 1 || !rnd->is_object()) {
+        throw std::invalid_argument(
+            "random pattern spec: {\"random\": {\"msgs_per_gpu\": M, "
+            "\"bytes\": B, \"seed\": S}}");
+      }
+      int msgs = 16;
+      std::int64_t bytes = 4096;
+      std::uint64_t seed = 1;
+      for (const auto& [key, value] : rnd->members()) {
+        if (key == "msgs_per_gpu") {
+          msgs = static_cast<int>(value.as_int());
+        } else if (key == "bytes") {
+          bytes = value.as_int();
+        } else if (key == "seed") {
+          seed = static_cast<std::uint64_t>(value.as_int());
+        } else {
+          throw std::invalid_argument("unknown random-pattern key '" + key +
+                                      "'");
+        }
+      }
+      if (msgs < 1 || bytes < 1) {
+        throw std::invalid_argument(
+            "random pattern needs msgs_per_gpu >= 1 and bytes >= 1");
+      }
+      register_pattern(core::random_pattern(topo, msgs, bytes, seed), topo,
+                       req);
+      return;
+    }
+    // Inline pattern: {"gpus": N, "msgs": [[src, dst, bytes], ...],
+    // "dedup": [[src_gpu, dst_node, bytes], ...]}.
+    const obs::JsonValue* gpus = spec->find("gpus");
+    const obs::JsonValue* msgs = spec->find("msgs");
+    if (gpus == nullptr || msgs == nullptr) {
+      throw std::invalid_argument(
+          "inline pattern needs 'gpus' and 'msgs' ([[src, dst, bytes], ...])");
+    }
+    for (const auto& member : spec->members()) {
+      if (member.first != "gpus" && member.first != "msgs" &&
+          member.first != "dedup") {
+        throw std::invalid_argument("unknown pattern key '" + member.first +
+                                    "'");
+      }
+    }
+    core::CommPattern pattern(static_cast<int>(gpus->as_int()));
+    for (const obs::JsonValue& triple : msgs->items()) {
+      if (!triple.is_array() || triple.size() != 3) {
+        throw std::invalid_argument("msgs entries are [src, dst, bytes]");
+      }
+      pattern.add(static_cast<int>(triple.at(0).as_int()),
+                  static_cast<int>(triple.at(1).as_int()),
+                  triple.at(2).as_int());
+    }
+    if (const obs::JsonValue* dedup = spec->find("dedup")) {
+      for (const obs::JsonValue& triple : dedup->items()) {
+        if (!triple.is_array() || triple.size() != 3) {
+          throw std::invalid_argument(
+              "dedup entries are [src_gpu, dst_node, bytes]");
+        }
+        pattern.set_node_dedup(static_cast<int>(triple.at(0).as_int()),
+                               static_cast<int>(triple.at(1).as_int()),
+                               triple.at(2).as_int());
+      }
+    }
+    register_pattern(std::move(pattern), topo, req);
+  }
+
+  void register_pattern(core::CommPattern pattern, const Topology& topo,
+                        Request& req) {
+    if (pattern.num_gpus() != topo.num_gpus()) {
+      throw std::invalid_argument("pattern GPU count (" +
+                                  std::to_string(pattern.num_gpus()) +
+                                  ") does not match the machine (" +
+                                  std::to_string(topo.num_gpus()) + ")");
+    }
+    req.pattern_fp = core::pattern_hash(pattern);
+    // Park the pattern in the registry so later requests can say
+    // {"ref": "<hash>"} and skip re-sending (and re-parsing) the body.
+    req.pattern = patterns.get_or_create(req.pattern_fp, [&] {
+      return std::make_shared<const core::CommPattern>(std::move(pattern));
+    });
+  }
+
+  // ---------------------------------------------------------------------
+  // Phases B+C: compile unique plans, then execute coalesced lane groups.
+  // ---------------------------------------------------------------------
+
+  void execute_window(std::vector<Request>& reqs) {
+    // Unique plan keys of this window's measured requests: one cache
+    // lookup per distinct key, so N identical queries arriving together
+    // cost one compile even on a cold cache.
+    std::vector<std::size_t> unique;  // representative request indices
+    {
+      std::unordered_map<std::uint64_t, std::size_t> first;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        Request& req = reqs[i];
+        if (req.control || !req.error.empty() || req.reps == 0) continue;
+        if (first.emplace(req.plan_key, i).second) unique.push_back(i);
+      }
+    }
+
+    pool.parallel_for(
+        static_cast<std::int64_t>(unique.size()), [&](std::int64_t u, int) {
+          Request& req = reqs[unique[static_cast<std::size_t>(u)]];
+          try {
+            req.plan = plans.get_or_create(req.plan_key, [&] {
+              const auto t0 = Clock::now();
+              auto built = std::make_shared<CachedPlan>(
+                  *req.pattern, topos.at(req.engine_key),
+                  req.machine->model.params, req.strategy);
+              built->compile_seconds = seconds_between(t0, Clock::now());
+              req.compiled_here = true;
+              return built;
+            });
+            req.cache_hit = !req.compiled_here;
+          } catch (const std::exception& e) {
+            req.error = e.what();
+          }
+        });
+    // Duplicates adopt the representative's plan: within-window reuse is a
+    // cache hit from the requester's point of view.
+    {
+      std::unordered_map<std::uint64_t, std::size_t> rep;
+      for (const std::size_t i : unique) rep.emplace(reqs[i].plan_key, i);
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        Request& req = reqs[i];
+        if (req.control || !req.error.empty() || req.reps == 0) continue;
+        const std::size_t r = rep.at(req.plan_key);
+        if (r == i) continue;
+        if (!reqs[r].error.empty()) {
+          req.error = reqs[r].error;
+          continue;
+        }
+        req.plan = reqs[r].plan;
+        req.cache_hit = true;
+      }
+    }
+
+    // Group measured requests by (plan, faults); lanes concatenate in
+    // input order, each request contributing reps lanes seeded
+    // mix_seed(req.seed, rep) -- the exact per-repetition seeds
+    // core::measure derives, which is what keeps coalesced replies
+    // bit-identical to one-shot measurement.
+    std::vector<Group> groups;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& req = reqs[i];
+      if (req.control || !req.error.empty() || req.reps == 0) continue;
+      const std::uint64_t gkey = mix_seed(req.plan_key, req.faults_fp);
+      auto [it, inserted] = group_of.emplace(gkey, groups.size());
+      if (inserted) {
+        Group g;
+        g.plan = req.plan;
+        g.faults = req.faults;
+        g.machine = req.machine;
+        g.engine_key = req.engine_key;
+        g.num_ranks = topos.at(req.engine_key).num_ranks();
+        groups.push_back(std::move(g));
+      }
+      Group& g = groups[it->second];
+      g.lane_base.push_back(static_cast<std::int64_t>(g.lane_seeds.size()));
+      g.requests.push_back(i);
+      for (int rep = 0; rep < req.reps; ++rep) {
+        g.lane_seeds.push_back(
+            mix_seed(req.seed, static_cast<std::uint64_t>(rep)));
+      }
+    }
+
+    // Carve each group into execute_batch blocks.  Unfaulted groups
+    // coalesce lanes across requests (an unfaulted lane cannot abort, so
+    // no error ever needs attributing across a block); faulted groups keep
+    // blocks within one request so a FaultAbort maps to exactly one reply.
+    std::vector<Block> blocks;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      Group& g = groups[gi];
+      g.clocks.assign(g.lane_seeds.size() *
+                          static_cast<std::size_t>(g.num_ranks),
+                      0.0);
+      const int width = lane_width(g.num_ranks);
+      if (g.faults == nullptr) {
+        for (const runtime::LaneBlock& b : runtime::lane_blocks(
+                 static_cast<std::int64_t>(g.lane_seeds.size()), width)) {
+          blocks.push_back({gi, b.start, b.width, SIZE_MAX, 0.0, {}});
+        }
+      } else {
+        for (std::size_t m = 0; m < g.requests.size(); ++m) {
+          const Request& req = reqs[g.requests[m]];
+          for (const runtime::LaneBlock& b :
+               runtime::lane_blocks(req.reps, std::min(width, req.reps))) {
+            blocks.push_back({gi, g.lane_base[m] + b.start, b.width,
+                              g.requests[m], 0.0, {}});
+          }
+        }
+      }
+    }
+
+    pool.parallel_for(
+        static_cast<std::int64_t>(blocks.size()), [&](std::int64_t bi,
+                                                      int worker) {
+          Block& block = blocks[static_cast<std::size_t>(bi)];
+          Group& g = groups[block.group];
+          const auto t0 = Clock::now();
+          try {
+            std::unique_ptr<Engine>& slot =
+                engines[static_cast<std::size_t>(worker)][g.engine_key];
+            if (!slot) {
+              slot = std::make_unique<Engine>(
+                  topos.at(g.engine_key), g.machine->model.params,
+                  NoiseModel(0, options.noise_sigma));
+            }
+            slot->set_faults(g.faults.get());
+            const std::span<const std::uint64_t> seeds(
+                g.lane_seeds.data() + block.start,
+                static_cast<std::size_t>(block.width));
+            const std::span<double> clocks(
+                g.clocks.data() + static_cast<std::size_t>(block.start) *
+                                      static_cast<std::size_t>(g.num_ranks),
+                static_cast<std::size_t>(block.width) *
+                    static_cast<std::size_t>(g.num_ranks));
+            slot->execute_batch(g.plan->compiled, seeds, clocks, -1);
+          } catch (const std::exception& e) {
+            block.error = e.what();
+            if (block.error.empty()) block.error = "execution failed";
+          }
+          block.seconds = seconds_between(t0, Clock::now());
+        });
+
+    for (const Block& block : blocks) {
+      Group& g = groups[block.group];
+      g.execute_seconds += block.seconds;
+      add_sample(block_samples, block.seconds);
+      if (!block.error.empty()) {
+        if (block.request != SIZE_MAX) {
+          reqs[block.request].error = block.error;
+        } else {
+          for (const std::size_t r : g.requests) {
+            if (reqs[r].error.empty()) reqs[r].error = block.error;
+          }
+        }
+      }
+    }
+    blocks_total += static_cast<std::int64_t>(blocks.size());
+
+    // Serial per-request reduction in repetition order: the same fold
+    // core::measure runs, so max_avg / makespan stats are bit-identical to
+    // a one-shot measurement of the same (plan, reps, seed).
+    for (Group& g : groups) {
+      groups_total += 1;
+      lanes_total += static_cast<std::int64_t>(g.lane_seeds.size());
+      max_group_lanes = std::max(
+          max_group_lanes, static_cast<std::int64_t>(g.lane_seeds.size()));
+      const std::size_t num_ranks = static_cast<std::size_t>(g.num_ranks);
+      std::vector<double> per_rank_mean(num_ranks);
+      std::vector<double> makespans;
+      for (std::size_t m = 0; m < g.requests.size(); ++m) {
+        Request& req = reqs[g.requests[m]];
+        if (!req.error.empty()) continue;
+        per_rank_mean.assign(num_ranks, 0.0);
+        makespans.clear();
+        makespans.reserve(static_cast<std::size_t>(req.reps));
+        for (int rep = 0; rep < req.reps; ++rep) {
+          const double* clocks =
+              g.clocks.data() +
+              (static_cast<std::size_t>(g.lane_base[m]) +
+               static_cast<std::size_t>(rep)) *
+                  num_ranks;
+          double makespan = 0.0;
+          for (std::size_t r = 0; r < num_ranks; ++r) {
+            per_rank_mean[r] += clocks[r];
+            makespan = std::max(makespan, clocks[r]);
+          }
+          makespans.push_back(makespan);
+        }
+        const double inv = 1.0 / req.reps;
+        for (double& t : per_rank_mean) t *= inv;
+        req.max_avg =
+            *std::max_element(per_rank_mean.begin(), per_rank_mean.end());
+        req.makespan = obs::summarize(makespans);
+        req.batch = std::min(lane_width(g.num_ranks),
+                             static_cast<int>(g.lane_seeds.size()));
+        req.execute_seconds = 0.0;  // filled below, once per group
+      }
+      for (const std::size_t r : g.requests) {
+        reqs[r].execute_seconds = g.execute_seconds;
+      }
+      execute_seconds_total += g.execute_seconds;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Response rendering + accounting.
+  // ---------------------------------------------------------------------
+
+  std::string render(const Request& req, Clock::time_point done) {
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("id", req.id);
+    if (!req.error.empty()) {
+      doc.set("ok", false);
+      doc.set("error", req.error);
+      return to_line(doc);
+    }
+    doc.set("ok", true);
+    if (req.control) {
+      if (req.cmd == "stats") {
+        doc.set("stats", metrics());
+      } else {
+        doc.set("shutdown", true);
+      }
+      return to_line(doc);
+    }
+
+    doc.set("machine", req.machine->model.name);
+    doc.set("nodes", req.nodes);
+    doc.set("gpus", req.pattern->num_gpus());
+    doc.set("pattern_hash", hash_hex(req.pattern_fp));
+    if (!req.ranking.empty()) {
+      obs::JsonValue ranking = obs::JsonValue::array();
+      for (const core::Recommendation& r : req.ranking) {
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("strategy", r.config.name());
+        row.set("predicted_seconds", r.predicted_seconds);
+        row.set("relative", r.relative);
+        ranking.push_back(std::move(row));
+      }
+      doc.set("recommended", req.ranking.front().config.name());
+      doc.set("ranking", std::move(ranking));
+    }
+
+    if (req.reps > 0) {
+      obs::JsonValue measured = obs::JsonValue::object();
+      measured.set("strategy", req.strategy.name());
+      measured.set("reps", req.reps);
+      measured.set("seed", static_cast<std::int64_t>(req.seed));
+      measured.set("batch", req.batch);
+      measured.set("max_avg", req.max_avg);
+      measured.set("makespan", req.makespan.to_json());
+      doc.set("measured", std::move(measured));
+      obs::JsonValue cache = obs::JsonValue::object();
+      cache.set("hit", req.cache_hit);
+      doc.set("cache", std::move(cache));
+    }
+
+    obs::JsonValue timing = obs::JsonValue::object();
+    timing.set("queue_wait_seconds", req.queue_wait_seconds);
+    timing.set("compile_seconds",
+               req.compiled_here ? req.plan->compile_seconds : 0.0);
+    timing.set("execute_seconds", req.execute_seconds);
+    timing.set("latency_seconds", seconds_between(req.enqueued, done));
+    doc.set("timing", std::move(timing));
+    return to_line(doc);
+  }
+
+  void account(const Request& req, Clock::time_point done) {
+    requests_total += 1;
+    if (!req.error.empty()) errors += 1;
+    if (req.control) {
+      control_requests += 1;
+      return;
+    }
+    add_sample(latency_samples, seconds_between(req.enqueued, done));
+    add_sample(queue_samples, req.queue_wait_seconds);
+    if (!req.error.empty()) return;
+    if (req.reps == 0) {
+      predict_only += 1;
+      return;
+    }
+    measured_requests += 1;
+    if (req.cache_hit) measured_cache_hits += 1;
+    if (req.compiled_here) {
+      compiles += 1;
+      compile_seconds_total += req.plan->compile_seconds;
+      add_sample(compile_samples, req.plan->compile_seconds);
+    }
+  }
+
+  std::vector<std::string> process(std::vector<TimedLine> lines) {
+    const auto window_start = Clock::now();
+    std::vector<Request> reqs(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      reqs[i].enqueued = lines[i].enqueued;
+      try {
+        parse_request(lines[i].text, reqs[i]);
+      } catch (const std::exception& e) {
+        reqs[i].error = e.what();
+        if (reqs[i].error.empty()) reqs[i].error = "bad request";
+      }
+      if (reqs[i].control && reqs[i].cmd == "shutdown") shutdown = true;
+    }
+
+    const auto exec_start = Clock::now();
+    for (Request& req : reqs) {
+      req.queue_wait_seconds = seconds_between(
+          req.enqueued, req.reps > 0 ? exec_start : window_start);
+    }
+    execute_window(reqs);
+
+    std::vector<std::string> out;
+    out.reserve(reqs.size());
+    const auto done = Clock::now();
+    for (Request& req : reqs) {
+      account(req, done);
+      out.push_back(render(req, done));
+    }
+    windows += 1;
+    window_max = std::max(window_max,
+                          static_cast<std::int64_t>(lines.size()));
+    busy_seconds += seconds_between(window_start, done);
+    return out;
+  }
+
+  [[nodiscard]] obs::JsonValue metrics() const {
+    obs::JsonValue serve = obs::JsonValue::object();
+    serve.set("jobs", pool.num_threads());
+    serve.set("window", options.window);
+
+    obs::JsonValue counts = obs::JsonValue::object();
+    counts.set("total", requests_total);
+    counts.set("control", control_requests);
+    counts.set("errors", errors);
+    counts.set("predict_only", predict_only);
+    counts.set("measured", measured_requests);
+    serve.set("requests", std::move(counts));
+
+    const auto cache_json = [](const runtime::CacheStats& s,
+                               int shards, std::int64_t capacity) {
+      obs::JsonValue c = obs::JsonValue::object();
+      c.set("shards", shards);
+      c.set("capacity", capacity);
+      c.set("entries", s.entries);
+      c.set("hits", s.hits);
+      c.set("misses", s.misses);
+      c.set("evictions", s.evictions);
+      c.set("hit_rate", s.hit_rate());
+      return c;
+    };
+    obs::JsonValue cache = obs::JsonValue::object();
+    obs::JsonValue plan_cache = cache_json(
+        plans.stats(), plans.num_shards(),
+        static_cast<std::int64_t>(plans.capacity()));
+    // Request-level hit rate: the fraction of measured requests that never
+    // waited on a compile (shared-cache hits plus within-window reuse).
+    // This is the number the serve_load bench gates on.
+    plan_cache.set("request_hits", measured_cache_hits);
+    plan_cache.set("request_hit_rate",
+                   measured_requests == 0
+                       ? 0.0
+                       : static_cast<double>(measured_cache_hits) /
+                             static_cast<double>(measured_requests));
+    cache.set("plan", std::move(plan_cache));
+    cache.set("pattern",
+              cache_json(patterns.stats(), patterns.num_shards(),
+                         static_cast<std::int64_t>(patterns.capacity())));
+    serve.set("cache", std::move(cache));
+
+    obs::JsonValue batching = obs::JsonValue::object();
+    batching.set("windows", windows);
+    batching.set("max_window_requests", window_max);
+    batching.set("groups", groups_total);
+    batching.set("blocks", blocks_total);
+    batching.set("lanes", lanes_total);
+    batching.set("max_group_lanes", max_group_lanes);
+    serve.set("batching", std::move(batching));
+
+    obs::JsonValue timing = obs::JsonValue::object();
+    obs::JsonValue compile = obs::JsonValue::object();
+    compile.set("total_seconds", compile_seconds_total);
+    compile.set("per_compile", obs::summarize(compile_samples).to_json());
+    timing.set("compile", std::move(compile));
+    obs::JsonValue execute = obs::JsonValue::object();
+    execute.set("total_seconds", execute_seconds_total);
+    execute.set("per_block", obs::summarize(block_samples).to_json());
+    timing.set("execute", std::move(execute));
+    timing.set("latency", obs::summarize(latency_samples).to_json());
+    timing.set("queue_wait", obs::summarize(queue_samples).to_json());
+    serve.set("timing", std::move(timing));
+
+    serve.set("busy_seconds", busy_seconds);
+    serve.set("requests_per_second",
+              busy_seconds > 0.0
+                  ? static_cast<double>(requests_total) / busy_seconds
+                  : 0.0);
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", obs::kMetricsSchema);
+    doc.set("serve", std::move(serve));
+    return doc;
+  }
+};
+
+Service::Service(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Service::~Service() = default;
+
+std::string Service::handle_line(const std::string& line) {
+  return handle_window({line}).front();
+}
+
+std::vector<std::string> Service::handle_window(
+    const std::vector<std::string>& lines) {
+  std::vector<TimedLine> timed;
+  timed.reserve(lines.size());
+  const auto now = Clock::now();
+  for (const std::string& line : lines) timed.push_back({line, now});
+  return impl_->process(std::move(timed));
+}
+
+bool Service::shutdown_requested() const noexcept { return impl_->shutdown; }
+
+obs::JsonValue Service::metrics_json() const { return impl_->metrics(); }
+
+namespace {
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+void Service::run(std::istream& in, std::ostream& out) {
+  std::int64_t served = 0;
+  std::string line;
+  while (!impl_->shutdown &&
+         (impl_->options.max_requests == 0 ||
+          served < impl_->options.max_requests)) {
+    if (!std::getline(in, line)) break;
+    std::vector<TimedLine> window;
+    if (!blank(line)) window.push_back({line, Clock::now()});
+    // Drain whatever is already buffered (never blocking on more input):
+    // a bursty producer forms a batch, an interactive one stays per-line.
+    while (static_cast<int>(window.size()) < impl_->options.window &&
+           in.rdbuf()->in_avail() > 0) {
+      if (!std::getline(in, line)) break;
+      if (!blank(line)) window.push_back({line, Clock::now()});
+    }
+    if (window.empty()) continue;
+    served += static_cast<std::int64_t>(window.size());
+    for (const std::string& response : impl_->process(std::move(window))) {
+      out << response << "\n";
+    }
+    out.flush();
+  }
+}
+
+#ifdef __unix__
+
+void Service::run_socket(const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw std::runtime_error("serve: cannot create unix socket");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(listener);
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  std::copy(path.begin(), path.end(), addr.sun_path);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    ::close(listener);
+    throw std::runtime_error("serve: cannot bind/listen on " + path);
+  }
+
+  std::int64_t served = 0;
+  while (!impl_->shutdown && (impl_->options.max_requests == 0 ||
+                              served < impl_->options.max_requests)) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    std::string buffer;
+    char chunk[4096];
+    while (!impl_->shutdown) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      // Batch every complete line currently buffered into one window.
+      std::vector<TimedLine> window;
+      std::size_t pos = 0;
+      for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
+           nl = buffer.find('\n', pos)) {
+        std::string one = buffer.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (!blank(one)) window.push_back({std::move(one), Clock::now()});
+        if (static_cast<int>(window.size()) >= impl_->options.window) break;
+      }
+      buffer.erase(0, pos);
+      if (window.empty()) continue;
+      served += static_cast<std::int64_t>(window.size());
+      std::string reply;
+      for (const std::string& response : impl_->process(std::move(window))) {
+        reply += response;
+        reply += '\n';
+      }
+      std::size_t written = 0;
+      while (written < reply.size()) {
+        const ssize_t w =
+            ::write(fd, reply.data() + written, reply.size() - written);
+        if (w <= 0) break;
+        written += static_cast<std::size_t>(w);
+      }
+    }
+    ::close(fd);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+#else
+
+void Service::run_socket(const std::string&) {
+  throw std::runtime_error("serve: --socket requires a unix platform");
+}
+
+#endif
+
+}  // namespace hetcomm::serve

@@ -1,0 +1,117 @@
+#pragma once
+// hetcomm serve: the strategy advisor as a long-running service.
+//
+// A Service answers newline-delimited JSON requests -- "which strategy for
+// this pattern on this machine, and how fast is it?" -- the way a
+// production placement service would: persistent process, plan reuse, and
+// batched execution instead of one cold simulation per query.
+//
+// The performance core, in request order:
+//
+//   1. **Sharded compiled-plan cache** (runtime::ShardedLruCache keyed by
+//      mix_seed over core::pattern_hash, the machine fingerprint, the node
+//      count and the strategy name): a repeated query skips build_plan +
+//      CompiledPlan construction entirely and goes straight to replay.
+//   2. **Request batching**: every request drained in one input window is
+//      grouped by (plan, machine, faults, sigma); a group's repetitions
+//      become *lanes* of Engine::execute_batch calls (lane l of request r
+//      seeded mix_seed(r.seed, l), exactly what core::measure would use),
+//      and groups fan out across the runtime::ThreadPool.  Responses are
+//      bit-identical to one-shot Advisor::rank + core::measure for the
+//      same query at any --jobs / window / batch width.
+//   3. **Per-request accounting** reusing src/obs/: cache hits/misses,
+//      queue wait, compile vs execute time and request latency p50/p99,
+//      exported as the hetcomm.metrics.v1 serve artifact
+//      (tools/validate_serve checks the shape in CI).
+//
+// Protocol (one JSON object per line; see docs/serve.md for the schema):
+//
+//   {"id": 7, "machine": "lassen", "nodes": 4,
+//    "pattern": {"gpus": 16, "msgs": [[0, 5, 4096], ...]},
+//    "strategy": "split+MD", "reps": 5, "seed": 1}
+//
+// Patterns may also be a file path, {"random": {...}} generator spec, or
+// {"ref": "0x<hash>"} naming a pattern the service has already seen (every
+// response echoes the pattern's fingerprint).  `reps: 0` answers with the
+// model ranking only; `"rank": false` (with an explicit strategy) skips the
+// advisor sweep and omits recommended/ranking -- the hot-path shape for
+// measurement-only clients.  Control lines {"cmd": "stats"} and
+// {"cmd": "shutdown"} report live metrics / stop the server.  Malformed
+// requests produce {"ok": false, "error": ...} responses, never a dead
+// server.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace hetcomm::serve {
+
+struct ServiceOptions {
+  /// Worker threads executing request groups (0 = hardware concurrency).
+  int jobs = 0;
+  /// Max requests drained into one batch window.  Input beyond the first
+  /// line is taken only when already buffered, so an interactive client
+  /// still gets per-request turnaround while a bursty producer batches.
+  int window = 64;
+  /// Compiled-plan cache geometry.  capacity 0 disables caching -- every
+  /// query compiles; the serve_load bench uses that as the cold baseline.
+  int cache_shards = 8;
+  std::size_t cache_capacity = 256;
+  /// Pattern registry entries (patterns addressable by {"ref": hash}).
+  std::size_t pattern_capacity = 1024;
+  /// Lane width for batched replay: 0 = auto (core::measure's policy),
+  /// 1 = serial replay, N = fixed width.
+  int batch = 0;
+  /// Stop run() after this many data requests (0 = unlimited); control
+  /// lines do not count.  CI smoke uses this as a safety stop.
+  std::int64_t max_requests = 0;
+  /// Machine used when a request names none.
+  std::string default_machine = "lassen";
+  /// Measurement noise level, matching the CLI's measure defaults.
+  double noise_sigma = 0.02;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Answer one request line; returns the response line (no newline).
+  /// Never throws on request errors -- they become error responses.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Answer a window of request lines; responses come back in input
+  /// order.  This is the batching entry point: all measured requests in
+  /// the window share compiles and coalesce into execute_batch lanes.
+  [[nodiscard]] std::vector<std::string> handle_window(
+      const std::vector<std::string>& lines);
+
+  /// NDJSON loop: drain up to `window` buffered lines per batch, write one
+  /// response line each, flush per window.  Returns on EOF, on a shutdown
+  /// request, or after max_requests data requests.
+  void run(std::istream& in, std::ostream& out);
+
+  /// Serve the same protocol over a Unix-domain stream socket (one client
+  /// at a time; returns when a client sends {"cmd": "shutdown"}).  Throws
+  /// std::runtime_error when the socket cannot be created or bound.
+  void run_socket(const std::string& path);
+
+  [[nodiscard]] bool shutdown_requested() const noexcept;
+
+  /// Live service metrics as the hetcomm.metrics.v1 serve artifact.
+  [[nodiscard]] obs::JsonValue metrics_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hetcomm::serve

@@ -1,0 +1,177 @@
+#include "runtime/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hetcomm::runtime {
+namespace {
+
+std::shared_ptr<const int> boxed(int v) {
+  return std::make_shared<const int>(v);
+}
+
+TEST(PlanCacheTest, ZeroShardsThrows) {
+  EXPECT_THROW(ShardedLruCache<int>(0, 16), std::invalid_argument);
+  EXPECT_THROW(ShardedLruCache<int>(-3, 16), std::invalid_argument);
+}
+
+TEST(PlanCacheTest, MissBuildsThenHitReuses) {
+  ShardedLruCache<int> cache(4, 16);
+  int builds = 0;
+  auto make = [&] {
+    ++builds;
+    return boxed(42);
+  };
+  const auto first = cache.get_or_create(7, make);
+  const auto second = cache.get_or_create(7, make);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(*second, 42);
+  EXPECT_EQ(first.get(), second.get());  // shared, not re-built
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(PlanCacheTest, NullBuilderIsALogicError) {
+  ShardedLruCache<int> cache(1, 4);
+  EXPECT_THROW(
+      (void)cache.get_or_create(1, [] { return std::shared_ptr<const int>(); }),
+      std::logic_error);
+}
+
+TEST(PlanCacheTest, EveryShardHoldsAtLeastOneEntry) {
+  ShardedLruCache<int> cache(8, 2);  // fewer slots than shards
+  EXPECT_EQ(cache.num_shards(), 8);
+  EXPECT_EQ(cache.capacity(), 8u);
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestKey) {
+  // One shard so the LRU order is a single deterministic list.
+  ShardedLruCache<int> cache(1, 2);
+  int rebuilt = 0;
+  (void)cache.get_or_create(1, [] { return boxed(1); });
+  (void)cache.get_or_create(2, [] { return boxed(2); });
+  (void)cache.get_or_create(1, [] { return boxed(-1); });  // refresh key 1
+  (void)cache.get_or_create(3, [] { return boxed(3); });   // evicts key 2
+  const auto one = cache.get_or_create(1, [&] {
+    ++rebuilt;
+    return boxed(-1);
+  });
+  EXPECT_EQ(*one, 1);  // the refreshed key survived the eviction
+  EXPECT_EQ(rebuilt, 0);
+  const auto two = cache.get_or_create(2, [&] {
+    ++rebuilt;
+    return boxed(22);
+  });
+  EXPECT_EQ(*two, 22);  // the coldest key was evicted and re-built
+  EXPECT_EQ(rebuilt, 1);
+  EXPECT_EQ(cache.stats().evictions, 2);  // key 2, then key 3 on 2's return
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  ShardedLruCache<int> cache(4, 0);
+  int builds = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto v = cache.get_or_create(9, [&] {
+      ++builds;
+      return boxed(builds);
+    });
+    EXPECT_EQ(*v, builds);
+  }
+  EXPECT_EQ(builds, 5);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 5);
+  EXPECT_EQ(stats.entries, 0);
+}
+
+TEST(PlanCacheTest, FindPeeksWithoutBuilding) {
+  ShardedLruCache<int> cache(2, 8);
+  EXPECT_EQ(cache.find(5), nullptr);
+  (void)cache.get_or_create(5, [] { return boxed(50); });
+  const auto hit = cache.find(5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 50);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);    // the find() hit
+  EXPECT_EQ(stats.misses, 2);  // the find() miss + the get_or_create miss
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ShardedLruCache<int> cache(2, 8);
+  (void)cache.get_or_create(1, [] { return boxed(1); });
+  (void)cache.get_or_create(2, [] { return boxed(2); });
+  cache.clear();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(PlanCacheTest, EvictedValueStaysAliveForHolders) {
+  ShardedLruCache<int> cache(1, 1);
+  const auto first = cache.get_or_create(1, [] { return boxed(11); });
+  (void)cache.get_or_create(2, [] { return boxed(22); });  // evicts key 1
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(*first, 11);  // shared_ptr keeps the evicted value valid
+}
+
+TEST(PlanCacheTest, ConcurrentStressKeepsCountersAndSharingExact) {
+  // Capacity large enough that nothing is ever evicted: every caller that
+  // fetches a key must observe the single resident value, even when two
+  // threads race the initial build (the loser adopts the winner's value).
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kIters = 400;
+  ShardedLruCache<int> cache(4, kKeys);
+  std::atomic<int> builds{0};
+  std::vector<std::vector<const int*>> seen(
+      kThreads, std::vector<const int*>(kKeys, nullptr));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>((i * 7 + t) % kKeys);
+        const auto v = cache.get_or_create(key, [&] {
+          ++builds;
+          return boxed(static_cast<int>(key));
+        });
+        ASSERT_EQ(*v, static_cast<int>(key));
+        seen[static_cast<std::size_t>(t)][key] = v.get();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // All threads share one value per key.
+  for (int key = 0; key < kKeys; ++key) {
+    const int* resident = nullptr;
+    for (int t = 0; t < kThreads; ++t) {
+      const int* p = seen[static_cast<std::size_t>(t)][key];
+      if (p == nullptr) continue;
+      if (resident == nullptr) resident = p;
+      EXPECT_EQ(p, resident) << "key " << key << " not shared";
+    }
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_EQ(stats.entries, kKeys);
+  EXPECT_EQ(stats.evictions, 0);
+  // Each key misses at least once; racing builds may add a few more, but
+  // every build was triggered by a recorded miss.
+  EXPECT_GE(builds.load(), kKeys);
+  EXPECT_LE(builds.load(), stats.misses);
+}
+
+}  // namespace
+}  // namespace hetcomm::runtime

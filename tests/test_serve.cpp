@@ -1,0 +1,215 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/comm_pattern.hpp"
+#include "core/executor.hpp"
+#include "core/pattern_io.hpp"
+#include "core/plan.hpp"
+#include "core/strategy.hpp"
+#include "machine/machine_json.hpp"
+#include "obs/json.hpp"
+
+namespace hetcomm::serve {
+namespace {
+
+using obs::JsonValue;
+
+JsonValue parse(const std::string& line) { return JsonValue::parse(line); }
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+/// Inline 8-GPU request body shared by most tests (lassen preset, 2 nodes).
+std::string pattern_body() {
+  return R"("pattern": {"gpus": 8, "msgs": [[0, 4, 8192], [1, 5, 4096], )"
+         R"([2, 6, 4096], [3, 7, 16384], [4, 0, 8192]]})";
+}
+
+core::CommPattern reference_pattern() {
+  core::CommPattern p(8);
+  p.add(0, 4, 8192);
+  p.add(1, 5, 4096);
+  p.add(2, 6, 4096);
+  p.add(3, 7, 16384);
+  p.add(4, 0, 8192);
+  return p;
+}
+
+TEST(ServeTest, PredictOnlyMatchesAdvisorRank) {
+  Service service;
+  const JsonValue doc = parse(service.handle_line(
+      R"({"id": 1, "machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 0})"));
+  ASSERT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("id").as_int(), 1);
+  EXPECT_FALSE(doc.contains("measured"));
+
+  const machine::MachineModel model = machine::resolve_machine("lassen");
+  const Topology topo = model.topology(2);
+  const core::Advisor advisor(topo, model.params);
+  const std::vector<core::Recommendation> expect =
+      advisor.rank(reference_pattern(), {});
+  const JsonValue& ranking = doc.at("ranking");
+  ASSERT_EQ(ranking.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const JsonValue& row = ranking.at(i);
+    EXPECT_EQ(row.at("strategy").as_string(), expect[i].config.name());
+    EXPECT_DOUBLE_EQ(row.at("predicted_seconds").as_double(),
+                     expect[i].predicted_seconds);
+  }
+  EXPECT_EQ(doc.at("recommended").as_string(), expect.front().config.name());
+}
+
+TEST(ServeTest, MeasuredIsBitIdenticalToOneShotMeasure) {
+  const machine::MachineModel model = machine::resolve_machine("lassen");
+  const Topology topo = model.topology(2);
+  const core::CommPattern pattern = reference_pattern();
+  const core::StrategyConfig config = core::parse_strategy("split+MD");
+  const core::CommPlan plan =
+      core::build_plan(pattern, topo, model.params, config);
+  core::MeasureOptions mopts;
+  mopts.reps = 6;
+  mopts.seed = 99;
+  const core::MeasureResult expect =
+      core::measure(plan, topo, model.params, mopts);
+
+  const std::string request =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 6, "seed": 99})";
+  // Identical answers at every service geometry: the batching / caching /
+  // jobs knobs must never leak into the numbers.
+  for (const int jobs : {1, 3}) {
+    for (const int batch : {0, 1, 4}) {
+      ServiceOptions options;
+      options.jobs = jobs;
+      options.batch = batch;
+      Service service(options);
+      const JsonValue doc = parse(service.handle_line(request));
+      ASSERT_TRUE(doc.at("ok").as_bool())
+          << "jobs=" << jobs << " batch=" << batch;
+      const JsonValue& measured = doc.at("measured");
+      EXPECT_DOUBLE_EQ(measured.at("max_avg").as_double(), expect.max_avg)
+          << "jobs=" << jobs << " batch=" << batch;
+      EXPECT_EQ(measured.at("strategy").as_string(), "split+MD");
+      EXPECT_EQ(measured.at("reps").as_int(), 6);
+    }
+  }
+}
+
+TEST(ServeTest, WindowedDuplicatesShareOneCompile) {
+  Service service;
+  const std::string request =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 4, "seed": 7})";
+  const std::vector<std::string> replies =
+      service.handle_window({request, request, request});
+  ASSERT_EQ(replies.size(), 3u);
+  const JsonValue first = parse(replies[0]);
+  ASSERT_TRUE(first.at("ok").as_bool());
+  const double max_avg = first.at("measured").at("max_avg").as_double();
+  int hits = 0;
+  for (const std::string& line : replies) {
+    const JsonValue doc = parse(line);
+    ASSERT_TRUE(doc.at("ok").as_bool());
+    // Same query, same answer -- coalesced lanes do not perturb results.
+    EXPECT_DOUBLE_EQ(doc.at("measured").at("max_avg").as_double(), max_avg);
+    if (doc.at("cache").at("hit").as_bool()) ++hits;
+  }
+  EXPECT_EQ(hits, 2);  // one compile, two within-window adoptions
+
+  const JsonValue metrics = service.metrics_json();
+  EXPECT_EQ(metrics.at("schema").as_string(), "hetcomm.metrics.v1");
+  const JsonValue& serve = metrics.at("serve");
+  EXPECT_EQ(serve.at("requests").at("measured").as_int(), 3);
+  EXPECT_EQ(serve.at("batching").at("windows").as_int(), 1);
+}
+
+TEST(ServeTest, PatternRefRoundTripsAndHitsTheCache) {
+  Service service;
+  const JsonValue first = parse(service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 3, "seed": 5})"));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  const std::string ref = first.at("pattern_hash").as_string();
+  EXPECT_EQ(ref, hash_hex(core::pattern_hash(reference_pattern())));
+
+  const JsonValue second = parse(service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, "pattern": {"ref": ")" + ref +
+      R"("}, "strategy": "split+MD", "reps": 3, "seed": 5})"));
+  ASSERT_TRUE(second.at("ok").as_bool());
+  EXPECT_TRUE(second.at("cache").at("hit").as_bool());
+  EXPECT_DOUBLE_EQ(second.at("measured").at("max_avg").as_double(),
+                   first.at("measured").at("max_avg").as_double());
+}
+
+TEST(ServeTest, ErrorsAreResponsesNotCrashes) {
+  Service service;
+  const struct {
+    const char* line;
+    const char* why;
+  } cases[] = {
+      {"not json at all", "parse error"},
+      {R"({"machine": "lassen", "nodes": 2, "reps": 1})", "missing pattern"},
+      {R"({"machine": "lassen", "nodes": 2, "bogus": 1})", "unknown key"},
+      {R"({"machine": "lassen", "nodes": 2, "pattern": {"ref": "BOGUS"}})",
+       "bad ref"},
+      {R"({"machine": "lassen", "nodes": 0, "pattern": {"ref": "0x1"}})",
+       "bad nodes"},
+  };
+  for (const auto& c : cases) {
+    const JsonValue doc = parse(service.handle_line(c.line));
+    EXPECT_FALSE(doc.at("ok").as_bool()) << c.why;
+    EXPECT_FALSE(doc.at("error").as_string().empty()) << c.why;
+  }
+  EXPECT_FALSE(service.shutdown_requested());
+  // The service still answers after every malformed line.
+  const JsonValue ok = parse(service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 0})"));
+  EXPECT_TRUE(ok.at("ok").as_bool());
+}
+
+TEST(ServeTest, StatsAndShutdownControlLines) {
+  Service service;
+  const JsonValue stats =
+      parse(service.handle_line(R"({"id": 3, "cmd": "stats"})"));
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("stats").at("schema").as_string(), "hetcomm.metrics.v1");
+  EXPECT_FALSE(service.shutdown_requested());
+
+  const JsonValue bye = parse(service.handle_line(R"({"cmd": "shutdown"})"));
+  EXPECT_TRUE(bye.at("ok").as_bool());
+  EXPECT_TRUE(bye.at("shutdown").as_bool());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServeTest, ZeroCapacityCacheCompilesEveryQuery) {
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  Service service(options);
+  const std::string request =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 2, "seed": 1})";
+  const JsonValue a = parse(service.handle_line(request));
+  const JsonValue b = parse(service.handle_line(request));
+  ASSERT_TRUE(a.at("ok").as_bool());
+  ASSERT_TRUE(b.at("ok").as_bool());
+  EXPECT_FALSE(a.at("cache").at("hit").as_bool());
+  EXPECT_FALSE(b.at("cache").at("hit").as_bool());
+  EXPECT_DOUBLE_EQ(a.at("measured").at("max_avg").as_double(),
+                   b.at("measured").at("max_avg").as_double());
+}
+
+}  // namespace
+}  // namespace hetcomm::serve

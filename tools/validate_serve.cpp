@@ -1,0 +1,226 @@
+// Validator for hetcomm.metrics.v1 *serve* artifacts (the metrics file
+// `hetcomm serve --metrics FILE` writes, Service::metrics_json()).
+//
+// Usage: validate_serve FILE...
+//
+// Parses each file with the strict obs JSON parser and checks the schema
+// contract CI relies on: schema tag, a "serve" section with request
+// counters that add up, cache sections (plan + pattern) whose hit/miss
+// accounting is internally consistent, batching counters, and the timing
+// summaries (compile, execute, latency, queue_wait).  Exits non-zero with
+// a one-line diagnostic on the first violation so a malformed serve-smoke
+// artifact fails the pipeline instead of uploading.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using hetcomm::obs::JsonValue;
+
+constexpr const char* kMetricsSchema = "hetcomm.metrics.v1";
+
+[[noreturn]] void fail(const std::string& file, const std::string& what) {
+  throw std::runtime_error(file + ": " + what);
+}
+
+const JsonValue& require(const std::string& file, const JsonValue& obj,
+                         const std::string& key, JsonValue::Kind kind) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != kind) fail(file, "field \"" + key + "\" has wrong type");
+  return *v;
+}
+
+const JsonValue& require_number(const std::string& file, const JsonValue& obj,
+                                const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, "missing field \"" + key + "\"");
+  if (v->kind() != JsonValue::Kind::Int &&
+      v->kind() != JsonValue::Kind::Double) {
+    fail(file, "field \"" + key + "\" is not a number");
+  }
+  return *v;
+}
+
+std::int64_t require_count(const std::string& file, const JsonValue& obj,
+                           const std::string& key, const std::string& where) {
+  const std::int64_t n =
+      require(file, obj, key, JsonValue::Kind::Int).as_int();
+  if (n < 0) fail(file, where + "." + key + " must be >= 0");
+  return n;
+}
+
+void check_summary(const std::string& file, const JsonValue& s,
+                   const std::string& where) {
+  for (const char* key : {"count", "mean", "p50", "p99", "min", "max"}) {
+    require_number(file, s, key);
+  }
+  if (s.at("count").as_int() < 0) fail(file, where + ".count must be >= 0");
+}
+
+/// One ShardedLruCache section; returns the request-facing miss count.
+void check_cache(const std::string& file, const JsonValue& c,
+                 const std::string& where) {
+  const std::int64_t shards = require_count(file, c, "shards", where);
+  if (shards < 1) fail(file, where + ".shards must be >= 1");
+  require_count(file, c, "capacity", where);
+  const std::int64_t entries = require_count(file, c, "entries", where);
+  const std::int64_t hits = require_count(file, c, "hits", where);
+  const std::int64_t misses = require_count(file, c, "misses", where);
+  require_count(file, c, "evictions", where);
+  const double rate = require_number(file, c, "hit_rate").as_double();
+  const double expect =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  if (rate < expect - 1e-9 || rate > expect + 1e-9) {
+    fail(file, where + ".hit_rate disagrees with hits/misses");
+  }
+  const std::int64_t capacity = c.at("capacity").as_int();
+  if (capacity > 0 && entries > capacity) {
+    fail(file, where + ".entries exceeds capacity");
+  }
+}
+
+void validate_file(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) fail(file, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  const std::string schema =
+      require(file, doc, "schema", JsonValue::Kind::String).as_string();
+  if (schema != kMetricsSchema) {
+    fail(file, "unexpected schema \"" + schema + "\"");
+  }
+  const JsonValue& serve = require(file, doc, "serve", JsonValue::Kind::Object);
+
+  const std::int64_t jobs = require_count(file, serve, "jobs", "serve");
+  if (jobs < 1) fail(file, "serve.jobs must be >= 1");
+  const std::int64_t window = require_count(file, serve, "window", "serve");
+  if (window < 1) fail(file, "serve.window must be >= 1");
+
+  const JsonValue& requests =
+      require(file, serve, "requests", JsonValue::Kind::Object);
+  const std::int64_t total =
+      require_count(file, requests, "total", "serve.requests");
+  const std::int64_t control =
+      require_count(file, requests, "control", "serve.requests");
+  const std::int64_t errors =
+      require_count(file, requests, "errors", "serve.requests");
+  const std::int64_t predict =
+      require_count(file, requests, "predict_only", "serve.requests");
+  const std::int64_t measured =
+      require_count(file, requests, "measured", "serve.requests");
+  // Every request is exactly one of: control, error, predict-only, measured.
+  if (control + errors + predict + measured != total) {
+    fail(file, "serve.requests counters do not add up to total");
+  }
+
+  const JsonValue& cache =
+      require(file, serve, "cache", JsonValue::Kind::Object);
+  const JsonValue& plan =
+      require(file, cache, "plan", JsonValue::Kind::Object);
+  check_cache(file, plan, "serve.cache.plan");
+  const std::int64_t request_hits =
+      require_count(file, plan, "request_hits", "serve.cache.plan");
+  if (request_hits > measured) {
+    fail(file, "serve.cache.plan.request_hits exceeds measured requests");
+  }
+  const double request_rate =
+      require_number(file, plan, "request_hit_rate").as_double();
+  const double expect_rate =
+      measured == 0 ? 0.0
+                    : static_cast<double>(request_hits) /
+                          static_cast<double>(measured);
+  if (request_rate < expect_rate - 1e-9 || request_rate > expect_rate + 1e-9) {
+    fail(file, "serve.cache.plan.request_hit_rate disagrees with counts");
+  }
+  check_cache(file, require(file, cache, "pattern", JsonValue::Kind::Object),
+              "serve.cache.pattern");
+
+  const JsonValue& batching =
+      require(file, serve, "batching", JsonValue::Kind::Object);
+  const std::int64_t windows =
+      require_count(file, batching, "windows", "serve.batching");
+  const std::int64_t window_max =
+      require_count(file, batching, "max_window_requests", "serve.batching");
+  const std::int64_t groups =
+      require_count(file, batching, "groups", "serve.batching");
+  const std::int64_t blocks =
+      require_count(file, batching, "blocks", "serve.batching");
+  const std::int64_t lanes =
+      require_count(file, batching, "lanes", "serve.batching");
+  const std::int64_t max_lanes =
+      require_count(file, batching, "max_group_lanes", "serve.batching");
+  if (total > 0 && windows < 1) fail(file, "requests served without a window");
+  if (window_max > window) {
+    fail(file, "serve.batching.max_window_requests exceeds the window size");
+  }
+  if (blocks < groups) fail(file, "every group needs at least one block");
+  if (lanes < max_lanes) {
+    fail(file, "serve.batching.max_group_lanes exceeds total lanes");
+  }
+  if (measured > 0 && (groups < 1 || lanes < measured)) {
+    fail(file, "measured requests imply >= 1 group and >= 1 lane each");
+  }
+
+  const JsonValue& timing =
+      require(file, serve, "timing", JsonValue::Kind::Object);
+  const JsonValue& compile =
+      require(file, timing, "compile", JsonValue::Kind::Object);
+  if (require_number(file, compile, "total_seconds").as_double() < 0.0) {
+    fail(file, "serve.timing.compile.total_seconds must be >= 0");
+  }
+  check_summary(file,
+                require(file, compile, "per_compile", JsonValue::Kind::Object),
+                "serve.timing.compile.per_compile");
+  const JsonValue& execute =
+      require(file, timing, "execute", JsonValue::Kind::Object);
+  if (require_number(file, execute, "total_seconds").as_double() < 0.0) {
+    fail(file, "serve.timing.execute.total_seconds must be >= 0");
+  }
+  check_summary(file,
+                require(file, execute, "per_block", JsonValue::Kind::Object),
+                "serve.timing.execute.per_block");
+  check_summary(file, require(file, timing, "latency", JsonValue::Kind::Object),
+                "serve.timing.latency");
+  check_summary(file,
+                require(file, timing, "queue_wait", JsonValue::Kind::Object),
+                "serve.timing.queue_wait");
+
+  if (require_number(file, serve, "busy_seconds").as_double() < 0.0) {
+    fail(file, "serve.busy_seconds must be >= 0");
+  }
+  if (require_number(file, serve, "requests_per_second").as_double() < 0.0) {
+    fail(file, "serve.requests_per_second must be >= 0");
+  }
+
+  std::cout << file << ": OK (" << total << " request"
+            << (total == 1 ? "" : "s") << ", " << windows << " window"
+            << (windows == 1 ? "" : "s") << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_serve FILE...\n";
+    return 2;
+  }
+  try {
+    for (int i = 1; i < argc; ++i) validate_file(argv[i]);
+  } catch (const std::exception& e) {
+    std::cerr << "validate_serve: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -159,6 +159,26 @@ void validate_file(const std::string& file) {
   if (rate < expect - 1e-9 || rate > expect + 1e-9) {
     fail(file, "summary.survival_rate disagrees with winner_survived");
   }
+  const JsonValue& compile =
+      require(file, summary, "compile", JsonValue::Kind::Object);
+  const bool precompiled =
+      require(file, compile, "plans_precompiled", JsonValue::Kind::Bool)
+          .as_bool();
+  const double compile_seconds =
+      require_number(file, compile, "compile_seconds").as_double();
+  const double saved =
+      require_number(file, compile, "saved_compile_seconds").as_double();
+  if (compile_seconds < 0.0 || saved < 0.0) {
+    fail(file, "summary.compile times must be >= 0");
+  }
+  if (!precompiled && (compile_seconds != 0.0 || saved != 0.0)) {
+    fail(file, "summary.compile reports time without precompiled plans");
+  }
+  const double expect_saved =
+      compile_seconds * static_cast<double>(instances);
+  if (saved < expect_saved - 1e-9 || saved > expect_saved + 1e-9) {
+    fail(file, "summary.compile.saved_compile_seconds is inconsistent");
+  }
   const JsonValue& per =
       require(file, summary, "strategies", JsonValue::Kind::Array);
   if (per.size() != strategies.size()) {
