@@ -7,10 +7,13 @@
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "benchutil/artifact_stamp.hpp"
 #include "benchutil/bench_options.hpp"
 #include "core/compiled_plan.hpp"
 #include "core/executor.hpp"
@@ -359,12 +362,37 @@ int write_metrics_report(const std::string& path) {
   return 0;
 }
 
+// Re-open the google-benchmark JSON after the run and inject the
+// provenance stamp as a top-level "hetcomm_stamp" member, so
+// tools/bench_trend.py can attribute every number to a commit/host.
+// Failures warn rather than fail: the benchmark results themselves are
+// already on disk.
+void stamp_bench_json(const std::string& path) {
+  using hetcomm::obs::JsonValue;
+  try {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    JsonValue doc = JsonValue::parse(text);
+    doc.set("hetcomm_stamp",
+            hetcomm::benchutil::artifact_stamp(/*jobs=*/0, /*batch=*/0));
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    doc.dump(out);
+  } catch (const std::exception& e) {
+    std::cerr << "micro_hetcomm: could not stamp " << path << ": " << e.what()
+              << "\n";
+  }
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN() plus two CI spellings: `--json FILE` expands into
 // google-benchmark's --benchmark_out/--benchmark_out_format pair (so the
 // perf-smoke step can upload BENCH_micro_hetcomm.json without hard-coding
-// benchmark library flag names in the workflow), and `--metrics FILE`
+// benchmark library flag names in the workflow; the file is stamped with
+// hetcomm.bench_stamp.v1 provenance after the run), and `--metrics FILE`
 // writes a hetcomm.metrics.v1 run report for the fig5_1-scale fixture
 // before the benchmarks run.
 int main(int argc, char** argv) {
@@ -372,13 +400,15 @@ int main(int argc, char** argv) {
   expanded.reserve(static_cast<std::size_t>(argc) + 1);
   expanded.emplace_back(argv[0]);
   std::string metrics_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "micro_hetcomm: --json needs a file path\n";
         return 2;
       }
-      expanded.push_back(std::string("--benchmark_out=") + argv[++i]);
+      json_path = argv[++i];
+      expanded.push_back("--benchmark_out=" + json_path);
       expanded.emplace_back("--benchmark_out_format=json");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       if (i + 1 >= argc || argv[i + 1][0] == '\0') {
@@ -404,5 +434,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) stamp_bench_json(json_path);
   return 0;
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "benchutil/artifact_stamp.hpp"
 #include "obs/json.hpp"
 #include "serve/service.hpp"
 
@@ -233,6 +234,8 @@ int main(int argc, char** argv) {
       using hetcomm::obs::JsonValue;
       JsonValue doc = JsonValue::object();
       doc.set("schema", "hetcomm.serve_load.v1");
+      doc.set("hetcomm_stamp",
+              hetcomm::benchutil::artifact_stamp(/*jobs=*/0, /*batch=*/0));
       doc.set("queries", opts.queries);
       doc.set("hot_plans", kHotPlans);
       doc.set("reps", opts.reps);

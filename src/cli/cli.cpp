@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "benchutil/bench_options.hpp"
 #include "benchutil/table.hpp"
@@ -21,7 +24,9 @@
 #include "hetsim/engine.hpp"
 #include "hetsim/faults.hpp"
 #include "machine/machine_json.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sweep.hpp"
+#include "runtime/thread_pool.hpp"
 #include "serve/service.hpp"
 #include "hetsim/trace_export.hpp"
 #include "sparse/comm_graph.hpp"
@@ -65,7 +70,8 @@ constexpr Subcommand kSubcommands[] = {
     {"advise", "model-driven strategy recommendation (no simulation)"},
     {"model", "print the Table 6 model decomposition for a pattern"},
     {"params", "print a machine's calibrated parameter set"},
-    {"trace", "execute one strategy; dump a Chrome trace / ASCII Gantt"},
+    {"trace", "execute one strategy; dump a Chrome trace / ASCII Gantt "
+              "(trace report|export inspect hetcomm.trace.v1 artifacts)"},
     {"report", "measure one strategy with per-phase/path/contention metrics"},
     {"machine", "list/describe/export/validate machine descriptions"},
     {"ranking-stability",
@@ -127,6 +133,13 @@ std::string usage() {
       "                       (default 256; 0 disables caching)\n"
       "  --cache-shards N     for `serve`: plan cache shards (default 8)\n"
       "  --max-requests N     for `serve`: stop after N data requests\n"
+      "  --trace FILE         for `serve`/`report`: write the\n"
+      "                       hetcomm.trace.v1 span artifact on exit\n"
+      "  --trace-sample N     keep every Nth trace (default 1 = all)\n"
+      "  --in FILE            for `trace report`/`trace export`: the\n"
+      "                       hetcomm.trace.v1 artifact to inspect\n"
+      "  --top K              for `trace report`: slowest span trees shown\n"
+      "                       (default 10)\n"
       "  --reps N --seed S --csv\n";
   return text;
 }
@@ -154,6 +167,19 @@ Options Options::parse(const std::vector<std::string>& args) {
       throw std::invalid_argument("machine: unknown action '" + opts.action +
                                   "' (list|describe|export|validate)\n" +
                                   usage());
+    }
+    first_flag = 2;
+  }
+  if (opts.command == "trace" && args.size() >= 2 && !args[1].empty() &&
+      args[1][0] != '-') {
+    // Optional artifact actions; no action keeps the original behavior
+    // (simulate one strategy and dump its engine trace).
+    opts.action = args[1];
+    if (opts.action != "report" && opts.action != "export") {
+      throw std::invalid_argument(
+          "trace: unknown action '" + opts.action +
+          "' (report|export, or no action to simulate a strategy)\n" +
+          usage());
     }
     first_flag = 2;
   }
@@ -228,6 +254,21 @@ Options Options::parse(const std::vector<std::string>& args) {
     } else if (flag == "--max-requests") {
       opts.max_requests =
           static_cast<std::int64_t>(to_int(value(), "--max-requests"));
+    } else if (flag == "--trace") {
+      opts.trace_file = value();
+      if (opts.trace_file.empty()) {
+        throw std::invalid_argument("--trace needs a non-empty file path");
+      }
+    } else if (flag == "--trace-sample") {
+      opts.trace_sample =
+          static_cast<std::uint64_t>(to_int(value(), "--trace-sample"));
+    } else if (flag == "--in") {
+      opts.in_file = value();
+      if (opts.in_file.empty()) {
+        throw std::invalid_argument("--in needs a non-empty file path");
+      }
+    } else if (flag == "--top") {
+      opts.top = static_cast<int>(to_int(value(), "--top"));
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" + usage());
     }
@@ -250,6 +291,10 @@ Options Options::parse(const std::vector<std::string>& args) {
   if (opts.max_requests < 0) {
     throw std::invalid_argument("--max-requests must be >= 0");
   }
+  if (opts.trace_sample < 1) {
+    throw std::invalid_argument("--trace-sample must be >= 1");
+  }
+  if (opts.top < 1) throw std::invalid_argument("--top must be >= 1");
   const int sources = (opts.pattern_file.empty() ? 0 : 1) +
                       (opts.matrix_file.empty() ? 0 : 1) +
                       (opts.standin.empty() ? 0 : 1);
@@ -471,7 +516,113 @@ int cmd_params(const Options& opts, std::ostream& os) {
   return 0;
 }
 
+// `trace report` / `trace export`: offline inspection of a
+// hetcomm.trace.v1 artifact (written by `serve --trace` / `report
+// --trace` or snapshotted live via the serve {"cmd": "trace"} line).
+int cmd_trace_artifact(const Options& opts, std::ostream& os) {
+  if (opts.in_file.empty()) {
+    throw std::invalid_argument("trace " + opts.action +
+                                " requires --in TRACE.json\n" + usage());
+  }
+  std::ifstream in(opts.in_file);
+  if (!in) {
+    throw std::invalid_argument("trace: cannot open " + opts.in_file);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonValue doc = obs::JsonValue::parse(buffer.str());
+  if (!doc.is_object() || doc.find("schema") == nullptr ||
+      doc.at("schema").as_string() != obs::kTraceSchema) {
+    throw std::invalid_argument(opts.in_file + ": not a " +
+                                std::string(obs::kTraceSchema) +
+                                " artifact");
+  }
+
+  if (opts.action == "export") {
+    if (opts.out_file.empty()) {
+      obs::write_chrome_trace_artifact(os, doc);
+      return 0;
+    }
+    std::ofstream out(opts.out_file);
+    if (!out) {
+      throw std::runtime_error("trace export: cannot open " + opts.out_file);
+    }
+    obs::write_chrome_trace_artifact(out, doc);
+    os << "chrome trace written to " << opts.out_file
+       << " (open in Perfetto / chrome://tracing)\n";
+    return 0;
+  }
+
+  // report: per-trace span trees, slowest roots first.
+  const obs::JsonValue& spans = doc.at("spans");
+  const std::size_t n = spans.size();
+  std::vector<std::vector<std::size_t>> kids(n);
+  std::vector<std::size_t> roots;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> by_id;
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::JsonValue& s = spans.at(i);
+    by_id.emplace(std::make_pair(s.at("trace").as_int(), s.at("span").as_int()),
+                  i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::JsonValue& s = spans.at(i);
+    const std::int64_t parent = s.at("parent").as_int();
+    const auto it =
+        parent == 0 ? by_id.end()
+                    : by_id.find(std::make_pair(s.at("trace").as_int(), parent));
+    // A span whose parent was dropped from the ring reports as a root.
+    if (it == by_id.end() || it->second == i) {
+      roots.push_back(i);
+    } else {
+      kids[it->second].push_back(i);
+    }
+  }
+  const auto duration = [&](std::size_t i) {
+    const obs::JsonValue& s = spans.at(i);
+    return s.at("t_end").as_double() - s.at("t_start").as_double();
+  };
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    return duration(a) > duration(b);
+  });
+
+  const obs::JsonValue& meta = doc.at("meta");
+  os << "hetcomm.trace.v1: " << n << " spans, "
+     << meta.at("dropped").as_int() << " dropped, sample period "
+     << meta.at("sample_period").as_int() << "; " << roots.size()
+     << " root spans, slowest "
+     << std::min<std::size_t>(roots.size(),
+                              static_cast<std::size_t>(opts.top))
+     << " shown\n";
+
+  const std::function<void(std::size_t, int)> print = [&](std::size_t i,
+                                                          int depth) {
+    const obs::JsonValue& s = spans.at(i);
+    os << std::string(static_cast<std::size_t>(2 * depth), ' ')
+       << s.at("name").as_string() << "  " << Table::sci(duration(i)) << " s";
+    if (const obs::JsonValue* attrs = s.find("attrs")) {
+      std::string text;
+      for (const auto& [key, value] : attrs->members()) {
+        if (!text.empty()) text += ", ";
+        text += key + "=" +
+                (value.is_string() ? value.as_string()
+                                   : std::to_string(value.as_int()));
+      }
+      if (!text.empty()) os << "  {" << text << "}";
+    }
+    os << "\n";
+    for (const std::size_t k : kids[i]) print(k, depth + 1);
+  };
+  int shown = 0;
+  for (const std::size_t r : roots) {
+    if (shown++ >= opts.top) break;
+    os << "-- trace " << spans.at(r).at("trace").as_int() << " --\n";
+    print(r, 0);
+  }
+  return 0;
+}
+
 int cmd_trace(const Options& opts, std::ostream& os) {
+  if (!opts.action.empty()) return cmd_trace_artifact(opts, os);
   const machine::MachineModel mach = make_machine(opts);
   const Topology topo = mach.topology(opts.nodes);
   const ParamSet& params = mach.params;
@@ -510,6 +661,19 @@ int cmd_report(const Options& opts, std::ostream& os) {
   mopts.jobs = opts.jobs;
   mopts.collect_metrics = true;
   if (faults) mopts.faults = &*faults;
+  std::optional<obs::Tracer> tracer;
+  if (!opts.trace_file.empty()) {
+    obs::Tracer::Options topts;
+    const int jobs = opts.jobs == 0 ? runtime::hardware_jobs() : opts.jobs;
+    topts.rings = std::max(1, std::min(jobs, opts.reps));
+    topts.sample_period = opts.trace_sample;
+    tracer.emplace(topts);
+    for (int w = 0; w < topts.rings; ++w) {
+      tracer->name_track(static_cast<std::uint16_t>(w),
+                         "worker " + std::to_string(w));
+    }
+    mopts.tracer = &*tracer;
+  }
   core::MeasureResult result = core::measure(plan, topo, params, mopts);
   obs::RunReport& report = *result.metrics;
   report.name = cfg.name() + " (" + mach.name + ", " +
@@ -574,6 +738,16 @@ int cmd_report(const Options& opts, std::ostream& os) {
   if (!opts.metrics_file.empty()) {
     benchutil::write_metrics_file(opts.metrics_file, {report});
     os << "metrics report written to " << opts.metrics_file << "\n";
+  }
+  if (tracer) {
+    std::ofstream out(opts.trace_file);
+    if (!out) {
+      throw std::runtime_error("report: cannot open " + opts.trace_file);
+    }
+    tracer->write_json(out);
+    os << "trace written to " << opts.trace_file
+       << " (inspect with `hetcomm trace report --in " << opts.trace_file
+       << "`)\n";
   }
   return 0;
 }
@@ -653,6 +827,8 @@ int cmd_serve(const Options& opts, std::ostream& os) {
   sopts.batch = opts.batch;
   sopts.max_requests = opts.max_requests;
   sopts.default_machine = opts.machine;
+  sopts.trace = !opts.trace_file.empty();
+  sopts.trace_sample = opts.trace_sample;
   serve::Service service(std::move(sopts));
   if (!opts.socket_path.empty()) {
     service.run_socket(opts.socket_path);
@@ -670,6 +846,14 @@ int cmd_serve(const Options& opts, std::ostream& os) {
       throw std::runtime_error("serve: cannot open " + opts.metrics_file);
     }
     service.metrics_json().dump(out);
+    out << "\n";
+  }
+  if (!opts.trace_file.empty()) {
+    std::ofstream out(opts.trace_file);
+    if (!out) {
+      throw std::runtime_error("serve: cannot open " + opts.trace_file);
+    }
+    service.trace_json().dump(out);
     out << "\n";
   }
   return 0;

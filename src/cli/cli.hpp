@@ -6,7 +6,11 @@
 //   advise   model-driven recommendation without simulation
 //   model    print the Table 6 model decomposition for a pattern
 //   params   print a machine's calibrated parameter set
-//   trace    execute one strategy and dump a Chrome-tracing JSON / Gantt
+//   trace    execute one strategy and dump a Chrome-tracing JSON / Gantt;
+//            `trace report --in T.json` prints the span-tree breakdown of
+//            a hetcomm.trace.v1 artifact (top-k slowest requests) and
+//            `trace export --in T.json` converts one to Chrome/Perfetto
+//            trace-event JSON (see docs/tracing.md)
 //   report   measure one strategy with metrics and print the per-phase /
 //            per-path / contention breakdown (optionally write the
 //            hetcomm.metrics.v1 JSON with --metrics FILE)
@@ -37,6 +41,11 @@
 //   --faults FILE.json  attach a hetcomm.fault.v1 degradation plan
 //                       (compare, trace, report, ranking-stability)
 //   --fault-seeds N   (ranking-stability) ensemble size (default 4)
+//   --trace FILE      (serve, report) write the hetcomm.trace.v1 span
+//                     artifact on exit; --trace-sample N keeps every Nth
+//                     trace
+//   --in FILE         (trace report/export) the artifact to inspect
+//   --top K           (trace report) slowest span trees to print
 //   --reps N  --seed S  --csv
 
 #include <iosfwd>
@@ -52,7 +61,7 @@ namespace hetcomm::cli {
 
 struct Options {
   std::string command;
-  std::string action;  ///< `machine` subcommand action (list/describe/...)
+  std::string action;  ///< `machine`/`trace` action (list/.../report/export)
   std::string machine = "lassen";
   std::string out_file;  ///< `machine export`: output path ("" = stdout)
   int nodes = 8;
@@ -75,6 +84,10 @@ struct Options {
   std::int64_t cache_entries = 256;  ///< serve: plan cache capacity (0 = off)
   int cache_shards = 8;      ///< serve: plan cache shards
   std::int64_t max_requests = 0;  ///< serve: stop after N requests (0 = inf)
+  std::string trace_file;    ///< serve/report: write hetcomm.trace.v1 spans
+  std::uint64_t trace_sample = 1;  ///< keep every Nth trace (1 = all)
+  std::string in_file;       ///< `trace report`/`trace export`: input artifact
+  int top = 10;              ///< `trace report`: slowest span trees shown
 
   /// Parse argv (excluding the program name).  Throws std::invalid_argument
   /// with a usage-style message on errors.

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
+
+#include "obs/engine_metrics.hpp"
 
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
@@ -90,6 +93,36 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
 
   const std::size_t num_ranks = static_cast<std::size_t>(topo.num_ranks());
 
+  // Span tracing: resolve the trace id up front; an unsampled id turns the
+  // local tracer pointer off entirely, so the hot path below stays on the
+  // exact tracing-off code for skipped traces.
+  obs::Tracer* tracer = options.tracer;
+  std::uint64_t trace_id = options.trace_id;
+  std::uint32_t trace_root = options.trace_parent;
+  bool own_root = false;
+  obs::SpanRecord root_span;
+  std::uint16_t n_compile = 0, n_block = 0, n_phase = 0;
+  std::uint16_t k_block = 0, k_lanes = 0, k_phase = 0, k_sim = 0;
+  if (tracer != nullptr && trace_id == 0) trace_id = tracer->begin_trace();
+  if (tracer != nullptr && !tracer->sampled(trace_id)) tracer = nullptr;
+  if (tracer != nullptr) {
+    n_compile = tracer->intern("measure.compile");
+    n_block = tracer->intern("measure.block");
+    n_phase = tracer->intern("engine.phase");
+    k_block = tracer->intern("first_rep");
+    k_lanes = tracer->intern("lanes");
+    k_phase = tracer->intern("phase");
+    k_sim = tracer->intern("sim_ns");
+    if (options.trace_parent == 0) {
+      own_root = true;
+      root_span.trace_id = trace_id;
+      root_span.span_id = tracer->new_span_id();
+      root_span.name = tracer->intern("measure");
+      root_span.t_start = tracer->now();
+      trace_root = root_span.span_id;
+    }
+  }
+
   // Compile the rep-invariant work once; the immutable CompiledPlan is
   // shared by const reference across every worker thread.  A caller-owned
   // precompiled plan (serve cache, stability ensemble) skips even that.
@@ -99,6 +132,8 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     if (options.precompiled != nullptr) {
       compiled = options.precompiled;
     } else {
+      const obs::ScopedSpan compile_span(
+          obs::TraceContext{tracer, 0, trace_id, trace_root, 0}, n_compile);
       compiled_local.emplace(plan, topo, params);
       compiled = &*compiled_local;
     }
@@ -175,6 +210,19 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
     worker_busy_seconds.assign(static_cast<std::size_t>(jobs), 0.0);
   }
 
+  // Tracing scratch.  The worker that runs repetition 0 (serial path) or
+  // the leading block (batched path) is the only writer of the lead_* /
+  // trace_phase_ends slots; they are read back serially after the pool
+  // joins.  Without collect_metrics a throwaway sink is attached to that
+  // one repetition so the engine still surfaces its phase-end clocks.
+  obs::EngineMetrics trace_sink;
+  const bool want_trace_phases = tracer != nullptr && !options.collect_metrics;
+  std::vector<double> trace_phase_ends;
+  std::uint32_t lead_span = 0;
+  int lead_ring = 0;
+  double lead_t0 = 0.0;
+  double lead_t1 = 0.0;
+
   const auto run_rep = [&](std::int64_t rep, int worker) {
     std::unique_ptr<Engine>& slot = engines[static_cast<std::size_t>(worker)];
     if (!slot) {
@@ -182,6 +230,10 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
                                       NoiseModel(0, options.noise_sigma));
       if (options.fabric) slot->set_fabric(*options.fabric);
       if (options.faults) slot->set_faults(options.faults);
+    }
+    const double trace_t0 = tracer != nullptr ? tracer->now() : 0.0;
+    if (want_trace_phases) {
+      slot->set_metrics(rep == 0 ? &trace_sink : nullptr, false, rep == 0);
     }
     if (options.collect_metrics) {
       // Plan-invariant slots record on repetition 0 only (exactly once per
@@ -233,6 +285,29 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       last_trace = engine.trace();
       engine.set_tracing(false);
     }
+    if (tracer != nullptr) {
+      obs::SpanRecord s;
+      s.trace_id = trace_id;
+      s.span_id = tracer->new_span_id();
+      s.parent = trace_root;
+      s.name = n_block;
+      s.track = static_cast<std::uint16_t>(worker);
+      s.t_start = trace_t0;
+      s.t_end = tracer->now();
+      s.add_attr(k_block, rep);
+      s.add_attr(k_lanes, 1);
+      if (rep == 0) {
+        lead_span = s.span_id;
+        lead_ring = worker;
+        lead_t0 = s.t_start;
+        lead_t1 = s.t_end;
+        if (want_trace_phases) {
+          trace_phase_ends = trace_sink.phase_makespan;
+          trace_sink.phase_makespan.clear();
+        }
+      }
+      tracer->record(worker, s);
+    }
   };
 
   // Batched counterpart of run_rep: one task per lane block, all lanes of
@@ -248,6 +323,11 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       if (options.faults) slot->set_faults(options.faults);
     }
     const runtime::LaneBlock blk = blocks[static_cast<std::size_t>(block)];
+    const double trace_t0 = tracer != nullptr ? tracer->now() : 0.0;
+    if (want_trace_phases) {
+      const bool leading = blk.start == 0;
+      slot->set_metrics(leading ? &trace_sink : nullptr, false, leading);
+    }
     if (options.collect_metrics) {
       // execute_batch records lane 0 only, so attaching the sink to the
       // block that starts at repetition 0 reproduces the serial sampling
@@ -294,6 +374,29 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
       last_trace = engine.trace();
       engine.set_tracing(false);
     }
+    if (tracer != nullptr) {
+      obs::SpanRecord s;
+      s.trace_id = trace_id;
+      s.span_id = tracer->new_span_id();
+      s.parent = trace_root;
+      s.name = n_block;
+      s.track = static_cast<std::uint16_t>(worker);
+      s.t_start = trace_t0;
+      s.t_end = tracer->now();
+      s.add_attr(k_block, blk.start);
+      s.add_attr(k_lanes, blk.width);
+      if (blk.start == 0) {
+        lead_span = s.span_id;
+        lead_ring = worker;
+        lead_t0 = s.t_start;
+        lead_t1 = s.t_end;
+        if (want_trace_phases) {
+          trace_phase_ends = trace_sink.phase_makespan;
+          trace_sink.phase_makespan.clear();
+        }
+      }
+      tracer->record(worker, s);
+    }
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -318,6 +421,41 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
           .count();
   result.reps_per_second =
       result.wall_seconds > 0.0 ? options.reps / result.wall_seconds : 0.0;
+
+  // Repetition-0 engine phase spans, nested inside the block span that ran
+  // it.  The engine reports *simulated* phase-end clocks; the spans scale
+  // them proportionally into the block's wall interval so the timeline
+  // shows each phase's share of the block, not wall truth.
+  if (tracer != nullptr && lead_span != 0) {
+    const double* ends = nullptr;
+    std::size_t count = 0;
+    if (want_trace_phases) {
+      ends = trace_phase_ends.data();
+      count = trace_phase_ends.size();
+    } else if (options.collect_metrics && num_phases > 0) {
+      ends = phase_ends.data();  // row 0 == repetition 0
+      count = num_phases;
+    }
+    const double total = count > 0 ? ends[count - 1] : 0.0;
+    if (total > 0.0) {
+      const double scale = (lead_t1 - lead_t0) / total;
+      double prev = 0.0;
+      for (std::size_t p = 0; p < count; ++p) {
+        obs::SpanRecord s;
+        s.trace_id = trace_id;
+        s.span_id = tracer->new_span_id();
+        s.parent = lead_span;
+        s.name = n_phase;
+        s.track = static_cast<std::uint16_t>(lead_ring);
+        s.t_start = lead_t0 + prev * scale;
+        s.t_end = lead_t0 + ends[p] * scale;
+        s.add_attr(k_phase, static_cast<std::int64_t>(p));
+        s.add_attr(k_sim, std::llround((ends[p] - prev) * 1e9));
+        tracer->record(lead_ring, s);
+        prev = ends[p];
+      }
+    }
+  }
 
   // Serial reduction in repetition order: bit-identical at any jobs count.
   std::vector<double> makespans;
@@ -401,6 +539,14 @@ MeasureResult measure(const CommPlan& plan, const Topology& topo,
            worker_busy_seconds[static_cast<std::size_t>(w)]});
     }
     result.metrics = std::move(report);
+  }
+
+  if (tracer != nullptr && own_root) {
+    root_span.t_end = tracer->now();
+    root_span.add_attr(tracer->intern("reps"), options.reps);
+    root_span.add_attr(tracer->intern("jobs"), jobs);
+    root_span.add_attr(tracer->intern("batch"), result.batch);
+    tracer->record(0, root_span);
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include "hetsim/network.hpp"
 #include "hetsim/trace.hpp"
 #include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 
 namespace hetcomm::core {
 
@@ -88,6 +89,18 @@ struct MeasureOptions {
   /// serve plan cache, the ranking-stability fault ensemble) skip the
   /// per-call compile entirely.
   const CompiledPlan* precompiled = nullptr;
+  /// Span tracing (null = off; see obs/trace.hpp and docs/tracing.md).
+  /// When set -- and trace_id is on the tracer's sampled grid -- measure()
+  /// records a compile span, one span per execution block on the running
+  /// worker's ring/track (the tracer needs rings >= effective jobs), and
+  /// repetition-0 engine phase spans scaled into that block's wall
+  /// interval.  trace_id 0 allocates a fresh trace with a root `measure`
+  /// span; a nonzero trace_id parents everything under `trace_parent`.
+  /// Tracing never perturbs results: clocks and statistics stay
+  /// bit-identical with the tracer attached or not.
+  obs::Tracer* tracer = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_parent = 0;
 };
 
 struct MeasureResult {

@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hetcomm::runtime {
 
 /// Aggregate cache effectiveness counters (summed over shards).
@@ -39,6 +41,11 @@ struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;  ///< lookups that had to build the value
   std::int64_t evictions = 0;
+  /// Build races lost: this caller built a value but found another
+  /// thread's insert already resident and adopted it (its build was
+  /// wasted work -- a persistently nonzero rate means shards are too
+  /// few or builds too slow for the offered concurrency).
+  std::int64_t adoptions = 0;
   std::int64_t entries = 0;  ///< currently resident values
 
   [[nodiscard]] std::int64_t lookups() const noexcept { return hits + misses; }
@@ -84,32 +91,69 @@ class ShardedLruCache {
   /// `make` must return a non-null shared_ptr; it runs without any cache
   /// lock held.  When two threads miss the same key concurrently, both
   /// builds run but a single value is kept and returned to everyone.
+  ///
+  /// With a non-null trace context the lookup records a `cache.lookup`
+  /// span whose `outcome` attribute is "hit", "build" or "adopt", plus a
+  /// child `cache.build` span around the builder -- so a traced request
+  /// shows exactly whether it paid for a compile or rode someone else's.
   template <typename Make>
-  [[nodiscard]] std::shared_ptr<const V> get_or_create(std::uint64_t key,
-                                                       Make&& make) {
+  [[nodiscard]] std::shared_ptr<const V> get_or_create(
+      std::uint64_t key, Make&& make,
+      const obs::TraceContext* trace = nullptr) {
+    const obs::TraceContext ctx =
+        trace != nullptr ? *trace : obs::TraceContext{};
+    std::uint16_t outcome_key = 0;
+    obs::ScopedSpan lookup(ctx,
+                           ctx ? ctx.tracer->intern("cache.lookup") : 0);
+    if (ctx) {
+      outcome_key = ctx.tracer->intern("outcome");
+      lookup.add_attr(ctx.tracer->intern("key"),
+                      static_cast<std::int64_t>(key));
+    }
     Shard& shard = shard_of(key);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.index.find(key);
       if (it != shard.index.end()) {
         ++shard.stats.hits;
+        if (ctx) {
+          lookup.add_attr_slot(outcome_key, ctx.tracer->intern("hit"));
+        }
         // Refresh LRU position: most recently used at the front.
         shard.order.splice(shard.order.begin(), shard.order, it->second);
         return it->second->second;
       }
       ++shard.stats.misses;
     }
-    std::shared_ptr<const V> built = std::forward<Make>(make)();
+    std::shared_ptr<const V> built;
+    {
+      const obs::ScopedSpan build(
+          ctx.child(lookup.id()),
+          ctx ? ctx.tracer->intern("cache.build") : 0);
+      built = std::forward<Make>(make)();
+    }
     if (built == nullptr) {
       throw std::logic_error("ShardedLruCache: builder returned null");
     }
-    if (shard.capacity == 0) return built;  // caching disabled
+    if (shard.capacity == 0) {  // caching disabled
+      if (ctx) {
+        lookup.add_attr_slot(outcome_key, ctx.tracer->intern("build"));
+      }
+      return built;
+    }
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Lost the build race; adopt the resident value so all callers share.
+      ++shard.stats.adoptions;
+      if (ctx) {
+        lookup.add_attr_slot(outcome_key, ctx.tracer->intern("adopt"));
+      }
       shard.order.splice(shard.order.begin(), shard.order, it->second);
       return it->second->second;
+    }
+    if (ctx) {
+      lookup.add_attr_slot(outcome_key, ctx.tracer->intern("build"));
     }
     shard.order.emplace_front(key, std::move(built));
     shard.index.emplace(key, shard.order.begin());
@@ -143,6 +187,7 @@ class ShardedLruCache {
       total.hits += s->stats.hits;
       total.misses += s->stats.misses;
       total.evictions += s->stats.evictions;
+      total.adoptions += s->stats.adoptions;
       total.entries += static_cast<std::int64_t>(s->order.size());
     }
     return total;

@@ -30,12 +30,42 @@ struct ThreadPool::Impl {
   std::atomic<bool> failed{false};
   std::exception_ptr error;
 
+  // Tracing for the current job (set by parallel_for before the epoch
+  // bump, so workers read it after their start_cv wake).  Name slots are
+  // interned once per traced call, not per task.
+  ThreadPool::TraceHook trace;
+  double submit_time = 0.0;  ///< tracer-epoch seconds at submission
+  std::uint16_t wait_name = 0;
+  std::uint16_t run_name = 0;
+  std::uint16_t task_key = 0;
+
   /// Claim and run tasks until none remain or a task has failed.
   void drain(int worker) {
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      obs::SpanRecord run_span;
+      if (trace.tracer != nullptr) {
+        const double claimed = trace.tracer->now();
+        obs::SpanRecord wait;
+        wait.trace_id = trace.trace_id;
+        wait.span_id = trace.tracer->new_span_id();
+        wait.parent = trace.parent;
+        wait.name = wait_name;
+        wait.track = static_cast<std::uint16_t>(worker);
+        wait.t_start = submit_time;
+        wait.t_end = claimed;
+        wait.add_attr(task_key, i);
+        trace.tracer->record(worker, wait);
+        run_span.trace_id = trace.trace_id;
+        run_span.span_id = trace.tracer->new_span_id();
+        run_span.parent = trace.parent;
+        run_span.name = run_name;
+        run_span.track = static_cast<std::uint16_t>(worker);
+        run_span.t_start = claimed;
+        run_span.add_attr(task_key, i);
+      }
       try {
         (*task)(i, worker);
       } catch (...) {
@@ -43,6 +73,10 @@ struct ThreadPool::Impl {
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
+      }
+      if (trace.tracer != nullptr) {
+        run_span.t_end = trace.tracer->now();
+        trace.tracer->record(worker, run_span);
       }
     }
   }
@@ -85,12 +119,20 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
-void ThreadPool::parallel_for(std::int64_t count, const Task& fn) {
+void ThreadPool::parallel_for(std::int64_t count, const Task& fn,
+                              const TraceHook& trace) {
   if (count <= 0) return;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->task = &fn;
     impl_->count = count;
+    impl_->trace = trace;
+    if (trace.tracer != nullptr) {
+      impl_->submit_time = trace.tracer->now();
+      impl_->wait_name = trace.tracer->intern("pool.wait");
+      impl_->run_name = trace.tracer->intern("pool.run");
+      impl_->task_key = trace.tracer->intern("task");
+    }
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->failed.store(false, std::memory_order_relaxed);
     impl_->error = nullptr;
@@ -105,6 +147,7 @@ void ThreadPool::parallel_for(std::int64_t count, const Task& fn) {
   impl_->done_cv.wait(lock,
                       [&] { return impl_->workers_done == workers_.size(); });
   impl_->task = nullptr;
+  impl_->trace = {};
   if (impl_->error) {
     std::exception_ptr error = impl_->error;
     impl_->error = nullptr;

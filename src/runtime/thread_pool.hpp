@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hetcomm::runtime {
 
 /// Usable hardware concurrency: std::thread::hardware_concurrency(), but
@@ -40,11 +42,30 @@ class ThreadPool {
   /// Task signature: fn(task_index, worker_index).
   using Task = std::function<void(std::int64_t, int)>;
 
+  /// Span tracing for one parallel_for call: each task records a
+  /// `pool.wait` span (submission to claim -- how long the task sat in
+  /// the queue) and a `pool.run` span, both on the claiming worker's ring
+  /// and track, parented under `parent` in `trace_id`.  Null tracer (the
+  /// default) records nothing and costs one branch per task.
+  struct TraceHook {
+    obs::Tracer* tracer;
+    std::uint64_t trace_id;
+    std::uint32_t parent;
+    // Spelled-out constructor (not default member initializers) so the
+    // `= TraceHook()` default argument below is usable while ThreadPool
+    // is still incomplete.
+    constexpr explicit TraceHook(obs::Tracer* t = nullptr,
+                                 std::uint64_t id = 0,
+                                 std::uint32_t p = 0) noexcept
+        : tracer(t), trace_id(id), parent(p) {}
+  };
+
   /// Run tasks 0..count-1 across the pool and block until all complete.
   /// If any task throws, remaining unclaimed tasks are skipped and the
   /// first exception is rethrown here (after every worker has drained).
   /// Not reentrant: one parallel_for at a time per pool.
-  void parallel_for(std::int64_t count, const Task& fn);
+  void parallel_for(std::int64_t count, const Task& fn,
+                    const TraceHook& trace = TraceHook());
 
  private:
   struct Impl;

@@ -27,6 +27,7 @@
 #include "hetsim/noise.hpp"
 #include "machine/machine_json.hpp"
 #include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
@@ -158,6 +159,10 @@ struct Request {
   Clock::time_point enqueued;
   double queue_wait_seconds = 0.0;
   double execute_seconds = 0.0;  ///< its group's total block wall time
+
+  // -- tracing (0 = this request is not sampled) -------------------------
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_root = 0;  ///< preallocated root `request` span id
 };
 
 struct TimedLine {
@@ -178,6 +183,9 @@ struct Group {
   std::vector<std::uint64_t> lane_seeds;
   std::vector<double> clocks;          ///< lanes x num_ranks
   double execute_seconds = 0.0;        ///< summed block wall time
+  // Tracer-epoch wall interval covering the group's blocks (tracing only).
+  double trace_t0 = 0.0;
+  double trace_t1 = 0.0;
 };
 
 /// One Engine::execute_batch call: lanes [start, start+width) of a group.
@@ -191,6 +199,10 @@ struct Block {
   std::size_t request = SIZE_MAX;
   double seconds = 0.0;
   std::string error;
+  // Tracing only: tracer-epoch wall interval and the block span's id.
+  double trace_t0 = 0.0;
+  double trace_t1 = 0.0;
+  std::uint32_t trace_span = 0;
 };
 
 }  // namespace
@@ -208,6 +220,49 @@ struct Service::Impl {
     }
     if (options.batch < 0) {
       throw std::invalid_argument("serve: batch must be >= 0 (0 = auto)");
+    }
+    if (options.trace) {
+      obs::Tracer::Options topts;
+      topts.rings = pool.num_threads();
+      topts.ring_capacity = std::max<std::size_t>(1, options.trace_ring_capacity);
+      topts.sample_period = std::max<std::uint64_t>(1, options.trace_sample);
+      tracer = std::make_unique<obs::Tracer>(topts);
+      for (int w = 0; w < pool.num_threads(); ++w) {
+        tracer->name_track(static_cast<std::uint16_t>(w),
+                           "serve worker " + std::to_string(w));
+      }
+      tn.request = tracer->intern("request");
+      tn.parse = tracer->intern("parse");
+      tn.queue_wait = tracer->intern("queue_wait");
+      tn.execute = tracer->intern("execute");
+      tn.error = tracer->intern("request.error");
+      tn.window = tracer->intern("window");
+      tn.render = tracer->intern("window.render");
+      tn.block = tracer->intern("serve.block");
+      tn.engine_msg = tracer->intern("engine.msg");
+      tn.engine_copy = tracer->intern("engine.copy");
+      tn.k_pattern = tracer->intern("pattern");
+      tn.k_machine = tracer->intern("machine");
+      tn.k_strategy = tracer->intern("strategy");
+      tn.k_cache = tracer->intern("cache");
+      tn.k_hit = tracer->intern("hit");
+      tn.k_miss = tracer->intern("miss");
+      tn.k_reps = tracer->intern("reps");
+      tn.k_nodes = tracer->intern("nodes");
+      tn.k_error = tracer->intern("error");
+      tn.k_requests = tracer->intern("requests");
+      tn.k_groups = tracer->intern("groups");
+      tn.k_blocks = tracer->intern("blocks");
+      tn.k_lanes = tracer->intern("lanes");
+      tn.k_group = tracer->intern("group");
+      tn.k_first_lane = tracer->intern("first_lane");
+      tn.k_src = tracer->intern("src");
+      tn.k_dst = tracer->intern("dst");
+      tn.k_bytes = tracer->intern("bytes");
+      tn.k_path = tracer->intern("path");
+      tn.k_rank = tracer->intern("rank");
+      tn.k_gpu = tracer->intern("gpu");
+      tn.k_dir = tracer->intern("dir");
     }
   }
 
@@ -227,6 +282,22 @@ struct Service::Impl {
       engines;
 
   bool shutdown = false;
+
+  // -- tracing -----------------------------------------------------------
+  /// Null = tracing off; every site below is a single pointer test.
+  std::unique_ptr<obs::Tracer> tracer;
+  /// Name/attr-key slots interned once at construction, so the hot path
+  /// never touches the intern table.
+  struct TraceNames {
+    std::uint16_t request = 0, parse = 0, queue_wait = 0, execute = 0,
+                  error = 0, window = 0, render = 0, block = 0,
+                  engine_msg = 0, engine_copy = 0;
+    std::uint16_t k_pattern = 0, k_machine = 0, k_strategy = 0, k_cache = 0,
+                  k_hit = 0, k_miss = 0, k_reps = 0, k_nodes = 0, k_error = 0,
+                  k_requests = 0, k_groups = 0, k_blocks = 0, k_lanes = 0,
+                  k_group = 0, k_first_lane = 0, k_src = 0, k_dst = 0,
+                  k_bytes = 0, k_path = 0, k_rank = 0, k_gpu = 0, k_dir = 0;
+  } tn;
 
   // -- accounting (window-driving thread only) ---------------------------
   std::int64_t requests_total = 0;
@@ -299,9 +370,9 @@ struct Service::Impl {
     if (const obs::JsonValue* cmd = doc.find("cmd")) {
       req.control = true;
       req.cmd = cmd->as_string();
-      if (req.cmd != "stats" && req.cmd != "shutdown") {
+      if (req.cmd != "stats" && req.cmd != "trace" && req.cmd != "shutdown") {
         throw std::invalid_argument("unknown cmd '" + req.cmd +
-                                    "' (stats|shutdown)");
+                                    "' (stats|trace|shutdown)");
       }
       for (const auto& member : doc.members()) {
         if (member.first != "cmd" && member.first != "id") {
@@ -523,7 +594,8 @@ struct Service::Impl {
   // Phases B+C: compile unique plans, then execute coalesced lane groups.
   // ---------------------------------------------------------------------
 
-  void execute_window(std::vector<Request>& reqs) {
+  void execute_window(std::vector<Request>& reqs, std::uint64_t wtrace,
+                      std::uint32_t wspan) {
     // Unique plan keys of this window's measured requests: one cache
     // lookup per distinct key, so N identical queries arriving together
     // cost one compile even on a cold cache.
@@ -537,24 +609,39 @@ struct Service::Impl {
       }
     }
 
+    // Queue/run spans for both fan-outs land in the *window* trace; the
+    // compile (cache.lookup / cache.build) spans land in the requesting
+    // request's trace, on the worker that ran the lookup.
+    const runtime::ThreadPool::TraceHook whook(
+        wtrace != 0 ? tracer.get() : nullptr, wtrace, wspan);
+
     pool.parallel_for(
-        static_cast<std::int64_t>(unique.size()), [&](std::int64_t u, int) {
+        static_cast<std::int64_t>(unique.size()),
+        [&](std::int64_t u, int worker) {
           Request& req = reqs[unique[static_cast<std::size_t>(u)]];
+          const obs::TraceContext ctx{
+              req.trace_id != 0 ? tracer.get() : nullptr, worker,
+              req.trace_id, req.trace_root,
+              static_cast<std::uint16_t>(worker)};
           try {
-            req.plan = plans.get_or_create(req.plan_key, [&] {
-              const auto t0 = Clock::now();
-              auto built = std::make_shared<CachedPlan>(
-                  *req.pattern, topos.at(req.engine_key),
-                  req.machine->model.params, req.strategy);
-              built->compile_seconds = seconds_between(t0, Clock::now());
-              req.compiled_here = true;
-              return built;
-            });
+            req.plan = plans.get_or_create(
+                req.plan_key,
+                [&] {
+                  const auto t0 = Clock::now();
+                  auto built = std::make_shared<CachedPlan>(
+                      *req.pattern, topos.at(req.engine_key),
+                      req.machine->model.params, req.strategy);
+                  built->compile_seconds = seconds_between(t0, Clock::now());
+                  req.compiled_here = true;
+                  return built;
+                },
+                &ctx);
             req.cache_hit = !req.compiled_here;
           } catch (const std::exception& e) {
             req.error = e.what();
           }
-        });
+        },
+        whook);
     // Duplicates adopt the representative's plan: within-window reuse is a
     // cache hit from the requester's point of view.
     {
@@ -632,12 +719,20 @@ struct Service::Impl {
       }
     }
 
+    // Engine-event merge: lane 0 of the window's first block records the
+    // engine's message/copy events, converted below onto engine-rank
+    // tracks of the window trace.  One lane per window bounds the cost;
+    // set_tracing never perturbs clocks, so replies stay bit-identical.
+    Trace engine_trace;
+    const bool merge_engine = wtrace != 0 && !blocks.empty();
+
     pool.parallel_for(
-        static_cast<std::int64_t>(blocks.size()), [&](std::int64_t bi,
-                                                      int worker) {
+        static_cast<std::int64_t>(blocks.size()),
+        [&](std::int64_t bi, int worker) {
           Block& block = blocks[static_cast<std::size_t>(bi)];
           Group& g = groups[block.group];
           const auto t0 = Clock::now();
+          const double bt0 = tracer != nullptr ? tracer->now() : 0.0;
           try {
             std::unique_ptr<Engine>& slot =
                 engines[static_cast<std::size_t>(worker)][g.engine_key];
@@ -655,18 +750,56 @@ struct Service::Impl {
                                       static_cast<std::size_t>(g.num_ranks),
                 static_cast<std::size_t>(block.width) *
                     static_cast<std::size_t>(g.num_ranks));
-            slot->execute_batch(g.plan->compiled, seeds, clocks, -1);
+            const bool etrace = merge_engine && bi == 0;
+            if (etrace) slot->set_tracing(true);
+            slot->execute_batch(g.plan->compiled, seeds, clocks,
+                                etrace ? 0 : -1);
+            if (etrace) {
+              engine_trace = slot->trace();
+              slot->set_tracing(false);
+            }
           } catch (const std::exception& e) {
             block.error = e.what();
             if (block.error.empty()) block.error = "execution failed";
           }
           block.seconds = seconds_between(t0, Clock::now());
-        });
+          if (tracer != nullptr) {
+            block.trace_t0 = bt0;
+            block.trace_t1 = tracer->now();
+          }
+          if (wtrace != 0) {
+            obs::SpanRecord s;
+            s.trace_id = wtrace;
+            s.span_id = tracer->new_span_id();
+            s.parent = wspan;
+            s.name = tn.block;
+            s.track = static_cast<std::uint16_t>(worker);
+            s.t_start = block.trace_t0;
+            s.t_end = block.trace_t1;
+            s.add_attr(tn.k_group, static_cast<std::int64_t>(block.group));
+            s.add_attr(tn.k_first_lane, block.start);
+            s.add_attr(tn.k_lanes, block.width);
+            block.trace_span = s.span_id;
+            tracer->record(worker, s);
+          }
+        },
+        whook);
 
     for (const Block& block : blocks) {
       Group& g = groups[block.group];
       g.execute_seconds += block.seconds;
       add_sample(block_samples, block.seconds);
+      if (tracer != nullptr) {
+        // Group wall interval = union of its blocks' intervals; it backs
+        // each member request's `execute` span.
+        if (g.trace_t1 == 0.0) {
+          g.trace_t0 = block.trace_t0;
+          g.trace_t1 = block.trace_t1;
+        } else {
+          g.trace_t0 = std::min(g.trace_t0, block.trace_t0);
+          g.trace_t1 = std::max(g.trace_t1, block.trace_t1);
+        }
+      }
       if (!block.error.empty()) {
         if (block.request != SIZE_MAX) {
           reqs[block.request].error = block.error;
@@ -678,6 +811,71 @@ struct Service::Impl {
       }
     }
     blocks_total += static_cast<std::int64_t>(blocks.size());
+
+    // Convert the captured engine events onto engine-rank tracks, nested
+    // inside the first block's span and scaled proportionally from
+    // simulated time into that block's wall interval (the engine reports
+    // simulated clocks; the timeline shows their *shares* of the block).
+    if (merge_engine && blocks[0].trace_span != 0 &&
+        (!engine_trace.messages.empty() || !engine_trace.copies.empty())) {
+      const Block& b0 = blocks[0];
+      double sim_total = 0.0;
+      for (const MessageTrace& m : engine_trace.messages) {
+        sim_total = std::max(sim_total, m.completion);
+      }
+      for (const CopyTrace& c : engine_trace.copies) {
+        sim_total = std::max(sim_total, c.completion);
+      }
+      if (sim_total > 0.0 && b0.trace_t1 > b0.trace_t0) {
+        const double scale = (b0.trace_t1 - b0.trace_t0) / sim_total;
+        const auto rank_track = [&](int rank) -> std::uint16_t {
+          const int t = static_cast<int>(obs::kEngineTrackBase) + rank;
+          if (rank < 0 || t > 0xffff) return 0;  // off the display range
+          tracer->name_track(static_cast<std::uint16_t>(t),
+                             "engine rank " + std::to_string(rank));
+          return static_cast<std::uint16_t>(t);
+        };
+        std::size_t budget = 256;  // bound the per-window conversion cost
+        for (const MessageTrace& m : engine_trace.messages) {
+          if (budget == 0) break;
+          const std::uint16_t track = rank_track(m.src);
+          if (track == 0) continue;
+          --budget;
+          obs::SpanRecord s;
+          s.trace_id = wtrace;
+          s.span_id = tracer->new_span_id();
+          s.parent = b0.trace_span;
+          s.name = tn.engine_msg;
+          s.track = track;
+          s.t_start = b0.trace_t0 + m.start * scale;
+          s.t_end = b0.trace_t0 + m.completion * scale;
+          s.add_attr(tn.k_src, m.src);
+          s.add_attr(tn.k_dst, m.dst);
+          s.add_attr(tn.k_bytes, m.bytes);
+          s.add_attr(tn.k_path, static_cast<std::int64_t>(m.path));
+          tracer->record(0, s);
+        }
+        for (const CopyTrace& c : engine_trace.copies) {
+          if (budget == 0) break;
+          const std::uint16_t track = rank_track(c.rank);
+          if (track == 0) continue;
+          --budget;
+          obs::SpanRecord s;
+          s.trace_id = wtrace;
+          s.span_id = tracer->new_span_id();
+          s.parent = b0.trace_span;
+          s.name = tn.engine_copy;
+          s.track = track;
+          s.t_start = b0.trace_t0 + c.start * scale;
+          s.t_end = b0.trace_t0 + c.completion * scale;
+          s.add_attr(tn.k_rank, c.rank);
+          s.add_attr(tn.k_gpu, c.gpu);
+          s.add_attr(tn.k_bytes, c.bytes);
+          s.add_attr(tn.k_dir, static_cast<std::int64_t>(c.dir));
+          tracer->record(0, s);
+        }
+      }
+    }
 
     // Serial per-request reduction in repetition order: the same fold
     // core::measure runs, so max_avg / makespan stats are bit-identical to
@@ -720,6 +918,21 @@ struct Service::Impl {
       }
       for (const std::size_t r : g.requests) {
         reqs[r].execute_seconds = g.execute_seconds;
+        if (reqs[r].trace_id != 0) {
+          // The request's measured lanes ran somewhere inside its group's
+          // wall interval (lanes coalesce, so a per-request cut does not
+          // exist); record the group interval as this request's execute
+          // span.
+          obs::SpanRecord s;
+          s.trace_id = reqs[r].trace_id;
+          s.span_id = tracer->new_span_id();
+          s.parent = reqs[r].trace_root;
+          s.name = tn.execute;
+          s.t_start = g.trace_t0;
+          s.t_end = g.trace_t1;
+          s.add_attr(tn.k_lanes, reqs[r].reps);
+          tracer->record(0, s);
+        }
       }
       execute_seconds_total += g.execute_seconds;
     }
@@ -732,6 +945,9 @@ struct Service::Impl {
   std::string render(const Request& req, Clock::time_point done) {
     obs::JsonValue doc = obs::JsonValue::object();
     doc.set("id", req.id);
+    // Every reply -- data, control or error -- reports its own latency so
+    // clients never need to time the wire themselves.
+    doc.set("latency_seconds", seconds_between(req.enqueued, done));
     if (!req.error.empty()) {
       doc.set("ok", false);
       doc.set("error", req.error);
@@ -741,6 +957,14 @@ struct Service::Impl {
     if (req.control) {
       if (req.cmd == "stats") {
         doc.set("stats", metrics());
+      } else if (req.cmd == "trace") {
+        if (tracer == nullptr) {
+          doc.set("ok", false);
+          doc.set("error",
+                  "tracing is disabled (start the server with --trace)");
+        } else {
+          doc.set("trace", tracer->to_json());
+        }
       } else {
         doc.set("shutdown", true);
       }
@@ -773,9 +997,10 @@ struct Service::Impl {
       measured.set("max_avg", req.max_avg);
       measured.set("makespan", req.makespan.to_json());
       doc.set("measured", std::move(measured));
-      obs::JsonValue cache = obs::JsonValue::object();
-      cache.set("hit", req.cache_hit);
-      doc.set("cache", std::move(cache));
+      doc.set("cache", req.cache_hit ? "hit" : "miss");
+      if (req.compiled_here) {
+        doc.set("compile_seconds", req.plan->compile_seconds);
+      }
     }
 
     obs::JsonValue timing = obs::JsonValue::object();
@@ -813,14 +1038,45 @@ struct Service::Impl {
 
   std::vector<std::string> process(std::vector<TimedLine> lines) {
     const auto window_start = Clock::now();
+    // Window trace (pool queue/run spans, execute blocks, engine events)
+    // and per-request traces draw ids from the same dense sequence, so one
+    // --trace-sample period governs both.
+    std::uint64_t wtrace = 0;
+    std::uint32_t wspan = 0;
+    if (tracer != nullptr) {
+      wtrace = tracer->begin_trace();
+      if (tracer->sampled(wtrace)) {
+        wspan = tracer->new_span_id();
+      } else {
+        wtrace = 0;
+      }
+    }
     std::vector<Request> reqs(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
       reqs[i].enqueued = lines[i].enqueued;
+      if (tracer != nullptr) {
+        const std::uint64_t id = tracer->begin_trace();
+        if (tracer->sampled(id)) {
+          reqs[i].trace_id = id;
+          reqs[i].trace_root = tracer->new_span_id();
+        }
+      }
+      const double parse_t0 = tracer != nullptr ? tracer->now() : 0.0;
       try {
         parse_request(lines[i].text, reqs[i]);
       } catch (const std::exception& e) {
         reqs[i].error = e.what();
         if (reqs[i].error.empty()) reqs[i].error = "bad request";
+      }
+      if (reqs[i].trace_id != 0) {
+        obs::SpanRecord s;
+        s.trace_id = reqs[i].trace_id;
+        s.span_id = tracer->new_span_id();
+        s.parent = reqs[i].trace_root;
+        s.name = tn.parse;
+        s.t_start = parse_t0;
+        s.t_end = tracer->now();
+        tracer->record(0, s);
       }
       if (reqs[i].control && reqs[i].cmd == "shutdown") shutdown = true;
     }
@@ -829,15 +1085,92 @@ struct Service::Impl {
     for (Request& req : reqs) {
       req.queue_wait_seconds = seconds_between(
           req.enqueued, req.reps > 0 ? exec_start : window_start);
+      if (req.trace_id != 0 && !req.control) {
+        // Exactly the interval the response's timing.queue_wait_seconds
+        // reports.
+        obs::SpanRecord s;
+        s.trace_id = req.trace_id;
+        s.span_id = tracer->new_span_id();
+        s.parent = req.trace_root;
+        s.name = tn.queue_wait;
+        s.t_start = tracer->seconds_since_epoch(req.enqueued);
+        s.t_end = s.t_start + req.queue_wait_seconds;
+        tracer->record(0, s);
+      }
     }
-    execute_window(reqs);
+    execute_window(reqs, wtrace, wspan);
 
     std::vector<std::string> out;
     out.reserve(reqs.size());
     const auto done = Clock::now();
+    const double render_t0 = wtrace != 0 ? tracer->now() : 0.0;
     for (Request& req : reqs) {
       account(req, done);
       out.push_back(render(req, done));
+    }
+    if (wtrace != 0) {
+      obs::SpanRecord s;
+      s.trace_id = wtrace;
+      s.span_id = tracer->new_span_id();
+      s.parent = wspan;
+      s.name = tn.render;
+      s.t_start = render_t0;
+      s.t_end = tracer->now();
+      tracer->record(0, s);
+    }
+    if (tracer != nullptr) {
+      const double done_s = tracer->seconds_since_epoch(done);
+      for (Request& req : reqs) {
+        if (req.trace_id == 0) continue;
+        if (!req.error.empty()) {
+          // Structured error marker: a zero-width child span carrying the
+          // (truncated) message as an interned attribute.
+          obs::SpanRecord e;
+          e.trace_id = req.trace_id;
+          e.span_id = tracer->new_span_id();
+          e.parent = req.trace_root;
+          e.name = tn.error;
+          e.t_start = done_s;
+          e.t_end = done_s;
+          e.add_attr_slot(tn.k_error,
+                          tracer->intern(req.error.substr(0, 64)));
+          tracer->record(0, e);
+        }
+        // Root span [enqueued, done]: its duration IS the reply's
+        // latency_seconds, by construction.
+        obs::SpanRecord s;
+        s.trace_id = req.trace_id;
+        s.span_id = req.trace_root;
+        s.parent = 0;
+        s.name = tn.request;
+        s.t_start = tracer->seconds_since_epoch(req.enqueued);
+        s.t_end = done_s;
+        if (req.pattern) {
+          s.add_attr(tn.k_pattern, static_cast<std::int64_t>(req.pattern_fp));
+        }
+        if (req.machine != nullptr) {
+          s.add_attr_slot(tn.k_machine,
+                          tracer->intern(req.machine->model.name));
+        }
+        if (!req.control && req.error.empty() && req.reps > 0) {
+          s.add_attr_slot(tn.k_strategy, tracer->intern(req.strategy.name()));
+          s.add_attr_slot(tn.k_cache, req.cache_hit ? tn.k_hit : tn.k_miss);
+        }
+        s.add_attr(tn.k_reps, req.reps);
+        s.add_attr(tn.k_nodes, req.nodes);
+        tracer->record(0, s);
+      }
+      if (wtrace != 0) {
+        obs::SpanRecord s;
+        s.trace_id = wtrace;
+        s.span_id = wspan;
+        s.parent = 0;
+        s.name = tn.window;
+        s.t_start = tracer->seconds_since_epoch(window_start);
+        s.t_end = tracer->now();
+        s.add_attr(tn.k_requests, static_cast<std::int64_t>(lines.size()));
+        tracer->record(0, s);
+      }
     }
     windows += 1;
     window_max = std::max(window_max,
@@ -946,6 +1279,18 @@ std::vector<std::string> Service::handle_window(
 bool Service::shutdown_requested() const noexcept { return impl_->shutdown; }
 
 obs::JsonValue Service::metrics_json() const { return impl_->metrics(); }
+
+bool Service::tracing_enabled() const noexcept {
+  return impl_->tracer != nullptr;
+}
+
+obs::JsonValue Service::trace_json() const {
+  if (impl_->tracer == nullptr) {
+    throw std::logic_error(
+        "serve: tracing is disabled (enable ServiceOptions::trace)");
+  }
+  return impl_->tracer->to_json();
+}
 
 namespace {
 

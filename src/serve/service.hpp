@@ -35,10 +35,10 @@
 // response echoes the pattern's fingerprint).  `reps: 0` answers with the
 // model ranking only; `"rank": false` (with an explicit strategy) skips the
 // advisor sweep and omits recommended/ranking -- the hot-path shape for
-// measurement-only clients.  Control lines {"cmd": "stats"} and
-// {"cmd": "shutdown"} report live metrics / stop the server.  Malformed
-// requests produce {"ok": false, "error": ...} responses, never a dead
-// server.
+// measurement-only clients.  Control lines {"cmd": "stats"},
+// {"cmd": "trace"} and {"cmd": "shutdown"} report live metrics / snapshot
+// the span trace / stop the server.  Malformed requests produce
+// {"ok": false, "error": ...} responses, never a dead server.
 
 #include <cstddef>
 #include <cstdint>
@@ -74,6 +74,15 @@ struct ServiceOptions {
   std::string default_machine = "lassen";
   /// Measurement noise level, matching the CLI's measure defaults.
   double noise_sigma = 0.02;
+  /// Span tracing (hetcomm.trace.v1; see docs/tracing.md).  false = no
+  /// tracer is constructed and every instrumentation site is one null
+  /// check; true = record request/window span trees, sampled per request.
+  bool trace = false;
+  /// Keep every Nth request trace (1 = all).  Window-level traces sample
+  /// on the same dense id sequence.
+  std::uint64_t trace_sample = 1;
+  /// Spans retained per worker ring before drop-oldest kicks in.
+  std::size_t trace_ring_capacity = 8192;
 };
 
 class Service {
@@ -108,6 +117,13 @@ class Service {
 
   /// Live service metrics as the hetcomm.metrics.v1 serve artifact.
   [[nodiscard]] obs::JsonValue metrics_json() const;
+
+  [[nodiscard]] bool tracing_enabled() const noexcept;
+
+  /// Snapshot the span rings as the hetcomm.trace.v1 artifact (also
+  /// reachable live via the {"cmd": "trace"} control line).  Throws
+  /// std::logic_error when the service was built without tracing.
+  [[nodiscard]] obs::JsonValue trace_json() const;
 
  private:
   struct Impl;

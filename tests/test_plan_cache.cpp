@@ -3,11 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace hetcomm::runtime {
 namespace {
@@ -122,6 +127,81 @@ TEST(PlanCacheTest, EvictedValueStaysAliveForHolders) {
   (void)cache.get_or_create(2, [] { return boxed(22); });  // evicts key 1
   EXPECT_EQ(cache.stats().evictions, 1);
   EXPECT_EQ(*first, 11);  // shared_ptr keeps the evicted value valid
+}
+
+TEST(PlanCacheTest, EvictionCounterIsExactAcrossRefreshes) {
+  // Single shard, capacity 2: insert three keys with an interleaved
+  // refresh and account for every eviction individually.
+  ShardedLruCache<int> cache(1, 2);
+  (void)cache.get_or_create(10, [] { return boxed(10); });
+  (void)cache.get_or_create(20, [] { return boxed(20); });
+  EXPECT_EQ(cache.stats().evictions, 0);  // still within capacity
+  (void)cache.get_or_create(30, [] { return boxed(30); });  // evicts 10
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.find(10), nullptr);  // 10 is gone...
+  ASSERT_NE(cache.find(20), nullptr);  // ...20 and 30 survive
+  ASSERT_NE(cache.find(30), nullptr);
+  (void)cache.get_or_create(40, [] { return boxed(40); });  // evicts 20
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(PlanCacheTest, LostBuildRaceCountsOneAdoption) {
+  // Two threads miss the same key; a barrier inside the builder guarantees
+  // both builds actually run, so exactly one caller must adopt the other's
+  // value -- and the adoption counter must say so.
+  ShardedLruCache<int> cache(1, 8);
+  std::mutex mu;
+  std::condition_variable cv;
+  int building = 0;
+  const auto make = [&] {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++building;
+      cv.notify_all();
+      cv.wait(lock, [&] { return building == 2; });
+    }
+    return boxed(77);
+  };
+  std::shared_ptr<const int> a, b;
+  std::thread ta([&] { a = cache.get_or_create(5, make); });
+  std::thread tb([&] { b = cache.get_or_create(5, make); });
+  ta.join();
+  tb.join();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // the loser adopted the resident value
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.adoptions, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(PlanCacheTest, TracedLookupRecordsOutcomeSpans) {
+  ShardedLruCache<int> cache(1, 8);
+  obs::Tracer::Options topts;
+  topts.rings = 1;
+  topts.ring_capacity = 64;
+  obs::Tracer tracer(topts);
+  const obs::TraceContext ctx{&tracer, 0, tracer.begin_trace(), 0, 0};
+  (void)cache.get_or_create(3, [] { return boxed(3); }, &ctx);  // build
+  (void)cache.get_or_create(3, [] { return boxed(-3); }, &ctx);  // hit
+  const obs::JsonValue doc = tracer.to_json();
+  const obs::JsonValue& spans = doc.at("spans");
+  int lookups = 0, builds = 0;
+  std::vector<std::string> outcomes;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::JsonValue& s = spans.at(i);
+    const std::string name = s.at("name").as_string();
+    if (name == "cache.build") ++builds;
+    if (name != "cache.lookup") continue;
+    ++lookups;
+    outcomes.push_back(s.at("attrs").at("outcome").as_string());
+  }
+  EXPECT_EQ(lookups, 2);
+  EXPECT_EQ(builds, 1);  // only the miss ran the builder
+  EXPECT_EQ(outcomes, (std::vector<std::string>{"build", "hit"}));
 }
 
 TEST(PlanCacheTest, ConcurrentStressKeepsCountersAndSharingExact) {
