@@ -413,7 +413,7 @@ int cmd_compare(const Options& opts, std::ostream& os) {
   };
   // One sweep cell per strategy; each cell compiles and simulates its plan.
   const std::vector<core::StrategyConfig> strategies =
-      core::table5_strategies();
+      core::all_strategies();
   const std::vector<Row> rows = runtime::sweep(
       strategies,
       [&](const core::StrategyConfig& cfg) {
@@ -470,7 +470,7 @@ int cmd_model(const Options& opts, std::ostream& os) {
   // Model evaluation fans across the sweep pool too -- cheap per cell, but
   // the same --jobs plumbing as `compare`, and rows stay in Table 5 order.
   const std::vector<core::StrategyConfig> strategies =
-      core::table5_strategies();
+      core::all_strategies();
   const std::vector<double> predicted = runtime::sweep(
       strategies,
       [&](const core::StrategyConfig& cfg) {
@@ -710,6 +710,25 @@ int cmd_report(const Options& opts, std::ostream& os) {
   }
   emit(opts, os, contention, "contention by resource");
 
+  if (!report.nic.empty()) {
+    // Rail balance: striped runs should show near-even striped bytes
+    // across each node's lanes; a skewed column means the stripe lowering
+    // or the machine's rail count is off.
+    Table nics({"nic", "node", "lane", "bytes", "striped", "stripe share"});
+    for (const obs::NicStat& n : report.nic) {
+      const double share =
+          n.bytes_injected > 0
+              ? 100.0 * static_cast<double>(n.striped_bytes) /
+                    static_cast<double>(n.bytes_injected)
+              : 0.0;
+      nics.add_row({std::to_string(n.nic), std::to_string(n.node),
+                    std::to_string(n.lane), std::to_string(n.bytes_injected),
+                    std::to_string(n.striped_bytes),
+                    Table::num(share, 1) + "%"});
+    }
+    emit(opts, os, nics, "NIC egress by rail (per repetition)");
+  }
+
   if (!report.copies.empty()) {
     Table copies({"dir", "sharing", "count", "bytes", "time [s]"});
     for (const obs::CopyStat& c : report.copies) {
@@ -731,6 +750,12 @@ int cmd_report(const Options& opts, std::ostream& os) {
     for (const obs::FaultPathStat& f : report.faults.degraded) {
       fault_table.add_row({"degraded time [s] (" + f.path + ")",
                            Table::sci(f.degraded_seconds)});
+    }
+    for (std::size_t r = 0; r < report.faults.rail_retries.size(); ++r) {
+      if (report.faults.rail_retries[r] == 0) continue;
+      fault_table.add_row(
+          {"retries (rail " + std::to_string(r) + ")",
+           std::to_string(report.faults.rail_retries[r])});
     }
     emit(opts, os, fault_table, "fault activity (per sampled repetition)");
   }
@@ -885,17 +910,45 @@ int cmd_machine(const Options& opts, std::ostream& os) {
     if (!m.description.empty()) os << "  " << m.description << "\n";
     os << "node shape: " << m.node.sockets_per_node << " sockets x "
        << m.node.gpus_per_socket << " GPUs x " << m.node.cores_per_socket
-       << " cores; " << m.params.injection.nics_per_node
-       << " NIC lane(s) per node\n";
+       << " cores\n";
+    const int rails = std::max(1, m.params.injection.nics_per_node);
+    os << "NIC rails: " << rails << " lane(s) per node";
+    if (m.params.injection.inv_rate_cpu > 0.0) {
+      os << "; per-lane rate " << Table::sci(
+             1.0 / m.params.injection.inv_rate_cpu) << " B/s staged";
+      if (m.params.injection.inv_rate_gpu > 0.0) {
+        os << ", " << Table::sci(1.0 / m.params.injection.inv_rate_gpu)
+           << " B/s device-aware";
+      }
+    }
+    os << "\n";
     os << "thresholds: short <= " << m.params.thresholds.short_max
        << " B, eager <= " << m.params.thresholds.eager_max << " B\n";
-    Table classes({"id", "path class", "locality"});
+    // Per-path-class rail/lane view: off-node classes fan out across the
+    // node's NIC rails (home lane = socket % rails, stripable above the
+    // rendezvous switch point); on-node classes ride the port pair and
+    // never touch a NIC lane.
+    Table classes(
+        {"id", "path class", "locality", "rails", "home lane", "striping"});
     for (int c = 0; c < m.params.taxonomy.num_classes(); ++c) {
       const PathClassDef& def = m.params.taxonomy.cls(c);
-      classes.add_row(
-          {std::to_string(c), def.name, to_string(def.locality)});
+      const bool off = def.locality == PathClass::OffNode;
+      std::string lane = "port pair (no NIC)";
+      std::string stripe = "n/a (on-node)";
+      if (off) {
+        lane = rails > 1
+                   ? "node*" + std::to_string(rails) + " + socket%" +
+                         std::to_string(rails)
+                   : "node";
+        stripe = rails > 1 ? "rendezvous msgs (> " +
+                                 std::to_string(m.params.thresholds.eager_max) +
+                                 " B)"
+                           : "n/a (single rail)";
+      }
+      classes.add_row({std::to_string(c), def.name, to_string(def.locality),
+                       off ? std::to_string(rails) : "1", lane, stripe});
     }
-    emit(opts, os, classes, "path classes");
+    emit(opts, os, classes, "path classes (rail/lane topology)");
     Table rules({"#", "same node", "same socket", "both GPU owners", "path"});
     int idx = 0;
     for (const PathRule& r : m.params.taxonomy.rules()) {

@@ -9,7 +9,7 @@ std::vector<Recommendation> Advisor::rank(const CommPattern& pattern,
                                           const AdvisorOptions& options) const {
   const PatternStats stats = compute_stats(pattern, topo_);
   std::vector<Recommendation> out;
-  for (const StrategyConfig& cfg : table5_strategies()) {
+  for (const StrategyConfig& cfg : all_strategies()) {
     if (options.staged_only && cfg.transport == MemSpace::Device) continue;
     out.push_back(
         {cfg, models::predict(cfg, stats, params_, topo_, options.predict),

@@ -22,6 +22,44 @@ void check_rank(int rank, int num_ranks, const char* what) {
   }
 }
 
+/// Validate a depends_on edge against the ops already compiled for this
+/// phase and return the gating *message* index, or -1 when the dependency
+/// compiles away (a copy/pack target on the same rank is already ordered
+/// by blocking posting).  `op_rank` is the dependent op's executing rank
+/// (the source rank for messages).
+std::int32_t resolve_dep(const CompiledPhase& out, int depends_on,
+                         int op_rank, bool dependent_is_message) {
+  if (depends_on < 0) return -1;
+  if (depends_on >= static_cast<int>(out.steps.size())) {
+    throw std::invalid_argument(
+        "CompiledPlan: depends_on " + std::to_string(depends_on) +
+        " does not reference an earlier op in the same phase");
+  }
+  const CompiledStep target = out.steps[static_cast<std::size_t>(depends_on)];
+  if (target.kind == StepKind::Message) {
+    if (!dependent_is_message) {
+      // Copies/packs execute during the posting pass, before any message
+      // completes; such an edge could never be honored.
+      throw std::invalid_argument(
+          "CompiledPlan: copy/pack op cannot depend on a message");
+    }
+    return static_cast<std::int32_t>(target.index);
+  }
+  const int target_rank =
+      target.kind == StepKind::Copy
+          ? out.copies[target.index].rank
+          : out.packs[target.index].rank;
+  if (target_rank != op_rank) {
+    // Blocking posting only orders ops on the same rank's clock; a
+    // cross-rank copy dep would silently not gate anything.
+    throw std::invalid_argument(
+        "CompiledPlan: depends_on targets a copy/pack on rank " +
+        std::to_string(target_rank) + " but the dependent op runs on rank " +
+        std::to_string(op_rank));
+  }
+  return -1;  // ordered by the posting pass; no scheduling edge needed
+}
+
 }  // namespace
 
 CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
@@ -50,10 +88,17 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
             throw std::invalid_argument(
                 "CompiledPlan: negative message size");
           }
+          const int lanes = std::max(1, nic_lanes_);
+          if (op.rail >= lanes) {
+            throw std::invalid_argument(
+                "CompiledPlan: rail " + std::to_string(op.rail) + " >= " +
+                std::to_string(lanes) + " NIC lane(s)");
+          }
           CompiledPhase::MessageSchedule msg;
           msg.src = op.src_rank;
           msg.dst = op.dst_rank;
           msg.bytes = op.bytes;
+          msg.rail = static_cast<std::int8_t>(op.rail < 0 ? -1 : op.rail);
           const std::uint8_t path_id = paths.path_of(op.src_rank, op.dst_rank);
           const PathClass path = paths.locality_of(path_id);
           const Protocol proto = params.thresholds.select(op.space, op.bytes);
@@ -73,15 +118,25 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
                                         : params.injection.inv_rate_gpu;
             msg.src_node = topo.node_of_rank(op.src_rank);
             msg.dst_node = topo.node_of_rank(op.dst_rank);
-            msg.src_nic =
-                params.injection.nic_of(topo.rank_location(op.src_rank));
-            msg.dst_nic =
-                params.injection.nic_of(topo.rank_location(op.dst_rank));
+            if (op.rail >= 0) {
+              // Explicit rail assignment (striped plans): pin both
+              // endpoints to the rail's NIC pair, overriding the
+              // hash-to-lane default.
+              msg.src_nic = msg.src_node * lanes + op.rail;
+              msg.dst_nic = msg.dst_node * lanes + op.rail;
+            } else {
+              msg.src_nic =
+                  params.injection.nic_of(topo.rank_location(op.src_rank));
+              msg.dst_nic =
+                  params.injection.nic_of(topo.rank_location(op.dst_rank));
+            }
             msg.nic_occupancy =
                 inv_rate * size + params.overheads.nic_message_overhead;
             out.network_bytes += op.bytes;
             ++out.network_messages;
           }
+          out.msg_dep.push_back(
+              resolve_dep(out, op.depends_on, op.src_rank, true));
           out.steps.push_back(
               {StepKind::Message,
                static_cast<std::uint32_t>(out.messages.size())});
@@ -116,6 +171,7 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
               params.overheads.dma_op_overhead +
               raw.beta * static_cast<double>(op.bytes) / op.sharing_procs;
           copy.duration_base = cp.time(op.bytes);
+          resolve_dep(out, op.depends_on, op.rank, false);
           out.steps.push_back(
               {StepKind::Copy, static_cast<std::uint32_t>(out.copies.size())});
           out.copies.push_back(copy);
@@ -131,6 +187,7 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
           pack.bytes = op.bytes;
           pack.duration_base = params.overheads.pack_per_byte *
                                static_cast<double>(op.bytes);
+          resolve_dep(out, op.depends_on, op.rank, false);
           out.steps.push_back(
               {StepKind::Pack, static_cast<std::uint32_t>(out.packs.size())});
           out.packs.push_back(pack);
@@ -159,6 +216,36 @@ CompiledPlan::CompiledPlan(const CommPlan& plan, const Topology& topo,
     // this hoists away.
     out.recv_of_send.resize(out.messages.size());
     std::iota(out.recv_of_send.begin(), out.recv_of_send.end(), 0u);
+
+    // Dependency waves: bucket messages by dep-chain depth.  msg_dep edges
+    // always point at earlier messages (resolve_dep enforces it), so one
+    // forward pass computes depths and acyclicity is structural.  Phases
+    // without message-to-message deps leave wave_begin empty and keep the
+    // historical single-sort schedule path.
+    std::vector<std::int32_t> depth(out.messages.size(), 0);
+    std::int32_t max_depth = 0;
+    for (std::size_t i = 0; i < out.messages.size(); ++i) {
+      const std::int32_t d = out.msg_dep[i];
+      if (d < 0) continue;
+      depth[i] = depth[static_cast<std::size_t>(d)] + 1;
+      max_depth = std::max(max_depth, depth[i]);
+    }
+    if (max_depth > 0) {
+      out.wave_begin.assign(static_cast<std::size_t>(max_depth) + 2, 0);
+      for (const std::int32_t d : depth) {
+        ++out.wave_begin[static_cast<std::size_t>(d) + 1];
+      }
+      for (std::size_t w = 1; w < out.wave_begin.size(); ++w) {
+        out.wave_begin[w] += out.wave_begin[w - 1];
+      }
+      out.wave_members.resize(out.messages.size());
+      std::vector<std::uint32_t> cursor(out.wave_begin.begin(),
+                                        out.wave_begin.end() - 1);
+      for (std::size_t i = 0; i < out.messages.size(); ++i) {
+        out.wave_members[cursor[static_cast<std::size_t>(depth[i])]++] =
+            static_cast<std::uint32_t>(i);
+      }
+    }
 
     phases_.push_back(std::move(out));
   }
@@ -220,6 +307,28 @@ void sort_schedule_order(std::vector<std::uint32_t>& order,
     order.resize(count);
     std::sort(keyed.begin(), keyed.end());
   }
+  for (std::size_t k = 0; k < count; ++k) order[k] = keyed[k].second;
+}
+
+/// Subset variant of sort_schedule_order for one dependency wave: sorts the
+/// explicit `members` list into (ready, index) order.  Always a cold sort --
+/// the warm-start cache slots are shared across plans on a reused engine,
+/// and a stale hint with the *wrong membership* would schedule the wrong
+/// messages, so wave scheduling never reads or writes that cache.
+void sort_wave_order(std::vector<std::uint32_t>& order,
+                     std::vector<std::pair<std::uint64_t, std::uint32_t>>&
+                         keyed,
+                     const std::uint32_t* members, std::size_t count,
+                     const double* ready) {
+  keyed.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t i = members[k];
+    std::uint64_t bits;
+    std::memcpy(&bits, &ready[i], sizeof bits);
+    keyed[k] = {bits, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  order.resize(count);
   for (std::size_t k = 0; k < count; ++k) order[k] = keyed[k].second;
 }
 
@@ -324,20 +433,13 @@ void Engine::execute(const core::CompiledPlan& plan) {
                          post_recv_scratch_[phase.recv_of_send[i]])
               : post_send_scratch_[i];
     }
-    // Posting order is send-seq order, so this is the same strict total
-    // order resolve() sorts by; the schedule sequence (and with it the
-    // noise-draw sequence) is bit-identical.  The per-phase cache warm-
-    // starts the sort from the previous repetition's order.
-    sort_schedule_order(sched_order, sched_key_scratch_, num_messages,
-                        ready_scratch_.data());
-
     // ---- Schedule: only queueing, one noise draw, clock advancement. ----
     // Mirrors Engine::schedule's send/resend loop step for step (same
     // resource order, same metric hooks, same fault helpers), so faulted
     // runs stay bit-identical across the two engine modes.
-    for (const std::uint32_t i : sched_order) {
+    const auto schedule_message = [&](std::uint32_t i,
+                                      double ready0) -> double {
       const core::CompiledPhase::MessageSchedule& msg = phase.messages[i];
-      const double ready0 = ready_scratch_[i];
 
       FaultMsgState fst;
       fst.send_occupancy = msg.send_occupancy;
@@ -366,6 +468,7 @@ void Engine::execute(const core::CompiledPlan& plan) {
       double ready = ready0;
       double t = 0.0;
       double completion = 0.0;
+      std::int32_t egress_server = -1;  ///< last attempt's NIC lane server
       for (int attempt = 0;;) {
         t = send_port_[msg.src].acquire(ready, fst.send_occupancy);
         if (metrics_inv_) {
@@ -389,13 +492,15 @@ void Engine::execute(const core::CompiledPlan& plan) {
                                          fault_path);
             if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
           }
+          egress_server = out_server;
           const double t_out =
               nic_out_[out_server].acquire(t, fst.nic_occupancy_src);
           if (metrics_inv_) {
             metrics_inv_->on_occupancy(obs::SimResource::NicOut,
                                        fst.nic_occupancy_src);
             if (attempt == 0) {
-              metrics_inv_->on_nic_egress(msg.src_node, msg.bytes);
+              metrics_inv_->on_nic_egress(out_server, msg.bytes,
+                                          msg.rail >= 0);
             }
           }
           if (metrics_smp_) {
@@ -450,7 +555,13 @@ void Engine::execute(const core::CompiledPlan& plan) {
             throw_retries_exhausted(msg.src, msg.dst, fault_path, attempt);
           }
           const double delay = retry_delay(fst.loss->retry, attempt - 1);
-          if (metrics_smp_) metrics_smp_->on_fault_retry(delay);
+          if (metrics_smp_) {
+            const int lanes = std::max(1, params_.injection.nics_per_node);
+            metrics_smp_->on_fault_retry(
+                delay, egress_server < 0
+                           ? -1
+                           : egress_server - msg.src_node * lanes);
+          }
           ready = completion + delay;
           continue;
         }
@@ -467,6 +578,47 @@ void Engine::execute(const core::CompiledPlan& plan) {
         trace_.messages.push_back({msg.src, msg.dst, msg.bytes, meta.tag,
                                    meta.space, meta.protocol, meta.path,
                                    ready0, t, completion});
+      }
+      return completion;
+    };
+
+    if (phase.num_waves() == 1) {
+      // Posting order is send-seq order, so this is the same strict total
+      // order resolve() sorts by; the schedule sequence (and with it the
+      // noise-draw sequence) is bit-identical.  The per-phase cache warm-
+      // starts the sort from the previous repetition's order.
+      sort_schedule_order(sched_order, sched_key_scratch_, num_messages,
+                          ready_scratch_.data());
+      for (const std::uint32_t i : sched_order) {
+        schedule_message(i, ready_scratch_[i]);
+      }
+    } else {
+      // Dependency waves (split plans): a dependent message is ready no
+      // earlier than its gating chunk's completion.  Each wave sorts its
+      // own members cold -- see sort_wave_order on why the warm cache
+      // must not be used here.
+      matched_completion_scratch_.assign(num_messages, 0.0);
+      for (std::size_t w = 0; w + 1 < phase.wave_begin.size(); ++w) {
+        const std::uint32_t* members =
+            phase.wave_members.data() + phase.wave_begin[w];
+        const std::size_t count = phase.wave_begin[w + 1] -
+                                  phase.wave_begin[w];
+        for (std::size_t k = 0; k < count; ++k) {
+          const std::uint32_t i = members[k];
+          const std::int32_t d = phase.msg_dep[i];
+          if (d >= 0) {
+            ready_scratch_[i] =
+                std::max(ready_scratch_[i],
+                         matched_completion_scratch_[
+                             static_cast<std::size_t>(d)]);
+          }
+        }
+        sort_wave_order(wave_order_scratch_, sched_key_scratch_, members,
+                        count, ready_scratch_.data());
+        for (const std::uint32_t i : wave_order_scratch_) {
+          matched_completion_scratch_[i] =
+              schedule_message(i, ready_scratch_[i]);
+        }
       }
     }
     network_bytes_ += phase.network_bytes;
@@ -672,18 +824,15 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
                            lane_post_recv_[phase.recv_of_send[i] * L + l])
                 : lane_post_send_[i * L + l];
       }
-      sort_schedule_order(sched_order, sched_key_scratch_, num_messages,
-                          lane_ready_.data());
 
       // The metrics tiers record lane 0 only (core::measure samples rep 0);
       // the traced lane records trace events.
       obs::EngineMetrics* minv = l == 0 ? metrics_inv_ : nullptr;
       obs::EngineMetrics* msmp = l == 0 ? metrics_smp_ : nullptr;
       const bool trc = traced && static_cast<int>(l) == traced_lane;
-      try {
-        for (const std::uint32_t i : sched_order) {
+      const auto schedule_message = [&](std::uint32_t i,
+                                        double ready0) -> double {
           const core::CompiledPhase::MessageSchedule& msg = phase.messages[i];
-          const double ready0 = lane_ready_[i];
 
           FaultMsgState fst;
           fst.send_occupancy = msg.send_occupancy;
@@ -713,6 +862,7 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
           double ready = ready0;
           double t = 0.0;
           double completion = 0.0;
+          std::int32_t egress_server = -1;  ///< last attempt's NIC server
           BusyServer& send_port =
               lane_send_port_[static_cast<std::size_t>(msg.src) * L + l];
           for (int attempt = 0;;) {
@@ -738,6 +888,7 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
                                              fault_path);
                 if (failover && msmp) msmp->on_fault_failover();
               }
+              egress_server = out_server;
               const double t_out =
                   lane_nic_out_[static_cast<std::size_t>(out_server) * L + l]
                       .acquire(t, fst.nic_occupancy_src);
@@ -745,7 +896,7 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
                 minv->on_occupancy(obs::SimResource::NicOut,
                                    fst.nic_occupancy_src);
                 if (attempt == 0) {
-                  minv->on_nic_egress(msg.src_node, msg.bytes);
+                  minv->on_nic_egress(out_server, msg.bytes, msg.rail >= 0);
                 }
               }
               if (msmp) {
@@ -802,7 +953,15 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
                                         attempt);
               }
               const double delay = retry_delay(fst.loss->retry, attempt - 1);
-              if (msmp) msmp->on_fault_retry(delay);
+              if (msmp) {
+                const int lanes_per_node =
+                    std::max(1, params_.injection.nics_per_node);
+                msmp->on_fault_retry(
+                    delay, egress_server < 0
+                               ? -1
+                               : egress_server -
+                                     msg.src_node * lanes_per_node);
+              }
               ready = completion + delay;
               continue;
             }
@@ -824,6 +983,43 @@ void Engine::execute_batch(const core::CompiledPlan& plan,
             trace_.messages.push_back({msg.src, msg.dst, msg.bytes, meta.tag,
                                        meta.space, meta.protocol, meta.path,
                                        ready0, t, completion});
+          }
+          return completion;
+      };
+      try {
+        if (phase.num_waves() == 1) {
+          sort_schedule_order(sched_order, sched_key_scratch_, num_messages,
+                              lane_ready_.data());
+          for (const std::uint32_t i : sched_order) {
+            schedule_message(i, lane_ready_[i]);
+          }
+        } else {
+          // Dependency waves, per lane: adjust each dependent message's
+          // ready time by its gating chunk's completion in this lane, then
+          // cold-sort the wave (the shared warm cache is never used with a
+          // subset membership; see sort_wave_order).
+          matched_completion_scratch_.assign(num_messages, 0.0);
+          for (std::size_t w = 0; w + 1 < phase.wave_begin.size(); ++w) {
+            const std::uint32_t* members =
+                phase.wave_members.data() + phase.wave_begin[w];
+            const std::size_t count =
+                phase.wave_begin[w + 1] - phase.wave_begin[w];
+            for (std::size_t k = 0; k < count; ++k) {
+              const std::uint32_t i = members[k];
+              const std::int32_t d = phase.msg_dep[i];
+              if (d >= 0) {
+                lane_ready_[i] =
+                    std::max(lane_ready_[i],
+                             matched_completion_scratch_[
+                                 static_cast<std::size_t>(d)]);
+              }
+            }
+            sort_wave_order(wave_order_scratch_, sched_key_scratch_, members,
+                            count, lane_ready_.data());
+            for (const std::uint32_t i : wave_order_scratch_) {
+              matched_completion_scratch_[i] =
+                  schedule_message(i, lane_ready_[i]);
+            }
           }
         }
         network_bytes_ += phase.network_bytes;

@@ -65,6 +65,7 @@ struct CompiledPhase {
     std::int32_t dst_node = -1;
     std::int32_t src_nic = -1;     ///< NIC-lane server index (off-node)
     std::int32_t dst_nic = -1;
+    std::int8_t rail = -1;         ///< explicit NIC lane (-1 = hashed)
     bool off_node = false;
     bool rendezvous = false;       ///< ready waits for the receive posting
   };
@@ -83,6 +84,21 @@ struct CompiledPhase {
   /// receive posted by the same op -- this is the identity permutation, but
   /// compilation derives it from first principles.)
   std::vector<std::uint32_t> recv_of_send;
+  /// Message-to-message dependency: messages[i] becomes ready no earlier
+  /// than messages[msg_dep[i]]'s completion (-1 = independent).  Deps on
+  /// copies/packs compile away -- blocking posting on the sending rank
+  /// already orders them -- so only message targets appear here.
+  std::vector<std::int32_t> msg_dep;
+  /// Dependency waves: when any msg_dep edge exists, wave w's message
+  /// indices are wave_members[wave_begin[w] .. wave_begin[w+1]), bucketed
+  /// by dep-chain depth, index-ascending within a wave.  Empty wave_begin
+  /// means one wave of all messages -- the historical schedule path with
+  /// its warm-start sort cache.
+  std::vector<std::uint32_t> wave_members;
+  std::vector<std::uint32_t> wave_begin;
+  [[nodiscard]] std::size_t num_waves() const noexcept {
+    return wave_begin.empty() ? 1 : wave_begin.size() - 1;
+  }
 
   // -- Copies ------------------------------------------------------------
   struct CopyOp {

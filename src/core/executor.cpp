@@ -28,11 +28,43 @@ void check_clock_span(const Engine& engine, std::span<double> clocks_out) {
 void run_plan(Engine& engine, const CommPlan& plan,
               std::span<double> clocks_out) {
   check_clock_span(engine, clocks_out);
+  // Split plans (rails / dependency edges) thread per-op state into isend;
+  // the scan keeps dep-free plans on the exact historical posting loop.
+  bool has_split_ops = false;
   for (const PlanPhase& phase : plan.phases) {
     for (const PlanOp& op : phase.ops) {
+      if (op.rail >= 0 || op.depends_on >= 0) {
+        has_split_ops = true;
+        break;
+      }
+    }
+    if (has_split_ops) break;
+  }
+  std::vector<int> send_req;  // phase-local op index -> isend request id
+  for (const PlanPhase& phase : plan.phases) {
+    if (has_split_ops) send_req.assign(phase.ops.size(), -1);
+    for (std::size_t oi = 0; oi < phase.ops.size(); ++oi) {
+      const PlanOp& op = phase.ops[oi];
       switch (op.type) {
         case OpType::Message:
-          engine.isend(op.src_rank, op.dst_rank, op.bytes, op.tag, op.space);
+          if (!has_split_ops) {
+            engine.isend(op.src_rank, op.dst_rank, op.bytes, op.tag,
+                         op.space);
+          } else {
+            // Only message-target deps reach the engine: deps on copies or
+            // packs are already enforced by blocking posting on the
+            // sender's clock (the engine would reject them as non-send
+            // request ids).
+            int dep_req = -1;
+            if (op.depends_on >= 0 &&
+                static_cast<std::size_t>(op.depends_on) < phase.ops.size() &&
+                phase.ops[static_cast<std::size_t>(op.depends_on)].type ==
+                    OpType::Message) {
+              dep_req = send_req[static_cast<std::size_t>(op.depends_on)];
+            }
+            send_req[oi] = engine.isend(op.src_rank, op.dst_rank, op.bytes,
+                                        op.tag, op.space, op.rail, dep_req);
+          }
           engine.irecv(op.dst_rank, op.src_rank, op.bytes, op.tag, op.space);
           break;
         case OpType::Copy:

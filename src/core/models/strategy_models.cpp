@@ -42,6 +42,81 @@ int ceil_div(std::int64_t a, std::int64_t b) {
   return static_cast<int>((a + b - 1) / b);
 }
 
+/// Prediction decomposed into the off-node wire term -- the part a
+/// message-splitting variant re-shapes -- plus the on-node and staging-copy
+/// terms splitting leaves alone.  The off-term inputs are kept symbolic so
+/// the variant can re-evaluate them with chunked message sizes.
+struct Decomposed {
+  enum class OffForm : std::uint8_t {
+    MaxRateHost,   ///< t_off / max_rate (eq. 4.3): staged through host
+    PostalDevice,  ///< t_off_da (eq. 4.4): device-aware postal
+  };
+  OffForm form = OffForm::MaxRateHost;
+  int m = 1;                 ///< messages the bottleneck process posts
+  std::int64_t s_proc = 1;   ///< per-process wire volume
+  std::int64_t s_node = 1;   ///< per-node wire volume (MaxRateHost only)
+  std::int64_t msg = 1;      ///< per-message bytes (protocol selection)
+  double on = 0.0;           ///< gather/redistribute term
+  double copy = 0.0;         ///< staging copies, sum form
+  std::int64_t copy_send = 0;  ///< D2H volume a pipeline can overlap
+  std::int64_t copy_recv = 0;  ///< trailing H2D volume
+  /// True when `copy` is a plain per-sender d2h+h2d pair that the
+  /// chunked-pipeline lowering actually carves (Split+DD's shared-pointer
+  /// copy ladder and 3-step's gather-fed leader sends are not).
+  bool pipeline_copy = false;
+};
+
+/// Evaluate the off-node term with `m_mult` times the messages, each
+/// 1/`chunk_div` of the bytes, spread over `rail_par` parallel NIC rails.
+/// (1, 1, 1) reproduces the unsplit term exactly.
+double off_term(const ParamSet& params, const Decomposed& d, int m_mult,
+                std::int64_t chunk_div, int rail_par) {
+  const int m = std::max(1, d.m * m_mult);
+  const std::int64_t msg = std::max<std::int64_t>(1, d.msg / chunk_div);
+  if (d.form == Decomposed::OffForm::MaxRateHost) {
+    // Chunk alphas serialize on the sending process; the per-process
+    // transport term (send-port serialization) does not parallelize, but
+    // the node injection bound spreads across the rails.
+    const std::int64_t s_node =
+        std::max<std::int64_t>(1, d.s_node / rail_par);
+    return t_off(params, m, d.s_proc, s_node, msg);
+  }
+  // Device-aware postal: each rail drains its share of the per-process
+  // volume concurrently; alphas stay serial on the poster.
+  const std::int64_t s = std::max<std::int64_t>(1, d.s_proc / rail_par);
+  return t_off_da(params, m, s, msg);
+}
+
+/// Combine the decomposed terms under the config's split mode, mirroring
+/// what apply_split() does to the plan: identity below the rendezvous
+/// switch point or on single-rail machines, otherwise chunked re-shapes of
+/// the off-node term (Striped) or a copy/wire overlap max-form
+/// (ChunkedPipeline).
+double combine(const StrategyConfig& config, const Decomposed& d,
+               const ParamSet& params) {
+  const std::int64_t eager_max = params.thresholds.eager_max;
+  if (config.split == SplitMode::Striped) {
+    const int rails = std::max(1, params.injection.nics_per_node);
+    if (rails > 1 && d.msg > eager_max) {
+      return off_term(params, d, rails, rails, rails) + d.on + d.copy;
+    }
+  } else if (config.split == SplitMode::ChunkedPipeline &&
+             d.pipeline_copy && d.copy_send > 0 && d.msg > eager_max) {
+    const int depth = kDefaultPipelineDepth;
+    const double off = off_term(params, d, depth, depth, 1);
+    // The carved D2H pays one copy alpha per chunk but overlaps the wire;
+    // the trailing H2D cannot overlap (data must land before delivery).
+    const PostalParams d2h =
+        copy_params_for(params.copies, CopyDir::DeviceToHost, 1);
+    const PostalParams h2d =
+        copy_params_for(params.copies, CopyDir::HostToDevice, 1);
+    const double t_d2h =
+        d2h.alpha * depth + d2h.beta * static_cast<double>(d.copy_send);
+    return std::max(off, t_d2h) + h2d.time(d.copy_recv) + d.on;
+  }
+  return off_term(params, d, 1, 1, 1) + d.on + d.copy;
+}
+
 }  // namespace
 
 double predict(const StrategyConfig& config, const PatternStats& stats,
@@ -60,46 +135,67 @@ double predict(const StrategyConfig& config, const PatternStats& stats,
   }
 
   const bool staged = config.transport == MemSpace::Host;
+  Decomposed d;
 
   switch (config.kind) {
     case StrategyKind::Standard: {
+      d.m = st.m_proc;
+      d.s_proc = st.s_proc;
+      d.s_node = st.s_node;
+      d.msg = st.typical_msg_bytes;
       if (staged) {
         // Max-rate model (eq. 2.2) per paper Table 6, plus the staging
         // copies.  (Table 6 lists only the max-rate term; physically the
         // staged path cannot avoid the two copies, and including them is
         // what lets standard device-aware win at very large message sizes,
         // as Figure 4.3 predicts.)
-        return max_rate(params, MemSpace::Host, st.m_proc, st.s_proc,
-                        st.s_node, st.typical_msg_bytes) +
-               t_copy(params, st.s_proc, st.s_proc);
+        d.form = Decomposed::OffForm::MaxRateHost;
+        d.copy = t_copy(params, st.s_proc, st.s_proc);
+        d.copy_send = st.s_proc;
+        d.copy_recv = st.s_proc;
+        d.pipeline_copy = true;
+      } else {
+        // Device-aware: postal model (eq. 2.1).
+        d.form = Decomposed::OffForm::PostalDevice;
       }
-      // Device-aware: postal model (eq. 2.1).
-      return t_off_da(params, st.m_proc, st.s_proc, st.typical_msg_bytes);
+      return combine(config, d, params);
     }
 
     case StrategyKind::ThreeStep: {
       // Table 6 literal: the off-node term takes m_node->node (Table 7).
-      const int m3 = std::max(1, st.m_node_node);
-      const double on = 2.0 * t_on(params, topo, config.transport,
-                                   st.s_node_node);
+      d.m = std::max(1, st.m_node_node);
+      d.s_proc = st.s_node_node;
+      d.s_node = st.s_node;
+      d.msg = st.s_node_node;
+      d.on = 2.0 * t_on(params, topo, config.transport, st.s_node_node);
       if (staged) {
-        return t_off(params, m3, st.s_node_node, st.s_node, st.s_node_node) +
-               on + t_copy(params, st.s_proc, st.s_node_node);
+        d.form = Decomposed::OffForm::MaxRateHost;
+        d.copy = t_copy(params, st.s_proc, st.s_node_node);
+        // The leader's sends are fed by gather messages, not by its own
+        // staging copy, so the pipeline lowering leaves them whole.
+      } else {
+        d.form = Decomposed::OffForm::PostalDevice;
       }
-      return t_off_da(params, m3, st.s_node_node, st.s_node_node) + on;
+      return combine(config, d, params);
     }
 
     case StrategyKind::TwoStep: {
       // One node-conglomerated message per (process, destination node).
-      const int m2 = std::max(1, st.m_proc_node);
-      const std::int64_t msg =
-          std::max<std::int64_t>(1, st.s_proc / m2);
-      const double on = t_on(params, topo, config.transport, st.s_proc);
+      d.m = std::max(1, st.m_proc_node);
+      d.s_proc = st.s_proc;
+      d.s_node = st.s_node;
+      d.msg = std::max<std::int64_t>(1, st.s_proc / d.m);
+      d.on = t_on(params, topo, config.transport, st.s_proc);
       if (staged) {
-        return t_off(params, m2, st.s_proc, st.s_node, msg) + on +
-               t_copy(params, st.s_proc, st.s_node_node);
+        d.form = Decomposed::OffForm::MaxRateHost;
+        d.copy = t_copy(params, st.s_proc, st.s_node_node);
+        d.copy_send = st.s_proc;
+        d.copy_recv = st.s_node_node;
+        d.pipeline_copy = true;
+      } else {
+        d.form = Decomposed::OffForm::PostalDevice;
       }
-      return t_off_da(params, m2, st.s_proc, msg) + on;
+      return combine(config, d, params);
     }
 
     case StrategyKind::SplitMD:
@@ -125,9 +221,13 @@ double predict(const StrategyConfig& config, const PatternStats& stats,
 
       // Distribution parallelism: how many GPUs on the bottleneck node hold
       // inter-node data (the paper's eq. 4.2 is the d = 1 worst case).
-      const int d = std::max(1, st.active_internode_gpus);
-      const double off = t_off(params, m_split, s_per_proc, st.s_node, msg);
-      const double on = 2.0 * t_on_split(params, topo, st.s_node, ppg, d);
+      const int dist = std::max(1, st.active_internode_gpus);
+      d.form = Decomposed::OffForm::MaxRateHost;
+      d.m = m_split;
+      d.s_proc = s_per_proc;
+      d.s_node = st.s_node;
+      d.msg = msg;
+      d.on = 2.0 * t_on_split(params, topo, st.s_node, ppg, dist);
       double copy;
       if (ppg <= 1) {
         copy = t_copy(params, st.s_proc, st.s_node_node, 1);
@@ -147,7 +247,8 @@ double predict(const StrategyConfig& config, const PatternStats& stats,
                copies_per_holder * h2d.alpha +
                h2d.beta * static_cast<double>(st.s_node_node) / ppg;
       }
-      return off + on + copy;
+      d.copy = copy;
+      return combine(config, d, params);
     }
   }
   throw std::logic_error("predict: unknown strategy kind");
@@ -158,7 +259,7 @@ std::vector<NamedPrediction> predict_all(const PatternStats& stats,
                                          const Topology& topo,
                                          const PredictOptions& options) {
   std::vector<NamedPrediction> out;
-  for (const StrategyConfig& cfg : table5_strategies()) {
+  for (const StrategyConfig& cfg : all_strategies()) {
     out.push_back({cfg, predict(cfg, stats, params, topo, options)});
   }
   return out;

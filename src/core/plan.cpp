@@ -1,5 +1,6 @@
 #include "core/plan.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace hetcomm::core {
@@ -12,9 +13,23 @@ PlanSummary CommPlan::summarize(const Topology& topo) const {
       switch (op.type) {
         case OpType::Message: {
           ++s.messages;
-          if (topo.classify(op.src_rank, op.dst_rank) == PathClass::OffNode) {
+          const PathClass path = topo.classify(op.src_rank, op.dst_rank);
+          TrafficCount& cls = s.by_path[static_cast<std::size_t>(path)];
+          ++cls.messages;
+          cls.bytes += op.bytes;
+          if (op.depends_on >= 0) ++s.dependent_messages;
+          if (path == PathClass::OffNode) {
             ++s.internode_messages;
             s.internode_bytes += op.bytes;
+            TrafficCount& rail =
+                op.rail >= 0
+                    ? (s.rails.resize(std::max(
+                           s.rails.size(),
+                           static_cast<std::size_t>(op.rail) + 1)),
+                       s.rails[static_cast<std::size_t>(op.rail)])
+                    : s.unrailed;
+            ++rail.messages;
+            rail.bytes += op.bytes;
           } else {
             ++s.intranode_messages;
             s.intranode_bytes += op.bytes;
@@ -37,7 +52,17 @@ std::ostream& operator<<(std::ostream& os, const PlanSummary& s) {
   os << "{phases=" << s.num_phases << ", msgs=" << s.messages
      << " (inter=" << s.internode_messages << "/" << s.internode_bytes
      << "B, intra=" << s.intranode_messages << "/" << s.intranode_bytes
-     << "B), copies=" << s.copies << "/" << s.copy_bytes << "B}";
+     << "B), copies=" << s.copies << "/" << s.copy_bytes << "B";
+  if (!s.rails.empty()) {
+    os << ", rails=[";
+    for (std::size_t r = 0; r < s.rails.size(); ++r) {
+      if (r != 0) os << ", ";
+      os << r << ":" << s.rails[r].messages << "/" << s.rails[r].bytes << "B";
+    }
+    os << "]";
+  }
+  if (s.dependent_messages != 0) os << ", dep_msgs=" << s.dependent_messages;
+  os << "}";
   return os;
 }
 

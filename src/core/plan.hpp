@@ -7,6 +7,7 @@
 // Plans are plain data -- they can be executed on the simulator (Executor),
 // summarized, pretty-printed, or inspected by tests.
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -36,9 +37,18 @@ struct PlanOp {
   int gpu = -1;
   CopyDir dir = CopyDir::DeviceToHost;
   int sharing_procs = 1;
+  // Split-plan fields (see plan_transform.hpp).  `rail` pins an off-node
+  // message to one of the machine's NIC lanes (-1 = the engine's default
+  // hash-to-lane choice); `depends_on` is the phase-local index of an
+  // *earlier* op in the same phase whose completion produces this op's
+  // data (-1 = independent).  Earlier-index-only makes dependency chains
+  // acyclic by construction.
+  int rail = -1;
+  int depends_on = -1;
 
   [[nodiscard]] static PlanOp message(int src, int dst, std::int64_t bytes,
-                                      int tag, MemSpace space) {
+                                      int tag, MemSpace space, int rail = -1,
+                                      int depends_on = -1) {
     PlanOp op;
     op.type = OpType::Message;
     op.src_rank = src;
@@ -46,6 +56,8 @@ struct PlanOp {
     op.bytes = bytes;
     op.tag = tag;
     op.space = space;
+    op.rail = rail;
+    op.depends_on = depends_on;
     return op;
   }
 
@@ -75,6 +87,14 @@ struct PlanPhase {
   std::vector<PlanOp> ops;
 };
 
+/// Message/byte totals for one bucket of a PlanSummary breakdown.
+struct TrafficCount {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+
+  friend bool operator==(const TrafficCount&, const TrafficCount&) = default;
+};
+
 /// Aggregate shape of a plan, for tests and reports.
 struct PlanSummary {
   int num_phases = 0;
@@ -85,6 +105,19 @@ struct PlanSummary {
   std::int64_t intranode_bytes = 0;
   std::int64_t copies = 0;
   std::int64_t copy_bytes = 0;
+  /// Placement breakdown, indexed by PathClass (on-socket, on-node,
+  /// off-node); sums to `messages`.
+  std::array<TrafficCount, 3> by_path{};
+  /// Off-node traffic pinned to an explicit NIC rail (PlanOp::rail >= 0),
+  /// indexed by rail id; empty for plans that never pin a rail.  Striped
+  /// lowering shows up here as near-even bytes per rail.
+  std::vector<TrafficCount> rails;
+  /// Off-node traffic left to the engine's hash-to-lane routing
+  /// (PlanOp::rail == -1).
+  TrafficCount unrailed;
+  /// Messages gated on an earlier op via PlanOp::depends_on (chunked
+  /// pipelining shows up here).
+  std::int64_t dependent_messages = 0;
 };
 
 struct CommPlan {

@@ -2,6 +2,8 @@
 
 #include <map>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "core/strategies/common.hpp"
 
@@ -20,7 +22,7 @@ std::string fmt(const char* what, std::int64_t got, std::int64_t expect,
 }  // namespace
 
 PlanCheckResult check_plan(const CommPlan& plan, const CommPattern& pattern,
-                           const Topology& topo, bool staged) {
+                           const Topology& topo, bool staged, int nic_lanes) {
   PlanCheckResult result;
 
   std::map<int, std::int64_t> d2h_per_gpu;
@@ -28,7 +30,47 @@ PlanCheckResult check_plan(const CommPlan& plan, const CommPattern& pattern,
   std::int64_t wire_total = 0;
 
   for (const PlanPhase& phase : plan.phases) {
-    for (const PlanOp& op : phase.ops) {
+    for (std::size_t oi = 0; oi < phase.ops.size(); ++oi) {
+      const PlanOp& op = phase.ops[oi];
+      // Split-plan structure: dependency edges must point at an earlier op
+      // in the same phase (forward/self references would be cycles) and
+      // obey the execution model's rank rules.
+      if (op.depends_on >= 0) {
+        if (static_cast<std::size_t>(op.depends_on) >= oi) {
+          result.fail("dependency does not reference an earlier op in phase " +
+                      phase.label);
+        } else {
+          const PlanOp& dep = phase.ops[op.depends_on];
+          const bool op_msg = op.type == OpType::Message;
+          const bool dep_msg = dep.type == OpType::Message;
+          if (!op_msg && dep_msg) {
+            result.fail("copy/pack depends on a message in phase " +
+                        phase.label);
+          } else if (op_msg && !dep_msg && dep.rank != op.src_rank) {
+            result.fail(
+                "message depends on a copy/pack on a different rank in "
+                "phase " + phase.label);
+          } else if (!op_msg && !dep_msg && dep.rank != op.rank) {
+            result.fail("cross-rank copy/pack dependency in phase " +
+                        phase.label);
+          }
+        }
+      }
+      if (op.rail >= 0) {
+        if (op.type != OpType::Message) {
+          result.fail("rail set on a non-message op in phase " + phase.label);
+        } else if (nic_lanes > 0 && op.rail >= nic_lanes) {
+          result.fail("rail " + std::to_string(op.rail) +
+                      " outside the machine's " + std::to_string(nic_lanes) +
+                      " NIC lane(s) in phase " + phase.label);
+        } else if (op.src_rank >= 0 && op.src_rank < topo.num_ranks() &&
+                   op.dst_rank >= 0 && op.dst_rank < topo.num_ranks() &&
+                   topo.classify(op.src_rank, op.dst_rank) !=
+                       PathClass::OffNode) {
+          result.fail("rail pinned on an on-node message in phase " +
+                      phase.label);
+        }
+      }
       switch (op.type) {
         case OpType::Message: {
           if (op.src_rank < 0 || op.src_rank >= topo.num_ranks() ||
@@ -117,6 +159,76 @@ PlanCheckResult check_plan(const CommPlan& plan, const CommPattern& pattern,
     }
   }
 
+  return result;
+}
+
+PlanCheckResult check_split_against(const CommPlan& lowered,
+                                    const CommPlan& logical) {
+  PlanCheckResult result;
+  if (lowered.phases.size() != logical.phases.size()) {
+    result.fail("phase count changed: " +
+                std::to_string(lowered.phases.size()) + " vs " +
+                std::to_string(logical.phases.size()));
+    return result;
+  }
+
+  using FlowKey = std::tuple<int, int, int>;  // (src, dst, tag)
+  const auto flow_bytes = [](const PlanPhase& phase) {
+    std::map<FlowKey, std::int64_t> flows;
+    for (const PlanOp& op : phase.ops) {
+      if (op.type != OpType::Message) continue;
+      flows[{op.src_rank, op.dst_rank, op.tag}] += op.bytes;
+    }
+    return flows;
+  };
+  // Copies may move across phases (the pipeline pass carves a staging copy
+  // out of its original phase), so compare their totals globally.
+  std::map<std::pair<int, int>, std::int64_t> copies[2];
+  std::map<int, std::int64_t> packs[2];
+  const CommPlan* plans[2] = {&lowered, &logical};
+  for (int side = 0; side < 2; ++side) {
+    for (const PlanPhase& phase : plans[side]->phases) {
+      for (const PlanOp& op : phase.ops) {
+        if (op.type == OpType::Copy) {
+          copies[side][{op.gpu, static_cast<int>(op.dir)}] += op.bytes;
+        } else if (op.type == OpType::Pack) {
+          packs[side][op.rank] += op.bytes;
+        }
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < lowered.phases.size(); ++p) {
+    const auto low = flow_bytes(lowered.phases[p]);
+    const auto log = flow_bytes(logical.phases[p]);
+    for (const auto& [key, bytes] : log) {
+      const auto it = low.find(key);
+      const std::int64_t got = it == low.end() ? 0 : it->second;
+      if (got != bytes) {
+        std::ostringstream os;
+        os << "chunk bytes for flow (" << std::get<0>(key) << " -> "
+           << std::get<1>(key) << ", tag " << std::get<2>(key)
+           << ") in phase " << lowered.phases[p].label << ": got " << got
+           << ", logical message has " << bytes;
+        result.fail(os.str());
+      }
+    }
+    for (const auto& [key, bytes] : low) {
+      if (log.find(key) == log.end()) {
+        std::ostringstream os;
+        os << "lowered plan invents flow (" << std::get<0>(key) << " -> "
+           << std::get<1>(key) << ", tag " << std::get<2>(key)
+           << ") in phase " << lowered.phases[p].label;
+        result.fail(os.str());
+      }
+    }
+  }
+  if (copies[0] != copies[1]) {
+    result.fail("per-(gpu, dir) copy byte totals changed by lowering");
+  }
+  if (packs[0] != packs[1]) {
+    result.fail("per-rank pack byte totals changed by lowering");
+  }
   return result;
 }
 

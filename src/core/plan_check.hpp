@@ -33,10 +33,28 @@ struct PlanCheckResult {
 ///      (never more; never less);
 ///   3. device-aware plans contain no copies and only device-space messages;
 ///   4. message endpoints are valid ranks and tags are non-negative;
-///   5. per-phase, no rank both sends and receives the same tag to itself.
-/// `staged` tells the checker which flavor the plan is.
+///   5. per-phase, no rank both sends and receives the same tag to itself;
+///   6. split-plan structure: PlanOp::rail only on off-node messages and,
+///      when `nic_lanes` > 0, within [0, nic_lanes); PlanOp::depends_on
+///      edges reference an earlier op in the same phase (which makes them
+///      acyclic by construction) and obey the execution model's rank rules
+///      (a message may depend on a copy/pack only on its own sending rank,
+///      copies/packs may not depend on messages, and copy/pack chains stay
+///      on one rank).
+/// `staged` tells the checker which flavor the plan is.  `nic_lanes` <= 0
+/// skips the rail upper-bound check for callers without a machine model.
 [[nodiscard]] PlanCheckResult check_plan(const CommPlan& plan,
                                          const CommPattern& pattern,
-                                         const Topology& topo, bool staged);
+                                         const Topology& topo, bool staged,
+                                         int nic_lanes = 0);
+
+/// Verify a lowered (striped / chunk-pipelined) plan against the logical
+/// plan it was derived from: phase counts match, per-phase message byte
+/// totals per (src, dst, tag) flow are conserved (chunks of one logical
+/// transfer keep its tag, so their bytes must sum back to the original),
+/// and global copy/pack volumes per (gpu, dir) / rank are conserved (the
+/// pipeline pass may carve a copy across phases but never change totals).
+[[nodiscard]] PlanCheckResult check_split_against(const CommPlan& lowered,
+                                                  const CommPlan& logical);
 
 }  // namespace hetcomm::core

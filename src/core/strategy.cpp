@@ -6,10 +6,18 @@ namespace hetcomm::core {
 
 std::string StrategyConfig::name() const {
   std::string n = to_string(kind);
-  if (kind == StrategyKind::SplitMD || kind == StrategyKind::SplitDD) {
-    return n;  // split strategies are implicitly staged-through-host
+  const bool split_kind =
+      kind == StrategyKind::SplitMD || kind == StrategyKind::SplitDD;
+  // Split strategies are implicitly staged-through-host (Table 5).
+  std::string qual;
+  if (!split_kind) {
+    qual = transport == MemSpace::Host ? "staged" : "device-aware";
   }
-  n += transport == MemSpace::Host ? " (staged)" : " (device-aware)";
+  if (split != SplitMode::None) {
+    if (!qual.empty()) qual += ", ";
+    qual += to_string(split);
+  }
+  if (!qual.empty()) n += " (" + qual + ")";
   return n;
 }
 
@@ -20,6 +28,11 @@ void StrategyConfig::validate() const {
     throw std::invalid_argument(
         "StrategyConfig: device-aware transport is undefined for split "
         "strategies (paper Table 5)");
+  }
+  if (split == SplitMode::ChunkedPipeline && transport == MemSpace::Device) {
+    throw std::invalid_argument(
+        "StrategyConfig: chunked-pipeline lowering requires staged "
+        "transport (device-aware sends have no staging copy to pipeline)");
   }
   if (message_cap < 0) {
     throw std::invalid_argument("StrategyConfig: negative message_cap");
@@ -35,28 +48,52 @@ CommPlan build_plan(const CommPattern& pattern, const Topology& topo,
   if (pattern.num_gpus() != topo.num_gpus()) {
     throw std::invalid_argument("build_plan: pattern/topology GPU mismatch");
   }
+  CommPlan plan;
   switch (config.kind) {
     case StrategyKind::Standard:
-      return detail::build_standard(pattern, topo, params, config);
+      plan = detail::build_standard(pattern, topo, params, config);
+      break;
     case StrategyKind::ThreeStep:
-      return detail::build_three_step(pattern, topo, params, config);
+      plan = detail::build_three_step(pattern, topo, params, config);
+      break;
     case StrategyKind::TwoStep:
-      return detail::build_two_step(pattern, topo, params, config);
+      plan = detail::build_two_step(pattern, topo, params, config);
+      break;
     case StrategyKind::SplitMD:
     case StrategyKind::SplitDD:
-      return detail::build_split(pattern, topo, params, config);
+      plan = detail::build_split(pattern, topo, params, config);
+      break;
+    default:
+      throw std::logic_error("build_plan: unknown strategy kind");
   }
-  throw std::logic_error("build_plan: unknown strategy kind");
+  if (config.split != SplitMode::None) {
+    plan = apply_split(plan, topo, params, config.split);
+  }
+  return plan;
 }
 
 StrategyConfig parse_strategy(const std::string& name) {
-  for (const StrategyConfig& cfg : table5_strategies()) {
-    if (cfg.name() == name) return cfg;
-  }
-  // Bare kind names default to staged-through-host.
   for (const StrategyKind kind :
        {StrategyKind::Standard, StrategyKind::ThreeStep, StrategyKind::TwoStep,
         StrategyKind::SplitMD, StrategyKind::SplitDD}) {
+    const bool split_kind =
+        kind == StrategyKind::SplitMD || kind == StrategyKind::SplitDD;
+    for (const MemSpace transport : {MemSpace::Host, MemSpace::Device}) {
+      if (split_kind && transport == MemSpace::Device) continue;
+      for (const SplitMode split :
+           {SplitMode::None, SplitMode::Striped, SplitMode::ChunkedPipeline}) {
+        if (split == SplitMode::ChunkedPipeline &&
+            transport == MemSpace::Device) {
+          continue;
+        }
+        StrategyConfig cfg;
+        cfg.kind = kind;
+        cfg.transport = transport;
+        cfg.split = split;
+        if (cfg.name() == name) return cfg;
+      }
+    }
+    // Bare kind names default to staged-through-host, unsplit.
     if (name == to_string(kind)) return {kind, MemSpace::Host};
   }
   throw std::invalid_argument("parse_strategy: unknown strategy '" + name +
@@ -73,6 +110,35 @@ std::vector<StrategyConfig> table5_strategies() {
   }
   out.push_back({StrategyKind::SplitMD, MemSpace::Host});
   out.push_back({StrategyKind::SplitDD, MemSpace::Host});
+  return out;
+}
+
+std::vector<StrategyConfig> split_variant_strategies() {
+  std::vector<StrategyConfig> out;
+  const auto add = [&out](StrategyKind kind, MemSpace transport,
+                          SplitMode split) {
+    StrategyConfig cfg;
+    cfg.kind = kind;
+    cfg.transport = transport;
+    cfg.split = split;
+    out.push_back(cfg);
+  };
+  // Striping feeds on large node-conglomerated rendezvous transfers.
+  add(StrategyKind::ThreeStep, MemSpace::Host, SplitMode::Striped);
+  add(StrategyKind::ThreeStep, MemSpace::Device, SplitMode::Striped);
+  add(StrategyKind::TwoStep, MemSpace::Host, SplitMode::Striped);
+  add(StrategyKind::Standard, MemSpace::Device, SplitMode::Striped);
+  // Chunked pipelining needs staged per-message D2H copies to carve.
+  add(StrategyKind::Standard, MemSpace::Host, SplitMode::ChunkedPipeline);
+  add(StrategyKind::TwoStep, MemSpace::Host, SplitMode::ChunkedPipeline);
+  return out;
+}
+
+std::vector<StrategyConfig> all_strategies() {
+  std::vector<StrategyConfig> out = table5_strategies();
+  for (const StrategyConfig& cfg : split_variant_strategies()) {
+    out.push_back(cfg);
+  }
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/comm_pattern.hpp"
 #include "core/plan.hpp"
+#include "core/plan_transform.hpp"
 #include "hetsim/params.hpp"
 #include "hetsim/topology.hpp"
 
@@ -48,10 +49,17 @@ struct StrategyConfig {
   std::int64_t message_cap = 0;
   /// Host processes per GPU for SplitDD copies (4 on Lassen).
   int ppg = 4;
+  /// Message-splitting lowering applied after the base builder (see
+  /// plan_transform.hpp).  None reproduces the paper's Table-5 plans;
+  /// Striped fans rendezvous-sized transfers across NIC rails;
+  /// ChunkedPipeline overlaps staging copies with wire time.
+  SplitMode split = SplitMode::None;
 
   [[nodiscard]] std::string name() const;
   /// Device-aware transport is undefined for the split strategies
-  /// (Table 5); throws std::invalid_argument in that case.
+  /// (Table 5); a ChunkedPipeline lowering of a device-aware transport
+  /// has no staging copy to pipeline; throws std::invalid_argument in
+  /// either case.
   void validate() const;
 };
 
@@ -64,6 +72,17 @@ struct StrategyConfig {
 
 /// The eight modeled strategy configurations of paper Table 5.
 [[nodiscard]] std::vector<StrategyConfig> table5_strategies();
+
+/// Message-splitting variants of the Table-5 strategies: striped lowering
+/// of the node-conglomerating strategies (which produce the large
+/// rendezvous transfers striping feeds on) plus chunked-pipeline lowering
+/// of the staged strategies with per-message staging copies.
+[[nodiscard]] std::vector<StrategyConfig> split_variant_strategies();
+
+/// Table-5 roster plus the split variants, in ranking order: what the
+/// Fig-5.1 comparison, the advisor, `hetcomm serve`, and
+/// ranking-stability iterate.
+[[nodiscard]] std::vector<StrategyConfig> all_strategies();
 
 /// Parse a strategy name as produced by StrategyConfig::name(), e.g.
 /// "standard (staged)", "3-step (device-aware)", "split+MD".  Also accepts

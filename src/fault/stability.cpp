@@ -144,7 +144,7 @@ StabilityReport ranking_stability(const core::CommPattern& pattern,
 
   // Build each Table-5 plan once; plans are rep- and fault-invariant.
   std::vector<core::CommPlan> plans;
-  for (const core::StrategyConfig& cfg : core::table5_strategies()) {
+  for (const core::StrategyConfig& cfg : core::all_strategies()) {
     plans.push_back(core::build_plan(pattern, topo, params, cfg));
   }
 

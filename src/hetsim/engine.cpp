@@ -39,12 +39,24 @@ void Engine::check_rank(int rank) const {
 }
 
 int Engine::isend(int src, int dst, std::int64_t bytes, int tag,
-                  MemSpace space) {
+                  MemSpace space, int rail, int depends_on) {
   check_rank(src);
   check_rank(dst);
   if (bytes < 0) throw std::invalid_argument("Engine::isend: negative size");
+  if (rail >= std::max(1, params_.injection.nics_per_node)) {
+    throw std::invalid_argument("Engine::isend: rail " + std::to_string(rail) +
+                                " >= " +
+                                std::to_string(std::max(
+                                    1, params_.injection.nics_per_node)) +
+                                " NIC lane(s)");
+  }
+  if (depends_on >= next_seq_) {
+    throw std::invalid_argument(
+        "Engine::isend: depends_on references a not-yet-posted request");
+  }
   clock_[src] += params_.overheads.post_overhead;
-  sends_.push_back({src, dst, bytes, tag, space, clock_[src], next_seq_++});
+  sends_.push_back({src, dst, bytes, tag, space, clock_[src], next_seq_++,
+                    rail < 0 ? -1 : rail, depends_on < 0 ? -1 : depends_on});
   return next_seq_ - 1;
 }
 
@@ -137,7 +149,8 @@ void Engine::set_metrics(obs::EngineMetrics* sink, bool record_invariants,
   metrics_inv_ = record_invariants ? sink : nullptr;
   metrics_smp_ = record_samples ? sink : nullptr;
   if (metrics_) {
-    metrics_->ensure_nodes(topo_.num_nodes());
+    metrics_->ensure_lanes(static_cast<int>(nic_out_.size()),
+                           std::max(1, params_.injection.nics_per_node));
     // Label the sink's path slots with this machine's declared class names
     // so exports speak the machine's taxonomy, not the fixed enum.
     metrics_->path_names.clear();
@@ -263,25 +276,38 @@ void Engine::resolve() {
                  " unmatched receive(s)");
   }
 
-  // ---- Schedule in global ready order (deterministic tie-break). ----
-  // (ready, send.seq) is a strict total order -- seqs are unique -- so the
-  // sorted schedule is independent of the matching order above.
-  std::sort(matched_scratch_.begin(), matched_scratch_.end(),
-            [](const Matched& a, const Matched& b) {
-              if (a.ready != b.ready) return a.ready < b.ready;
-              return a.send.seq < b.send.seq;
-            });
-
   // Queue-search cost: proportional to how many receives each rank has
   // posted in this resolution batch (a proxy for posted-queue length).
   recv_depth_scratch_.assign(static_cast<std::size_t>(topo_.num_ranks()), 0);
   for (const PendingOp& r : recvs_) ++recv_depth_scratch_[r.self];
 
+  bool has_deps = false;
+  for (const PendingOp& s : sends_) {
+    if (s.dep_seq >= 0) {
+      has_deps = true;
+      break;
+    }
+  }
+
   // A mid-plan FaultAbort honors the same failure contract as a matching
   // failure: every pending operation is dropped so the engine is reusable
   // (reset() for full recovery), then the structured error propagates.
   try {
-    for (Matched& m : matched_scratch_) schedule(m, recv_depth_scratch_);
+    if (!has_deps) {
+      // ---- Schedule in global ready order (deterministic tie-break). ----
+      // (ready, send.seq) is a strict total order -- seqs are unique -- so
+      // the sorted schedule is independent of the matching order above.
+      // This is the historical path, taken by every plan without
+      // depends_on edges.
+      std::sort(matched_scratch_.begin(), matched_scratch_.end(),
+                [](const Matched& a, const Matched& b) {
+                  if (a.ready != b.ready) return a.ready < b.ready;
+                  return a.send.seq < b.send.seq;
+                });
+      for (Matched& m : matched_scratch_) schedule(m, recv_depth_scratch_);
+    } else {
+      resolve_waves();
+    }
   } catch (...) {
     sends_.clear();
     recvs_.clear();
@@ -292,7 +318,72 @@ void Engine::resolve() {
   recvs_.clear();
 }
 
-void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
+void Engine::resolve_waves() {
+  // Dependency-wave scheduling: chunk k+1's transfer is ready no earlier
+  // than chunk k's completion.  Transfers are bucketed by dep-chain depth
+  // (wave) and scheduled wave by wave; within a wave the order is the same
+  // strict (adjusted ready, send seq) total order the dep-free path uses
+  // globally, so a plan whose dep edges never bind reproduces the dep-free
+  // schedule exactly.
+  const std::size_t m_count = matched_scratch_.size();
+  seq_to_matched_scratch_.assign(static_cast<std::size_t>(next_seq_), -1);
+  for (std::size_t i = 0; i < m_count; ++i) {
+    seq_to_matched_scratch_[static_cast<std::size_t>(
+        matched_scratch_[i].send.seq)] = static_cast<std::int32_t>(i);
+  }
+  matched_dep_scratch_.assign(m_count, -1);
+  matched_depth_scratch_.assign(m_count, 0);
+  std::int32_t max_depth = 0;
+  // Send seqs increase with posting order and every dep targets an earlier
+  // request, so a seq-order walk sees each dependency before its dependent
+  // (acyclic by construction).
+  for (int s = 0; s < next_seq_; ++s) {
+    const std::int32_t i = seq_to_matched_scratch_[static_cast<std::size_t>(s)];
+    if (i < 0) continue;
+    const int dep_seq = matched_scratch_[static_cast<std::size_t>(i)].send.dep_seq;
+    if (dep_seq < 0) continue;
+    const std::int32_t d =
+        seq_to_matched_scratch_[static_cast<std::size_t>(dep_seq)];
+    if (d < 0) {
+      fail_resolve("send " + std::to_string(s) +
+                   " depends on request " + std::to_string(dep_seq) +
+                   ", which is not a send");
+    }
+    matched_dep_scratch_[static_cast<std::size_t>(i)] = d;
+    matched_depth_scratch_[static_cast<std::size_t>(i)] =
+        matched_depth_scratch_[static_cast<std::size_t>(d)] + 1;
+    max_depth = std::max(max_depth,
+                         matched_depth_scratch_[static_cast<std::size_t>(i)]);
+  }
+
+  matched_completion_scratch_.assign(m_count, 0.0);
+  for (std::int32_t wave = 0; wave <= max_depth; ++wave) {
+    wave_order_scratch_.clear();
+    for (std::size_t i = 0; i < m_count; ++i) {
+      if (matched_depth_scratch_[i] != wave) continue;
+      const std::int32_t d = matched_dep_scratch_[i];
+      if (d >= 0) {
+        matched_scratch_[i].ready =
+            std::max(matched_scratch_[i].ready,
+                     matched_completion_scratch_[static_cast<std::size_t>(d)]);
+      }
+      wave_order_scratch_.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::sort(wave_order_scratch_.begin(), wave_order_scratch_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const Matched& ma = matched_scratch_[a];
+                const Matched& mb = matched_scratch_[b];
+                if (ma.ready != mb.ready) return ma.ready < mb.ready;
+                return ma.send.seq < mb.send.seq;
+              });
+    for (const std::uint32_t i : wave_order_scratch_) {
+      matched_completion_scratch_[i] =
+          schedule(matched_scratch_[i], recv_depth_scratch_);
+    }
+  }
+}
+
+double Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   const PendingOp& s = m.send;
   const std::uint8_t path_id = paths_.path_of(s.self, s.peer);
   const PathClass path = paths_.locality_of(path_id);
@@ -321,8 +412,16 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
                                 : params_.injection.inv_rate_gpu;
     src_node = topo_.node_of_rank(s.self);
     dst_node = topo_.node_of_rank(s.peer);
-    src_nic = nic_of_rank_[s.self];
-    dst_nic = nic_of_rank_[s.peer];
+    if (s.rail >= 0) {
+      // Explicit rail assignment (striped plans): pin both endpoints to the
+      // rail's NIC pair instead of the default hash-to-lane choice.
+      const int lanes = std::max(1, params_.injection.nics_per_node);
+      src_nic = src_node * lanes + s.rail;
+      dst_nic = dst_node * lanes + s.rail;
+    } else {
+      src_nic = nic_of_rank_[s.self];
+      dst_nic = nic_of_rank_[s.peer];
+    }
     nic_occupancy = inv_rate * size + params_.overheads.nic_message_overhead;
   }
 
@@ -352,6 +451,7 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
   double ready = m.ready;
   double t = 0.0;
   double completion = 0.0;
+  std::int32_t egress_server = -1;  ///< last attempt's NIC lane server
   for (int attempt = 0;;) {
     // Sender-side occupancy: the sending process cannot initiate the next
     // message until this one's latency+transfer work is handed off.
@@ -373,12 +473,15 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
                                      s.peer, path_id);
         if (failover && metrics_smp_) metrics_smp_->on_fault_failover();
       }
+      egress_server = out_server;
       const double t_out =
           nic_out_[out_server].acquire(t, fst.nic_occupancy_src);
       if (metrics_inv_) {
         metrics_inv_->on_occupancy(obs::SimResource::NicOut,
                                    fst.nic_occupancy_src);
-        if (attempt == 0) metrics_inv_->on_nic_egress(src_node, s.bytes);
+        if (attempt == 0) {
+          metrics_inv_->on_nic_egress(out_server, s.bytes, s.rail >= 0);
+        }
       }
       if (metrics_smp_) {
         metrics_smp_->on_wait(obs::SimResource::NicOut, t, t_out);
@@ -432,7 +535,12 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
         throw_retries_exhausted(s.self, s.peer, path_id, attempt);
       }
       const double delay = retry_delay(fst.loss->retry, attempt - 1);
-      if (metrics_smp_) metrics_smp_->on_fault_retry(delay);
+      if (metrics_smp_) {
+        const int lanes = std::max(1, params_.injection.nics_per_node);
+        metrics_smp_->on_fault_retry(
+            delay, egress_server < 0 ? -1
+                                     : egress_server - src_node * lanes);
+      }
       ready = completion + delay;
       continue;
     }
@@ -452,6 +560,7 @@ void Engine::schedule(Matched& m, std::vector<int>& recv_queue_depth) {
     trace_.messages.push_back({s.self, s.peer, s.bytes, s.tag, s.space, proto,
                                path, m.ready, t, completion});
   }
+  return completion;
 }
 
 double Engine::clock(int rank) const {

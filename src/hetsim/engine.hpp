@@ -66,7 +66,16 @@ class Engine {
   /// Post a nonblocking send of `bytes` from `src` to `dst`.  The payload
   /// lives in `space` (Host = staged-through-host path, Device =
   /// device-aware path).  Returns a request id.
-  int isend(int src, int dst, std::int64_t bytes, int tag, MemSpace space);
+  ///
+  /// `rail` pins an off-node transfer to one of the machine's NIC lanes
+  /// (0-based; -1 = the default hash-to-lane choice; >= nics_per_node
+  /// throws std::invalid_argument).  `depends_on` is the request id of an
+  /// earlier isend whose *completion* produces this send's data (chunked
+  /// pipelining); -1 = independent.  resolve() schedules dependency waves
+  /// in order, so a dependent transfer becomes ready no earlier than its
+  /// gating transfer completes.
+  int isend(int src, int dst, std::int64_t bytes, int tag, MemSpace space,
+            int rail = -1, int depends_on = -1);
 
   /// Post a matching nonblocking receive at `dst`.  Returns a request id.
   int irecv(int dst, int src, std::int64_t bytes, int tag, MemSpace space);
@@ -234,6 +243,8 @@ class Engine {
     MemSpace space = MemSpace::Host;
     double post_time = 0.0;
     int seq = 0;  ///< global posting order, for deterministic tie-breaks
+    int rail = -1;     ///< explicit NIC lane (sends only; -1 = hashed)
+    int dep_seq = -1;  ///< gating send's request id (sends only; -1 = none)
   };
 
   struct Matched {
@@ -243,7 +254,12 @@ class Engine {
   };
 
   void check_rank(int rank) const;
-  void schedule(Matched& m, std::vector<int>& recv_queue_depth);
+  /// Schedule one matched transfer; returns its completion time (what a
+  /// dependent send in a later wave becomes ready at).
+  double schedule(Matched& m, std::vector<int>& recv_queue_depth);
+  /// resolve() tail for batches holding depends_on edges: buckets matched
+  /// transfers into dependency waves and schedules wave by wave.
+  void resolve_waves();
   void fail_resolve(const std::string& what);  ///< clear pending, then throw
 
   /// Per-message fault state resolved once before the (re)send loop.
@@ -376,6 +392,12 @@ class Engine {
   std::vector<std::uint32_t> recv_order_scratch_;  ///< recvs by (key, seq)
   std::vector<Matched> matched_scratch_;
   std::vector<int> recv_depth_scratch_;        ///< posted recvs per rank
+  // Dependency-wave scratch (resolve with dep_seq edges; see resolve()).
+  std::vector<std::int32_t> seq_to_matched_scratch_;  ///< send seq -> matched
+  std::vector<std::int32_t> matched_dep_scratch_;     ///< matched -> matched
+  std::vector<std::int32_t> matched_depth_scratch_;   ///< dep-chain depth
+  std::vector<double> matched_completion_scratch_;    ///< per-transfer finish
+  std::vector<std::uint32_t> wave_order_scratch_;     ///< one wave's members
   std::vector<double> post_send_scratch_;      ///< compiled: send post times
   std::vector<double> post_recv_scratch_;      ///< compiled: recv post times
   std::vector<double> ready_scratch_;          ///< compiled: transfer ready

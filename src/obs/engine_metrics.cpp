@@ -14,6 +14,8 @@ void EngineMetrics::reset() noexcept {
   std::memset(zero_waits, 0, sizeof(zero_waits));
   std::memset(occupancy_seconds, 0, sizeof(occupancy_seconds));
   std::fill(nic_bytes.begin(), nic_bytes.end(), 0);
+  std::fill(nic_striped_bytes.begin(), nic_striped_bytes.end(), 0);
+  std::fill(fault_rail_retries.begin(), fault_rail_retries.end(), 0);
   std::memset(copy_count, 0, sizeof(copy_count));
   std::memset(copy_bytes, 0, sizeof(copy_bytes));
   std::memset(copy_seconds, 0, sizeof(copy_seconds));
@@ -47,6 +49,19 @@ void EngineMetrics::merge(const EngineMetrics& other) {
   for (std::size_t n = 0; n < other.nic_bytes.size(); ++n) {
     nic_bytes[n] += other.nic_bytes[n];
   }
+  if (nic_striped_bytes.size() < other.nic_striped_bytes.size()) {
+    nic_striped_bytes.resize(other.nic_striped_bytes.size(), 0);
+  }
+  for (std::size_t n = 0; n < other.nic_striped_bytes.size(); ++n) {
+    nic_striped_bytes[n] += other.nic_striped_bytes[n];
+  }
+  if (fault_rail_retries.size() < other.fault_rail_retries.size()) {
+    fault_rail_retries.resize(other.fault_rail_retries.size(), 0);
+  }
+  for (std::size_t r = 0; r < other.fault_rail_retries.size(); ++r) {
+    fault_rail_retries[r] += other.fault_rail_retries[r];
+  }
+  nic_lanes = std::max(nic_lanes, other.nic_lanes);
   for (int d = 0; d < 2; ++d) {
     for (int s = 0; s < 2; ++s) {
       copy_count[d][s] += other.copy_count[d][s];
@@ -133,6 +148,13 @@ void EngineMetrics::publish(Registry& registry) const {
     registry.add(registry.counter(label(
                      "bytes_injected", {{"nic", std::to_string(n)}})),
                  nic_bytes[n]);
+    if (n < nic_striped_bytes.size() && nic_striped_bytes[n] != 0) {
+      registry.add(
+          registry.counter(label("bytes_injected",
+                                 {{"nic", std::to_string(n)},
+                                  {"stripe", "striped"}})),
+          nic_striped_bytes[n]);
+    }
   }
   for (int d = 0; d < 2; ++d) {
     for (int s = 0; s < 2; ++s) {
@@ -162,6 +184,12 @@ void EngineMetrics::publish(Registry& registry) const {
     registry.add(registry.counter("fault_degraded_msgs"), fault_degraded);
     const MetricId g = registry.gauge("fault_retry_seconds");
     registry.set(g, registry.gauge_value(g) + fault_retry_seconds);
+    for (std::size_t r = 0; r < fault_rail_retries.size(); ++r) {
+      if (fault_rail_retries[r] == 0) continue;
+      registry.add(registry.counter(label(
+                       "fault_retries", {{"rail", std::to_string(r)}})),
+                   fault_rail_retries[r]);
+    }
     for (int p = 0; p < kPaths; ++p) {
       if (fault_degraded_seconds[p] == 0.0) continue;
       const MetricId d = registry.gauge(
@@ -188,6 +216,8 @@ bool EngineMetrics::same_counts(const EngineMetrics& other) const noexcept {
   for (std::size_t n = 0; n < nic_bytes.size(); ++n) {
     if (nic_bytes[n] != other.nic_bytes[n]) return false;
   }
+  if (nic_striped_bytes != other.nic_striped_bytes) return false;
+  if (fault_rail_retries != other.fault_rail_retries) return false;
   for (int d = 0; d < 2; ++d) {
     for (int s = 0; s < 2; ++s) {
       if (copy_count[d][s] != other.copy_count[d][s]) return false;

@@ -41,6 +41,7 @@
 // ("msgs{path=on-node,proto=rendezvous}", "bytes_injected{nic=3}",
 // "queue_wait{resource=nic-out}", ...) for export.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -105,8 +106,16 @@ struct EngineMetrics {
   /// Busy time pushed onto each resource kind (sum of occupancies).
   double occupancy_seconds[kNumSimResources] = {};
 
-  // -- NIC egress, per node ----------------------------------------------
-  std::vector<std::int64_t> nic_bytes;  ///< bytes injected by each node
+  // -- NIC egress, per NIC-lane server ------------------------------------
+  // Indexed by node * lanes + lane (the engine's nic_out_ server index), so
+  // multi-rail machines report per-rail balance; on single-lane machines the
+  // index degenerates to the node id, keeping the historical export names.
+  std::vector<std::int64_t> nic_bytes;  ///< bytes injected through each NIC
+  /// The subset of nic_bytes carried by explicitly railed (striped)
+  /// messages; exported with a `stripe=striped` label.
+  std::vector<std::int64_t> nic_striped_bytes;
+  /// Declared NIC lanes per node (for rail math at export); >= 1.
+  int nic_lanes = 1;
 
   // -- Copies, by (direction, solo=0 / shared=1) -------------------------
   std::int64_t copy_count[2][2] = {};
@@ -131,12 +140,22 @@ struct EngineMetrics {
   double fault_retry_seconds = 0.0;   ///< backoff delay injected by retries
   /// Extra occupancy seconds added by degradation, per path class.
   double fault_degraded_seconds[kPaths] = {};
+  /// Retried attempts whose failed egress went through rail k (the lane
+  /// index within its node), indexed by rail; on-node retries (no rail)
+  /// count only in fault_retries.
+  std::vector<std::int64_t> fault_rail_retries;
 
-  /// Size the per-node slots; called by Engine::set_metrics.
-  void ensure_nodes(int num_nodes) {
-    if (static_cast<int>(nic_bytes.size()) < num_nodes) {
-      nic_bytes.resize(static_cast<std::size_t>(num_nodes), 0);
+  /// Size the per-NIC slots for `nic_servers` lane servers (num_nodes x
+  /// lanes) with `lanes` rails per node; called by Engine::set_metrics.
+  void ensure_lanes(int nic_servers, int lanes) {
+    if (static_cast<int>(nic_bytes.size()) < nic_servers) {
+      nic_bytes.resize(static_cast<std::size_t>(nic_servers), 0);
+      nic_striped_bytes.resize(static_cast<std::size_t>(nic_servers), 0);
     }
+    if (static_cast<int>(fault_rail_retries.size()) < lanes) {
+      fault_rail_retries.resize(static_cast<std::size_t>(lanes), 0);
+    }
+    nic_lanes = std::max(nic_lanes, std::max(1, lanes));
   }
 
   /// Zero every slot, keeping allocations (per-repetition reuse).
@@ -174,8 +193,13 @@ struct EngineMetrics {
   void on_occupancy(SimResource res, double seconds) noexcept {
     occupancy_seconds[static_cast<int>(res)] += seconds;
   }
-  void on_nic_egress(int node, std::int64_t bytes) noexcept {
-    nic_bytes[static_cast<std::size_t>(node)] += bytes;
+  /// `nic` is the lane-server index the message's first attempt injected
+  /// through (node * lanes + lane); `striped` marks explicitly railed
+  /// messages (split plans) for the rail-balance breakdown.
+  void on_nic_egress(int nic, std::int64_t bytes,
+                     bool striped = false) noexcept {
+    nic_bytes[static_cast<std::size_t>(nic)] += bytes;
+    if (striped) nic_striped_bytes[static_cast<std::size_t>(nic)] += bytes;
   }
   void on_copy(CopyDir dir, int sharing_procs, std::int64_t bytes,
                double seconds) noexcept {
@@ -191,9 +215,14 @@ struct EngineMetrics {
     pack_seconds += seconds;
   }
   void on_phase_end(double makespan) { phase_makespan.push_back(makespan); }
-  void on_fault_retry(double delay_seconds) noexcept {
+  /// `rail` is the lane index (within its node) the failed attempt's
+  /// egress used, or -1 for on-node messages (no rail attribution).
+  void on_fault_retry(double delay_seconds, int rail = -1) noexcept {
     ++fault_retries;
     fault_retry_seconds += delay_seconds;
+    if (rail >= 0 && rail < static_cast<int>(fault_rail_retries.size())) {
+      ++fault_rail_retries[static_cast<std::size_t>(rail)];
+    }
   }
   void on_fault_failover() noexcept { ++fault_failovers; }
   void on_fault_degraded(int path, double extra_seconds) noexcept {

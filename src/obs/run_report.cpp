@@ -98,10 +98,18 @@ void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
   }
 
   report.nic.clear();
+  const int lanes = std::max(1, metrics.nic_lanes);
   for (std::size_t n = 0; n < metrics.nic_bytes.size(); ++n) {
     if (metrics.nic_bytes[n] == 0) continue;
-    report.nic.push_back(
-        {static_cast<int>(n), per_rep(metrics.nic_bytes[n])});
+    NicStat stat;
+    stat.nic = static_cast<int>(n);
+    stat.node = static_cast<int>(n) / lanes;
+    stat.lane = static_cast<int>(n) % lanes;
+    stat.bytes_injected = per_rep(metrics.nic_bytes[n]);
+    if (n < metrics.nic_striped_bytes.size()) {
+      stat.striped_bytes = per_rep(metrics.nic_striped_bytes[n]);
+    }
+    report.nic.push_back(stat);
   }
 
   report.copies.clear();
@@ -138,6 +146,16 @@ void fill_from_engine_metrics(RunReport& report, const EngineMetrics& metrics,
           {metrics.path_name(p),
            metrics.fault_degraded_seconds[p] * inv_sampled});
     }
+    bool any_rail = false;
+    for (const std::int64_t r : metrics.fault_rail_retries) {
+      if (r != 0) any_rail = true;
+    }
+    if (any_rail) {
+      report.faults.rail_retries.reserve(metrics.fault_rail_retries.size());
+      for (const std::int64_t r : metrics.fault_rail_retries) {
+        report.faults.rail_retries.push_back(per_sampled(r));
+      }
+    }
   }
 }
 
@@ -159,8 +177,13 @@ JsonValue RunReport::metrics_json() const {
             r.occupancy_seconds);
   }
   for (const NicStat& n : nic) {
-    out.set(label("bytes_injected", {{"nic", std::to_string(n.node)}}),
+    out.set(label("bytes_injected", {{"nic", std::to_string(n.nic)}}),
             n.bytes_injected);
+    if (n.striped_bytes != 0) {
+      out.set(label("bytes_injected", {{"nic", std::to_string(n.nic)},
+                                       {"stripe", "striped"}}),
+              n.striped_bytes);
+    }
   }
   for (const CopyStat& c : copies) {
     out.set(label("copies", {{"dir", c.dir}, {"sharing", c.sharing}}),
@@ -237,8 +260,11 @@ JsonValue RunReport::to_json() const {
   JsonValue nic_array = JsonValue::array();
   for (const NicStat& n : nic) {
     JsonValue entry = JsonValue::object();
+    entry.set("nic", n.nic);
     entry.set("node", n.node);
+    entry.set("lane", n.lane);
     entry.set("bytes_injected", n.bytes_injected);
+    if (n.striped_bytes != 0) entry.set("striped_bytes", n.striped_bytes);
     nic_array.push_back(std::move(entry));
   }
   out.set("nic", std::move(nic_array));
@@ -277,6 +303,16 @@ JsonValue RunReport::to_json() const {
       degraded_array.push_back(std::move(entry));
     }
     fault_obj.set("degraded", std::move(degraded_array));
+    if (!faults.rail_retries.empty()) {
+      JsonValue rail_array = JsonValue::array();
+      for (std::size_t r = 0; r < faults.rail_retries.size(); ++r) {
+        JsonValue entry = JsonValue::object();
+        entry.set("rail", static_cast<int>(r));
+        entry.set("retries", faults.rail_retries[r]);
+        rail_array.push_back(std::move(entry));
+      }
+      fault_obj.set("rail_retries", std::move(rail_array));
+    }
     out.set("faults", std::move(fault_obj));
   }
 

@@ -81,8 +81,13 @@ struct ResourceStat {
 };
 
 struct NicStat {
+  int nic = 0;   ///< NIC-lane server index (node * lanes + lane)
   int node = 0;
+  int lane = 0;  ///< rail id within the node
   std::int64_t bytes_injected = 0;  ///< per repetition
+  /// Subset of bytes_injected pinned to this rail by striping
+  /// (PlanOp::rail >= 0), per repetition; rail balance for striped runs.
+  std::int64_t striped_bytes = 0;
 };
 
 struct CopyStat {
@@ -108,6 +113,9 @@ struct FaultStat {
   std::int64_t degraded_msgs = 0;  ///< per sampled repetition
   double retry_seconds = 0.0;      ///< backoff delay injected, per sampled rep
   std::vector<FaultPathStat> degraded;
+  /// Retries attributed to each NIC rail (lane id), per sampled repetition;
+  /// empty when no retry hit an off-node egress lane.
+  std::vector<std::int64_t> rail_retries;
 
   [[nodiscard]] bool any() const noexcept {
     return retries != 0 || failovers != 0 || degraded_msgs != 0 ||

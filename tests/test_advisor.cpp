@@ -13,10 +13,12 @@ class AdvisorTest : public ::testing::Test {
   Advisor advisor_{topo_, lassen_params()};
 };
 
-TEST_F(AdvisorTest, RanksAllEightStrategies) {
+TEST_F(AdvisorTest, RanksFullStrategyRoster) {
   const CommPattern p = random_pattern(topo_, 8, 2048, 3);
   const std::vector<Recommendation> ranked = advisor_.rank(p);
-  EXPECT_EQ(ranked.size(), 8u);
+  // Eight Table-5 strategies plus the striped / chunked-pipeline variants.
+  EXPECT_EQ(ranked.size(), all_strategies().size());
+  EXPECT_EQ(ranked.size(), 14u);
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_LE(ranked[i - 1].predicted_seconds, ranked[i].predicted_seconds);
   }
@@ -29,7 +31,7 @@ TEST_F(AdvisorTest, StagedOnlyFiltersDeviceAware) {
   AdvisorOptions opts;
   opts.staged_only = true;
   const std::vector<Recommendation> ranked = advisor_.rank(p, opts);
-  EXPECT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked.size(), 9u);
   for (const Recommendation& r : ranked) {
     EXPECT_EQ(r.config.transport, MemSpace::Host) << r.config.name();
   }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/pattern_io.hpp"
+#include "core/strategy.hpp"
 #include "obs/json.hpp"
 
 namespace hetcomm::cli {
@@ -235,7 +236,13 @@ TEST_F(CliRunTest, MachineDescribeShowsTaxonomy) {
       run_cli({"machine", "describe", "--machine", "nvisland"});
   EXPECT_NE(out.find("nvlink-peer"), std::string::npos);
   EXPECT_NE(out.find("first match wins"), std::string::npos);
-  EXPECT_NE(out.find("2 NIC lane(s)"), std::string::npos);
+  EXPECT_NE(out.find("2 lane(s) per node"), std::string::npos);
+  // Per-path-class rail topology: off-node classes show the rail fan-out
+  // and stripe eligibility, on-node classes show the port pair.
+  EXPECT_NE(out.find("rail/lane topology"), std::string::npos);
+  EXPECT_NE(out.find("socket%2"), std::string::npos);
+  EXPECT_NE(out.find("port pair (no NIC)"), std::string::npos);
+  EXPECT_NE(out.find("rendezvous msgs"), std::string::npos);
 }
 
 TEST_F(CliRunTest, MachineValidateAcceptsPresets) {
@@ -371,7 +378,8 @@ TEST_F(CliExitCodeTest, RankingStabilityEmitsValidatedReport) {
   EXPECT_EQ(doc.at("schema").as_string(), "hetcomm.stability.v1");
   EXPECT_EQ(doc.at("instances").as_int(), 2);
   EXPECT_EQ(doc.at("results").size(), 2u);
-  EXPECT_EQ(doc.at("nominal").at("outcomes").size(), 8u);
+  EXPECT_EQ(doc.at("nominal").at("outcomes").size(),
+            core::all_strategies().size());
   std::remove(report_path.c_str());
   std::remove(mild.c_str());
 }

@@ -62,7 +62,7 @@ class CompiledPlanTest : public ::testing::Test {
 TEST_F(CompiledPlanTest, EngineLevelBitIdentityForAllStrategies) {
   // Fresh engine + run_plan vs fresh engine + execute(compiled), same noise
   // seed: every clock and every traced event must agree to the bit.
-  for (const StrategyConfig& cfg : table5_strategies()) {
+  for (const StrategyConfig& cfg : all_strategies()) {
     const CommPlan plan = build_plan(pattern(), topo_, params_, cfg);
     const CompiledPlan compiled(plan, topo_, params_);
 
@@ -89,7 +89,7 @@ TEST_F(CompiledPlanTest, EngineLevelBitIdentityForAllStrategies) {
 TEST_F(CompiledPlanTest, MeasureBitIdenticalAcrossEnginesAndJobs) {
   // measure() statistics and last-rep trace must not depend on the
   // execution mode at jobs in {1, 4, hardware}.
-  for (const StrategyConfig& cfg : table5_strategies()) {
+  for (const StrategyConfig& cfg : all_strategies()) {
     const CommPlan plan = build_plan(pattern(), topo_, params_, cfg);
     for (const int jobs : {1, 4, 0}) {
       MeasureOptions opts;

@@ -567,7 +567,7 @@ TEST(RankingStability, DeterministicReportWithConsistentSummary) {
   EXPECT_EQ(report.machine, mach.params.name);
   EXPECT_EQ(report.fault_plan, "stability-test");
   EXPECT_FALSE(report.nominal.winner.empty());
-  EXPECT_EQ(report.nominal.outcomes.size(), core::table5_strategies().size());
+  EXPECT_EQ(report.nominal.outcomes.size(), core::all_strategies().size());
   ASSERT_EQ(report.results.size(), 3u);
 
   // Instance fault seeds are derived, distinct, and reproducible.

@@ -235,8 +235,8 @@ TEST(Summary, SingleSample) {
 
 TEST(EngineMetrics, MergeAddsSlotsAndChecksPhases) {
   obs::EngineMetrics a, b;
-  a.ensure_nodes(2);
-  b.ensure_nodes(2);
+  a.ensure_lanes(2, 1);
+  b.ensure_lanes(2, 1);
   a.on_message(PathClass::OnNode, Protocol::Eager, 100);
   b.on_message(PathClass::OnNode, Protocol::Eager, 50);
   b.on_message(PathClass::OffNode, Protocol::Rendezvous, 7);
@@ -260,7 +260,7 @@ TEST(EngineMetrics, MergeAddsSlotsAndChecksPhases) {
 
 TEST(EngineMetrics, PublishUsesStableNames) {
   obs::EngineMetrics m;
-  m.ensure_nodes(1);
+  m.ensure_lanes(1, 1);
   m.on_message(PathClass::OnNode, Protocol::Rendezvous, 4096);
   m.on_wait(obs::SimResource::NicOut, 1.0, 1.5);
   m.on_nic_egress(0, 4096);
@@ -586,7 +586,7 @@ TEST(EngineMetrics, PathNameFallsBackWhenUndeclared) {
 
 TEST(EngineMetrics, PublishUsesDeclaredPathNames) {
   obs::EngineMetrics m;
-  m.ensure_nodes(1);
+  m.ensure_lanes(1, 1);
   m.path_names = {"on-socket", "cross-socket", "off-node", "nvlink-peer"};
   m.on_message(3, Protocol::Eager, 512);
   obs::Registry reg;

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -71,6 +72,10 @@ def main() -> int:
     ap.add_argument("--threshold", type=float, default=None, metavar="PCT",
                     help="exit 1 when any series slows down by more than "
                          "PCT percent (default: report only)")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="only compare series whose name matches REGEX "
+                         "(re.search), e.g. --filter '^BM_Rep' for the "
+                         "repetition-throughput gate")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -82,9 +87,18 @@ def main() -> int:
 
     base = series(base_doc)
     cur = series(cur_doc)
+    if args.filter is not None:
+        try:
+            pat = re.compile(args.filter)
+        except re.error as e:
+            sys.exit(f"bench_trend: bad --filter regex: {e}")
+        base = {n: v for n, v in base.items() if pat.search(n)}
+        cur = {n: v for n, v in cur.items() if pat.search(n)}
     shared = [n for n in base if n in cur]
     if not shared:
-        sys.exit("bench_trend: the two artifacts share no benchmark series")
+        sys.exit("bench_trend: the two artifacts share no benchmark series"
+                 + (f" matching --filter {args.filter!r}" if args.filter
+                    else ""))
 
     width = max(len(n) for n in shared)
     regressions = []
