@@ -133,6 +133,14 @@ std::string usage() {
       "                       (default 256; 0 disables caching)\n"
       "  --cache-shards N     for `serve`: plan cache shards (default 8)\n"
       "  --max-requests N     for `serve`: stop after N data requests\n"
+      "  --max-queue N        for `serve`: pending-queue bound; requests\n"
+      "                       beyond it are shed per --shed-policy\n"
+      "                       (default 0 = unbounded)\n"
+      "  --shed-policy P      for `serve`: reject (structured `overloaded`\n"
+      "                       errors, default) or degrade (model-only\n"
+      "                       answers with \"degraded\": true)\n"
+      "  --default-deadline MS  for `serve`: deadline for requests without\n"
+      "                       their own deadline_ms (default 0 = none)\n"
       "  --trace FILE         for `serve`/`report`: write the\n"
       "                       hetcomm.trace.v1 span artifact on exit\n"
       "  --trace-sample N     keep every Nth trace (default 1 = all)\n"
@@ -254,6 +262,14 @@ Options Options::parse(const std::vector<std::string>& args) {
     } else if (flag == "--max-requests") {
       opts.max_requests =
           static_cast<std::int64_t>(to_int(value(), "--max-requests"));
+    } else if (flag == "--max-queue") {
+      opts.max_queue =
+          static_cast<std::int64_t>(to_int(value(), "--max-queue"));
+    } else if (flag == "--shed-policy") {
+      opts.shed_policy = value();
+    } else if (flag == "--default-deadline") {
+      opts.default_deadline =
+          static_cast<std::int64_t>(to_int(value(), "--default-deadline"));
     } else if (flag == "--trace") {
       opts.trace_file = value();
       if (opts.trace_file.empty()) {
@@ -290,6 +306,15 @@ Options Options::parse(const std::vector<std::string>& args) {
   }
   if (opts.max_requests < 0) {
     throw std::invalid_argument("--max-requests must be >= 0");
+  }
+  if (opts.max_queue < 0) {
+    throw std::invalid_argument("--max-queue must be >= 0");
+  }
+  if (opts.shed_policy != "reject" && opts.shed_policy != "degrade") {
+    throw std::invalid_argument("--shed-policy must be reject or degrade");
+  }
+  if (opts.default_deadline < 0) {
+    throw std::invalid_argument("--default-deadline must be >= 0");
   }
   if (opts.trace_sample < 1) {
     throw std::invalid_argument("--trace-sample must be >= 1");
@@ -851,6 +876,11 @@ int cmd_serve(const Options& opts, std::ostream& os) {
   sopts.cache_capacity = static_cast<std::size_t>(opts.cache_entries);
   sopts.batch = opts.batch;
   sopts.max_requests = opts.max_requests;
+  sopts.max_queue = static_cast<std::size_t>(opts.max_queue);
+  sopts.shed_policy = opts.shed_policy == "degrade"
+                          ? serve::ShedPolicy::Degrade
+                          : serve::ShedPolicy::Reject;
+  sopts.default_deadline_ms = opts.default_deadline;
   sopts.default_machine = opts.machine;
   sopts.trace = !opts.trace_file.empty();
   sopts.trace_sample = opts.trace_sample;

@@ -84,6 +84,9 @@ struct Options {
   std::int64_t cache_entries = 256;  ///< serve: plan cache capacity (0 = off)
   int cache_shards = 8;      ///< serve: plan cache shards
   std::int64_t max_requests = 0;  ///< serve: stop after N requests (0 = inf)
+  std::int64_t max_queue = 0;  ///< serve: pending-queue bound (0 = unbounded)
+  std::string shed_policy = "reject";  ///< serve: reject | degrade
+  std::int64_t default_deadline = 0;  ///< serve: default deadline_ms (0 = off)
   std::string trace_file;    ///< serve/report: write hetcomm.trace.v1 spans
   std::uint64_t trace_sample = 1;  ///< keep every Nth trace (1 = all)
   std::string in_file;       ///< `trace report`/`trace export`: input artifact

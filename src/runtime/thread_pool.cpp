@@ -21,6 +21,7 @@ struct ThreadPool::Impl {
 
   // Current job, published under `mu` and bumped via `epoch`.
   const Task* task = nullptr;
+  const CancelFn* cancel = nullptr;
   std::int64_t count = 0;
   std::uint64_t epoch = 0;
   std::size_t workers_done = 0;
@@ -45,6 +46,21 @@ struct ThreadPool::Impl {
       if (failed.load(std::memory_order_relaxed)) return;
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      // Cooperative cancellation: ask the caller's predicate whether this
+      // claimed index should still run.  A throwing predicate counts as a
+      // task failure (first exception wins, remaining claims stop).
+      if (cancel != nullptr && *cancel) {
+        bool skip = false;
+        try {
+          skip = (*cancel)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (skip) continue;
+      }
       obs::SpanRecord run_span;
       if (trace.tracer != nullptr) {
         const double claimed = trace.tracer->now();
@@ -120,11 +136,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(std::int64_t count, const Task& fn,
-                              const TraceHook& trace) {
+                              const TraceHook& trace, const CancelFn& cancel) {
   if (count <= 0) return;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->task = &fn;
+    impl_->cancel = &cancel;
     impl_->count = count;
     impl_->trace = trace;
     if (trace.tracer != nullptr) {
@@ -147,7 +164,8 @@ void ThreadPool::parallel_for(std::int64_t count, const Task& fn,
   impl_->done_cv.wait(lock,
                       [&] { return impl_->workers_done == workers_.size(); });
   impl_->task = nullptr;
-  impl_->trace = {};
+  impl_->cancel = nullptr;
+  impl_->trace = TraceHook();
   if (impl_->error) {
     std::exception_ptr error = impl_->error;
     impl_->error = nullptr;

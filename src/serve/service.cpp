@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -46,6 +47,86 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// Machine-readable error taxonomy: every error reply carries exactly one
+/// of these as "error_code" (docs/serve.md "Resilience").  None is the
+/// internal "no error yet" state and renders as bad_request if a message
+/// ever reaches a reply without a classified code.
+enum class ErrorCode : std::uint8_t {
+  None = 0,
+  BadRequest,        ///< malformed line / invalid field / unbuildable plan
+  Overloaded,        ///< shed by admission control (ShedPolicy::Reject)
+  DeadlineExceeded,  ///< request ran out of deadline budget
+  ShuttingDown,      ///< shed by the shutdown drain
+  FaultAborted,      ///< engine FaultAbort (see the "fault" reply object)
+  Internal,          ///< unexpected execution failure
+};
+constexpr std::size_t kNumErrorCodes = 7;
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Overloaded:
+      return "overloaded";
+    case ErrorCode::DeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::ShuttingDown:
+      return "shutting_down";
+    case ErrorCode::FaultAborted:
+      return "fault_abort";
+    case ErrorCode::Internal:
+      return "internal";
+    case ErrorCode::None:
+    case ErrorCode::BadRequest:
+      break;
+  }
+  return "bad_request";
+}
+
+/// Whether a reply with this code should tell the client when to retry.
+bool carries_retry_hint(ErrorCode code) noexcept {
+  return code == ErrorCode::Overloaded ||
+         code == ErrorCode::DeadlineExceeded ||
+         code == ErrorCode::ShuttingDown;
+}
+
+/// Parse-phase failure that already knows its error code (shed lines,
+/// shutdown drain).  Plain std::exception failures classify as BadRequest.
+struct ServeError : std::runtime_error {
+  ServeError(ErrorCode code_in, const std::string& what)
+      : std::runtime_error(what), code(code_in) {}
+  ErrorCode code;
+};
+
+/// Admission verdict stamped on a line when it enters the service, before
+/// anything is parsed.  Control lines ignore it (stats/shutdown are never
+/// shed); data lines shed per the service's ShedPolicy.
+enum class Admission : std::uint8_t {
+  Normal,        ///< inside the pending-queue bound
+  ShedOverload,  ///< arrived with the pending queue at max_queue
+  ShedShutdown,  ///< arrived after a shutdown request (bounded drain)
+};
+
+/// Structured payload of a fault_abort reply, copied off the engine's
+/// FaultAbort exception on the worker that caught it.
+struct FaultDetail {
+  std::string reason;
+  std::string strategy;
+  int src = -1;
+  int dst = -1;
+  int path_id = -1;
+  std::string path;
+  int attempts = 0;
+};
+
+const char* abort_reason_name(FaultAbort::Reason reason) noexcept {
+  switch (reason) {
+    case FaultAbort::Reason::RetriesExhausted:
+      return "retries_exhausted";
+    case FaultAbort::Reason::NicUnavailable:
+      return "nic_unavailable";
+  }
+  return "unknown";
 }
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
@@ -142,8 +223,19 @@ struct Request {
   /// strategy (the default strategy *is* the ranking winner).
   bool want_ranking = true;
 
+  // -- resilience --------------------------------------------------------
+  Admission admission = Admission::Normal;
+  bool degraded = false;    ///< answered from the model layer, no engine
+  double confidence = 0.0;  ///< degraded replies: model top-2 separation
+  bool plan_cached = false; ///< degraded replies: plan was cache-resident
+  bool has_deadline = false;
+  Clock::time_point deadline;  ///< meaningful only when has_deadline
+  bool partial = false;  ///< deadline_exceeded reply can attach the ranking
+
   // -- outcome -----------------------------------------------------------
   std::string error;  ///< nonempty = error response
+  ErrorCode code = ErrorCode::None;
+  std::shared_ptr<FaultDetail> fault;  ///< fault_abort replies only
   std::vector<core::Recommendation> ranking;
   std::shared_ptr<const CachedPlan> plan;
   std::uint64_t plan_key = 0;
@@ -168,6 +260,7 @@ struct Request {
 struct TimedLine {
   std::string text;
   Clock::time_point enqueued;
+  Admission admission = Admission::Normal;
 };
 
 /// One (plan, machine, faults) coalescing group: lanes from every member
@@ -199,6 +292,11 @@ struct Block {
   std::size_t request = SIZE_MAX;
   double seconds = 0.0;
   std::string error;
+  ErrorCode code = ErrorCode::None;
+  std::shared_ptr<FaultDetail> fault;
+  /// Skipped by the deadline CancelFn: every owning request had expired
+  /// when this block came up for execution.
+  bool cancelled = false;
   // Tracing only: tracer-epoch wall interval and the block span's id.
   double trace_t0 = 0.0;
   double trace_t1 = 0.0;
@@ -236,6 +334,9 @@ struct Service::Impl {
       tn.queue_wait = tracer->intern("queue_wait");
       tn.execute = tracer->intern("execute");
       tn.error = tracer->intern("request.error");
+      tn.shed = tracer->intern("request.shed");
+      tn.degraded = tracer->intern("request.degraded");
+      tn.deadline = tracer->intern("request.deadline");
       tn.window = tracer->intern("window");
       tn.render = tracer->intern("window.render");
       tn.block = tracer->intern("serve.block");
@@ -290,8 +391,8 @@ struct Service::Impl {
   /// never touches the intern table.
   struct TraceNames {
     std::uint16_t request = 0, parse = 0, queue_wait = 0, execute = 0,
-                  error = 0, window = 0, render = 0, block = 0,
-                  engine_msg = 0, engine_copy = 0;
+                  error = 0, shed = 0, degraded = 0, deadline = 0, window = 0,
+                  render = 0, block = 0, engine_msg = 0, engine_copy = 0;
     std::uint16_t k_pattern = 0, k_machine = 0, k_strategy = 0, k_cache = 0,
                   k_hit = 0, k_miss = 0, k_reps = 0, k_nodes = 0, k_error = 0,
                   k_requests = 0, k_groups = 0, k_blocks = 0, k_lanes = 0,
@@ -303,7 +404,18 @@ struct Service::Impl {
   std::int64_t requests_total = 0;
   std::int64_t control_requests = 0;
   std::int64_t errors = 0;
+  std::int64_t errors_by_code[kNumErrorCodes] = {};
   std::int64_t predict_only = 0;
+  std::int64_t degraded_requests = 0;
+  std::int64_t shed_overloaded = 0;  ///< lines admitted over the queue bound
+  std::int64_t shed_shutdown = 0;    ///< lines shed by the shutdown drain
+  std::int64_t deadline_partials = 0;
+  std::int64_t cancelled_blocks = 0;
+  std::int64_t queue_depth = 0;       ///< pending depth behind this window
+  std::int64_t queue_depth_peak = 0;
+  /// EWMA of requests retired per busy second, the denominator behind
+  /// every retry_after_ms hint.  0 until the first window completes.
+  double drain_rate_rps = 0.0;
   std::int64_t measured_requests = 0;
   std::int64_t measured_cache_hits = 0;
   std::int64_t compiles = 0;
@@ -324,6 +436,24 @@ struct Service::Impl {
 
   void add_sample(std::vector<double>& v, double s) {
     if (v.size() < kMaxSamples) v.push_back(s);
+  }
+
+  void note_queue_depth(std::size_t depth) {
+    queue_depth = static_cast<std::int64_t>(depth);
+    queue_depth_peak = std::max(queue_depth_peak, queue_depth);
+  }
+
+  /// Backoff hint for overloaded / deadline_exceeded / shutting_down
+  /// replies: the time the observed drain rate needs to clear the queue
+  /// standing behind this window, clamped to [1ms, 60s].  Before the first
+  /// window completes there is no rate yet; assume a fast server (1ms/req)
+  /// rather than telling the first-ever shed client to stay away a minute.
+  [[nodiscard]] std::int64_t retry_after_ms() const {
+    const double rate = drain_rate_rps > 0.0 ? drain_rate_rps : 1000.0;
+    const double ms =
+        (static_cast<double>(queue_depth) + 1.0) / rate * 1000.0;
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(ms) + 1,
+                                    1, 60000);
   }
 
   const MachineEntry& resolve_machine(const std::string& arg) {
@@ -361,6 +491,15 @@ struct Service::Impl {
   // ---------------------------------------------------------------------
 
   void parse_request(const std::string& line, Request& req) {
+    // Length guard before the JSON parse: run_socket feeds an oversized
+    // partial buffer through here so the abusive client gets one bounded
+    // `bad_request` reply instead of growing the server's memory.
+    if (options.max_line_bytes > 0 && line.size() > options.max_line_bytes) {
+      throw ServeError(ErrorCode::BadRequest,
+                       "request line is " + std::to_string(line.size()) +
+                           " bytes (max_line_bytes is " +
+                           std::to_string(options.max_line_bytes) + ")");
+    }
     const obs::JsonValue doc = obs::JsonValue::parse(line);
     if (!doc.is_object()) {
       throw std::invalid_argument("request must be a JSON object");
@@ -387,9 +526,23 @@ struct Service::Impl {
       if (key != "id" && key != "machine" && key != "nodes" &&
           key != "pattern" && key != "strategy" && key != "faults" &&
           key != "reps" && key != "seed" && key != "staged_only" &&
-          key != "rank") {
+          key != "rank" && key != "deadline_ms") {
         throw std::invalid_argument("unknown request key '" + key + "'");
       }
+    }
+
+    // Admission verdicts bite here, after the control check above (control
+    // lines are never shed) but before any expensive work.
+    if (req.admission == Admission::ShedShutdown) {
+      throw ServeError(ErrorCode::ShuttingDown,
+                       "server is shutting down; request was shed from the "
+                       "queue unprocessed");
+    }
+    if (req.admission == Admission::ShedOverload &&
+        options.shed_policy == ShedPolicy::Reject) {
+      throw ServeError(ErrorCode::Overloaded,
+                       "server overloaded: pending queue is at max_queue (" +
+                           std::to_string(options.max_queue) + ")");
     }
 
     std::string machine_arg = options.default_machine;
@@ -423,6 +576,32 @@ struct Service::Impl {
     }
     if (const obs::JsonValue* rk = doc.find("rank")) {
       req.want_ranking = rk->as_bool();
+    }
+
+    // Deadline budget: an explicit "deadline_ms" wins (0 = expire as soon
+    // as the window reaches execution -- the deterministic shape the
+    // deadline tests use); otherwise the service default applies.
+    std::int64_t deadline_ms = -1;
+    if (const obs::JsonValue* d = doc.find("deadline_ms")) {
+      deadline_ms = d->as_int();
+      if (deadline_ms < 0 || deadline_ms > 86400000) {
+        throw std::invalid_argument("deadline_ms must be in [0, 86400000]");
+      }
+    } else if (options.default_deadline_ms > 0) {
+      deadline_ms = options.default_deadline_ms;
+    }
+    if (deadline_ms >= 0) {
+      req.has_deadline = true;
+      req.deadline = req.enqueued + std::chrono::milliseconds(deadline_ms);
+    }
+
+    // Overloaded + Degrade: measured requests fall back to the model-only
+    // answer.  The ranking *is* that answer, so it is always computed for
+    // degraded requests, even for "rank": false clients.  Predict-only
+    // requests are already engine-free and answer normally.
+    if (req.admission == Admission::ShedOverload && req.reps > 0) {
+      req.degraded = true;
+      req.want_ranking = true;
     }
 
     parse_pattern(doc.find("pattern"), topo, req);
@@ -465,6 +644,25 @@ struct Service::Impl {
     req.plan_key = mix_seed(
         mix_seed(req.pattern_fp, req.engine_key),
         fnv1a_bytes(req.strategy.name()));
+
+    if (req.degraded) {
+      // The degraded answer is the model ranking; its confidence is the
+      // model's top-2 separation -- 0 when the two best strategies predict
+      // identically (a coin toss), approaching 1 when the winner is far
+      // ahead.  Deterministic, so clients (and the chaos harness) can
+      // gate on it.
+      if (req.ranking.size() >= 2) {
+        const double p1 = req.ranking[0].predicted_seconds;
+        const double p2 = req.ranking[1].predicted_seconds;
+        req.confidence =
+            p2 > 0.0 ? std::clamp((p2 - p1) / p2, 0.0, 1.0) : 0.0;
+      } else {
+        req.confidence = 1.0;  // only one candidate: nothing to confuse
+      }
+      // Cache peek (no compile, no engine): tells the client whether the
+      // full answer would have been hot had the server not been shedding.
+      req.plan_cached = plans.find(req.plan_key) != nullptr;
+    }
   }
 
   void parse_pattern(const obs::JsonValue* spec, const Topology& topo,
@@ -604,7 +802,10 @@ struct Service::Impl {
       std::unordered_map<std::uint64_t, std::size_t> first;
       for (std::size_t i = 0; i < reqs.size(); ++i) {
         Request& req = reqs[i];
-        if (req.control || !req.error.empty() || req.reps == 0) continue;
+        if (req.control || !req.error.empty() || req.reps == 0 ||
+            req.degraded) {
+          continue;
+        }
         if (first.emplace(req.plan_key, i).second) unique.push_back(i);
       }
     }
@@ -638,7 +839,11 @@ struct Service::Impl {
                 &ctx);
             req.cache_hit = !req.compiled_here;
           } catch (const std::exception& e) {
+            // Plan construction rejects the *input* (strategy/pattern
+            // combination the builder cannot lower), so it classifies as
+            // the client's error, not the server's.
             req.error = e.what();
+            req.code = ErrorCode::BadRequest;
           }
         },
         whook);
@@ -649,11 +854,15 @@ struct Service::Impl {
       for (const std::size_t i : unique) rep.emplace(reqs[i].plan_key, i);
       for (std::size_t i = 0; i < reqs.size(); ++i) {
         Request& req = reqs[i];
-        if (req.control || !req.error.empty() || req.reps == 0) continue;
+        if (req.control || !req.error.empty() || req.reps == 0 ||
+            req.degraded) {
+          continue;
+        }
         const std::size_t r = rep.at(req.plan_key);
         if (r == i) continue;
         if (!reqs[r].error.empty()) {
           req.error = reqs[r].error;
+          req.code = reqs[r].code;
           continue;
         }
         req.plan = reqs[r].plan;
@@ -670,7 +879,10 @@ struct Service::Impl {
     std::unordered_map<std::uint64_t, std::size_t> group_of;
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       Request& req = reqs[i];
-      if (req.control || !req.error.empty() || req.reps == 0) continue;
+      if (req.control || !req.error.empty() || req.reps == 0 ||
+          req.degraded) {
+        continue;
+      }
       const std::uint64_t gkey = mix_seed(req.plan_key, req.faults_fp);
       auto [it, inserted] = group_of.emplace(gkey, groups.size());
       if (inserted) {
@@ -705,15 +917,23 @@ struct Service::Impl {
       if (g.faults == nullptr) {
         for (const runtime::LaneBlock& b : runtime::lane_blocks(
                  static_cast<std::int64_t>(g.lane_seeds.size()), width)) {
-          blocks.push_back({gi, b.start, b.width, SIZE_MAX, 0.0, {}});
+          Block blk;
+          blk.group = gi;
+          blk.start = b.start;
+          blk.width = b.width;
+          blocks.push_back(std::move(blk));
         }
       } else {
         for (std::size_t m = 0; m < g.requests.size(); ++m) {
           const Request& req = reqs[g.requests[m]];
           for (const runtime::LaneBlock& b :
                runtime::lane_blocks(req.reps, std::min(width, req.reps))) {
-            blocks.push_back({gi, g.lane_base[m] + b.start, b.width,
-                              g.requests[m], 0.0, {}});
+            Block blk;
+            blk.group = gi;
+            blk.start = g.lane_base[m] + b.start;
+            blk.width = b.width;
+            blk.request = g.requests[m];
+            blocks.push_back(std::move(blk));
           }
         }
       }
@@ -725,6 +945,46 @@ struct Service::Impl {
     // set_tracing never perturbs clocks, so replies stay bit-identical.
     Trace engine_trace;
     const bool merge_engine = wtrace != 0 && !blocks.empty();
+
+    // Deadline cancellation between blocks: a claimed block is skipped when
+    // every request owning its lanes has expired.  Coalesced (unfaulted)
+    // blocks mix lanes from several requests, so they cancel only when ALL
+    // owners expired -- a live request's lanes always run, which is what
+    // keeps its reply bit-identical to an unloaded server's.  The predicate
+    // runs on the claiming worker; each block index is claimed exactly
+    // once, so writing block.cancelled here is race-free.
+    runtime::ThreadPool::CancelFn cancel;
+    bool any_deadline = false;
+    for (const Request& req : reqs) {
+      if (req.has_deadline && req.error.empty() && !req.control) {
+        any_deadline = true;
+        break;
+      }
+    }
+    if (any_deadline) {
+      cancel = [&](std::int64_t bi) {
+        Block& block = blocks[static_cast<std::size_t>(bi)];
+        const Group& g = groups[block.group];
+        const auto now = Clock::now();
+        const auto expired = [&](const Request& r) {
+          return r.has_deadline && now >= r.deadline;
+        };
+        bool skip = false;
+        if (block.request != SIZE_MAX) {
+          skip = expired(reqs[block.request]);
+        } else {
+          skip = !g.requests.empty();
+          for (const std::size_t r : g.requests) {
+            if (!expired(reqs[r])) {
+              skip = false;
+              break;
+            }
+          }
+        }
+        if (skip) block.cancelled = true;
+        return skip;
+      };
+    }
 
     pool.parallel_for(
         static_cast<std::int64_t>(blocks.size()),
@@ -758,9 +1018,25 @@ struct Service::Impl {
               engine_trace = slot->trace();
               slot->set_tracing(false);
             }
+          } catch (const FaultAbort& e) {
+            // Structured abort: the reply carries the fault's coordinates
+            // (strategy filled in at attribution -- the engine throws with
+            // it empty).  Faulted groups never coalesce blocks across
+            // requests, so this maps to exactly one reply.
+            block.error = e.what();
+            block.code = ErrorCode::FaultAborted;
+            auto detail = std::make_shared<FaultDetail>();
+            detail->reason = abort_reason_name(e.reason);
+            detail->src = e.src;
+            detail->dst = e.dst;
+            detail->path_id = e.path_id;
+            detail->path = e.path;
+            detail->attempts = e.attempts;
+            block.fault = std::move(detail);
           } catch (const std::exception& e) {
             block.error = e.what();
             if (block.error.empty()) block.error = "execution failed";
+            block.code = ErrorCode::Internal;
           }
           block.seconds = seconds_between(t0, Clock::now());
           if (tracer != nullptr) {
@@ -783,10 +1059,30 @@ struct Service::Impl {
             tracer->record(worker, s);
           }
         },
-        whook);
+        whook, cancel);
 
     for (const Block& block : blocks) {
       Group& g = groups[block.group];
+      if (block.cancelled) {
+        // The deadline predicate only skips a block when every owner had
+        // expired, so marking them all deadline_exceeded is exact.  The
+        // ranking (when the request asked for one) rides along as the
+        // partial result -- it was computed at parse time.
+        cancelled_blocks += 1;
+        const auto expire = [&](Request& r) {
+          if (!r.error.empty()) return;
+          r.error = "deadline exceeded during execution (lanes cancelled "
+                    "between blocks)";
+          r.code = ErrorCode::DeadlineExceeded;
+          r.partial = !r.ranking.empty();
+        };
+        if (block.request != SIZE_MAX) {
+          expire(reqs[block.request]);
+        } else {
+          for (const std::size_t r : g.requests) expire(reqs[r]);
+        }
+        continue;
+      }
       g.execute_seconds += block.seconds;
       add_sample(block_samples, block.seconds);
       if (tracer != nullptr) {
@@ -801,12 +1097,19 @@ struct Service::Impl {
         }
       }
       if (!block.error.empty()) {
-        if (block.request != SIZE_MAX) {
-          reqs[block.request].error = block.error;
-        } else {
-          for (const std::size_t r : g.requests) {
-            if (reqs[r].error.empty()) reqs[r].error = block.error;
+        const auto apply = [&](Request& r) {
+          if (!r.error.empty()) return;
+          r.error = block.error;
+          r.code = block.code;
+          if (block.fault != nullptr) {
+            r.fault = std::make_shared<FaultDetail>(*block.fault);
+            r.fault->strategy = r.strategy.name();
           }
+        };
+        if (block.request != SIZE_MAX) {
+          apply(reqs[block.request]);
+        } else {
+          for (const std::size_t r : g.requests) apply(reqs[r]);
         }
       }
     }
@@ -942,6 +1245,18 @@ struct Service::Impl {
   // Response rendering + accounting.
   // ---------------------------------------------------------------------
 
+  static obs::JsonValue ranking_json(const Request& req) {
+    obs::JsonValue ranking = obs::JsonValue::array();
+    for (const core::Recommendation& r : req.ranking) {
+      obs::JsonValue row = obs::JsonValue::object();
+      row.set("strategy", r.config.name());
+      row.set("predicted_seconds", r.predicted_seconds);
+      row.set("relative", r.relative);
+      ranking.push_back(std::move(row));
+    }
+    return ranking;
+  }
+
   std::string render(const Request& req, Clock::time_point done) {
     obs::JsonValue doc = obs::JsonValue::object();
     doc.set("id", req.id);
@@ -949,8 +1264,34 @@ struct Service::Impl {
     // clients never need to time the wire themselves.
     doc.set("latency_seconds", seconds_between(req.enqueued, done));
     if (!req.error.empty()) {
+      const ErrorCode code =
+          req.code == ErrorCode::None ? ErrorCode::BadRequest : req.code;
       doc.set("ok", false);
       doc.set("error", req.error);
+      doc.set("error_code", error_code_name(code));
+      if (carries_retry_hint(code)) {
+        doc.set("retry_after_ms", retry_after_ms());
+      }
+      if (req.fault != nullptr) {
+        obs::JsonValue fault = obs::JsonValue::object();
+        fault.set("reason", req.fault->reason);
+        fault.set("strategy", req.fault->strategy);
+        fault.set("src", req.fault->src);
+        fault.set("dst", req.fault->dst);
+        fault.set("path_id", req.fault->path_id);
+        fault.set("path", req.fault->path);
+        fault.set("attempts", req.fault->attempts);
+        doc.set("fault", std::move(fault));
+      }
+      if (code == ErrorCode::DeadlineExceeded && req.partial &&
+          !req.ranking.empty()) {
+        // The model ranking was already computed when the deadline fired;
+        // hand it over rather than discarding mid-flight work.
+        obs::JsonValue partial = obs::JsonValue::object();
+        partial.set("recommended", req.ranking.front().config.name());
+        partial.set("ranking", ranking_json(req));
+        doc.set("partial", std::move(partial));
+      }
       return to_line(doc);
     }
     doc.set("ok", true);
@@ -976,19 +1317,17 @@ struct Service::Impl {
     doc.set("gpus", req.pattern->num_gpus());
     doc.set("pattern_hash", hash_hex(req.pattern_fp));
     if (!req.ranking.empty()) {
-      obs::JsonValue ranking = obs::JsonValue::array();
-      for (const core::Recommendation& r : req.ranking) {
-        obs::JsonValue row = obs::JsonValue::object();
-        row.set("strategy", r.config.name());
-        row.set("predicted_seconds", r.predicted_seconds);
-        row.set("relative", r.relative);
-        ranking.push_back(std::move(row));
-      }
       doc.set("recommended", req.ranking.front().config.name());
-      doc.set("ranking", std::move(ranking));
+      doc.set("ranking", ranking_json(req));
     }
 
-    if (req.reps > 0) {
+    if (req.degraded) {
+      // Model-only answer under load shedding: no engine lanes ran, so
+      // there is no "measured" section; the ranking above *is* the reply.
+      doc.set("degraded", true);
+      doc.set("confidence", req.confidence);
+      doc.set("cache", req.plan_cached ? "hit" : "miss");
+    } else if (req.reps > 0) {
       obs::JsonValue measured = obs::JsonValue::object();
       measured.set("strategy", req.strategy.name());
       measured.set("reps", req.reps);
@@ -1015,14 +1354,42 @@ struct Service::Impl {
 
   void account(const Request& req, Clock::time_point done) {
     requests_total += 1;
-    if (!req.error.empty()) errors += 1;
+    // Admission tallies are outcome-independent for data requests: a shed
+    // line counts here whether it ended up rejected or degraded.  Control
+    // lines are exempt -- they answer normally regardless of admission, so
+    // counting them would make shed_overloaded exceed the shed outcomes.
+    if (!req.control) {
+      if (req.admission == Admission::ShedOverload) shed_overloaded += 1;
+      if (req.admission == Admission::ShedShutdown) shed_shutdown += 1;
+    }
+    // Exactly one bucket per request: error beats control (a malformed
+    // cmd line is an error, full stop -- counting it in both buckets
+    // broke the control+errors+...== total invariant the stats contract
+    // promises), then control / degraded / predict-only / measured.
+    if (!req.error.empty()) {
+      errors += 1;
+      const ErrorCode code =
+          req.code == ErrorCode::None ? ErrorCode::BadRequest : req.code;
+      errors_by_code[static_cast<std::size_t>(code)] += 1;
+      if (code == ErrorCode::DeadlineExceeded && req.partial) {
+        deadline_partials += 1;
+      }
+      if (!req.control) {
+        add_sample(latency_samples, seconds_between(req.enqueued, done));
+        add_sample(queue_samples, req.queue_wait_seconds);
+      }
+      return;
+    }
     if (req.control) {
       control_requests += 1;
       return;
     }
     add_sample(latency_samples, seconds_between(req.enqueued, done));
     add_sample(queue_samples, req.queue_wait_seconds);
-    if (!req.error.empty()) return;
+    if (req.degraded) {
+      degraded_requests += 1;
+      return;
+    }
     if (req.reps == 0) {
       predict_only += 1;
       return;
@@ -1054,6 +1421,7 @@ struct Service::Impl {
     std::vector<Request> reqs(lines.size());
     for (std::size_t i = 0; i < lines.size(); ++i) {
       reqs[i].enqueued = lines[i].enqueued;
+      reqs[i].admission = lines[i].admission;
       if (tracer != nullptr) {
         const std::uint64_t id = tracer->begin_trace();
         if (tracer->sampled(id)) {
@@ -1064,9 +1432,13 @@ struct Service::Impl {
       const double parse_t0 = tracer != nullptr ? tracer->now() : 0.0;
       try {
         parse_request(lines[i].text, reqs[i]);
+      } catch (const ServeError& e) {
+        reqs[i].error = e.what();
+        reqs[i].code = e.code;
       } catch (const std::exception& e) {
         reqs[i].error = e.what();
         if (reqs[i].error.empty()) reqs[i].error = "bad request";
+        reqs[i].code = ErrorCode::BadRequest;
       }
       if (reqs[i].trace_id != 0) {
         obs::SpanRecord s;
@@ -1078,13 +1450,27 @@ struct Service::Impl {
         s.t_end = tracer->now();
         tracer->record(0, s);
       }
-      if (reqs[i].control && reqs[i].cmd == "shutdown") shutdown = true;
+      if (reqs[i].control && reqs[i].error.empty() &&
+          reqs[i].cmd == "shutdown") {
+        shutdown = true;
+      }
     }
 
     const auto exec_start = Clock::now();
     for (Request& req : reqs) {
+      // Deadline checkpoint 1 of 2 (checkpoint 2 is the between-blocks
+      // CancelFn): a request whose budget ran out while queued or parsing
+      // never reaches the engine.  Parsing already computed the model
+      // ranking, so the reply still carries it as "partial".
+      if (!req.control && req.error.empty() && req.has_deadline &&
+          exec_start >= req.deadline) {
+        req.error = "deadline exceeded before execution";
+        req.code = ErrorCode::DeadlineExceeded;
+        req.partial = !req.ranking.empty();
+      }
       req.queue_wait_seconds = seconds_between(
-          req.enqueued, req.reps > 0 ? exec_start : window_start);
+          req.enqueued,
+          req.reps > 0 && !req.degraded ? exec_start : window_start);
       if (req.trace_id != 0 && !req.control) {
         // Exactly the interval the response's timing.queue_wait_seconds
         // reports.
@@ -1122,19 +1508,39 @@ struct Service::Impl {
       const double done_s = tracer->seconds_since_epoch(done);
       for (Request& req : reqs) {
         if (req.trace_id == 0) continue;
+        // Zero-width markers under the request root: error (with the
+        // message interned), plus the resilience outcomes -- shed by
+        // admission, answered degraded, expired on deadline.
+        const auto marker = [&](std::uint16_t name) {
+          obs::SpanRecord m;
+          m.trace_id = req.trace_id;
+          m.span_id = tracer->new_span_id();
+          m.parent = req.trace_root;
+          m.name = name;
+          m.t_start = done_s;
+          m.t_end = done_s;
+          return m;
+        };
         if (!req.error.empty()) {
-          // Structured error marker: a zero-width child span carrying the
-          // (truncated) message as an interned attribute.
-          obs::SpanRecord e;
-          e.trace_id = req.trace_id;
-          e.span_id = tracer->new_span_id();
-          e.parent = req.trace_root;
-          e.name = tn.error;
-          e.t_start = done_s;
-          e.t_end = done_s;
+          obs::SpanRecord e = marker(tn.error);
           e.add_attr_slot(tn.k_error,
                           tracer->intern(req.error.substr(0, 64)));
           tracer->record(0, e);
+        }
+        if (req.admission != Admission::Normal && !req.control) {
+          obs::SpanRecord s = marker(tn.shed);
+          s.add_attr_slot(tn.k_error,
+                          tracer->intern(error_code_name(
+                              req.admission == Admission::ShedShutdown
+                                  ? ErrorCode::ShuttingDown
+                                  : ErrorCode::Overloaded)));
+          tracer->record(0, s);
+        }
+        if (req.degraded && req.error.empty()) {
+          tracer->record(0, marker(tn.degraded));
+        }
+        if (req.code == ErrorCode::DeadlineExceeded) {
+          tracer->record(0, marker(tn.deadline));
         }
         // Root span [enqueued, done]: its duration IS the reply's
         // latency_seconds, by construction.
@@ -1173,9 +1579,25 @@ struct Service::Impl {
       }
     }
     windows += 1;
-    window_max = std::max(window_max,
-                          static_cast<std::int64_t>(lines.size()));
-    busy_seconds += seconds_between(window_start, done);
+    // Only normally-admitted lines count against the window bound: shed
+    // lines ride along for their (cheap) structured replies and may push
+    // a window's raw line count past options.window.
+    std::int64_t normal_lines = 0;
+    for (const Request& req : reqs) {
+      if (req.admission == Admission::Normal) normal_lines += 1;
+    }
+    window_max = std::max(window_max, normal_lines);
+    const double wall = seconds_between(window_start, done);
+    busy_seconds += wall;
+    // Drain-rate EWMA feeding retry_after_ms: how many requests (of any
+    // kind) this window retired per busy second.  Smoothing factor 0.3 --
+    // reactive enough to track a storm, steady enough not to thrash the
+    // hint between windows.
+    if (wall > 0.0 && !reqs.empty()) {
+      const double rate = static_cast<double>(reqs.size()) / wall;
+      drain_rate_rps =
+          drain_rate_rps == 0.0 ? rate : 0.7 * drain_rate_rps + 0.3 * rate;
+    }
     return out;
   }
 
@@ -1189,7 +1611,14 @@ struct Service::Impl {
     counts.set("control", control_requests);
     counts.set("errors", errors);
     counts.set("predict_only", predict_only);
+    counts.set("degraded", degraded_requests);
     counts.set("measured", measured_requests);
+    obs::JsonValue by_code = obs::JsonValue::object();
+    for (std::size_t c = 1; c < kNumErrorCodes; ++c) {
+      by_code.set(error_code_name(static_cast<ErrorCode>(c)),
+                  errors_by_code[c]);
+    }
+    counts.set("errors_by_code", std::move(by_code));
     serve.set("requests", std::move(counts));
 
     const auto cache_json = [](const runtime::CacheStats& s,
@@ -1245,6 +1674,28 @@ struct Service::Impl {
     timing.set("queue_wait", obs::summarize(queue_samples).to_json());
     serve.set("timing", std::move(timing));
 
+    obs::JsonValue resilience = obs::JsonValue::object();
+    resilience.set("max_queue", static_cast<std::int64_t>(options.max_queue));
+    resilience.set("shed_policy",
+                   options.shed_policy == ShedPolicy::Reject ? "reject"
+                                                             : "degrade");
+    resilience.set("default_deadline_ms", options.default_deadline_ms);
+    resilience.set("shed_overloaded", shed_overloaded);
+    resilience.set("shed_shutdown", shed_shutdown);
+    resilience.set("degraded", degraded_requests);
+    resilience.set("deadline_exceeded",
+                   errors_by_code[static_cast<std::size_t>(
+                       ErrorCode::DeadlineExceeded)]);
+    resilience.set("deadline_partials", deadline_partials);
+    resilience.set(
+        "fault_aborts",
+        errors_by_code[static_cast<std::size_t>(ErrorCode::FaultAborted)]);
+    resilience.set("cancelled_blocks", cancelled_blocks);
+    resilience.set("queue_depth_peak", queue_depth_peak);
+    resilience.set("drain_rate_rps", drain_rate_rps);
+    resilience.set("retry_after_ms_hint", retry_after_ms());
+    serve.set("resilience", std::move(resilience));
+
     serve.set("busy_seconds", busy_seconds);
     serve.set("requests_per_second",
               busy_seconds > 0.0
@@ -1272,7 +1723,23 @@ std::vector<std::string> Service::handle_window(
   std::vector<TimedLine> timed;
   timed.reserve(lines.size());
   const auto now = Clock::now();
-  for (const std::string& line : lines) timed.push_back({line, now});
+  // Synchronous callers get the same admission contract as run(): lines
+  // beyond max_queue are shed (per shed_policy), and after a shutdown
+  // request only control lines still answer normally.
+  const std::size_t limit = impl_->options.max_queue;
+  std::size_t admitted = 0;
+  for (const std::string& line : lines) {
+    Admission a = Admission::Normal;
+    if (impl_->shutdown) {
+      a = Admission::ShedShutdown;
+    } else if (limit > 0 && admitted >= limit) {
+      a = Admission::ShedOverload;
+    } else {
+      ++admitted;
+    }
+    timed.push_back({line, now, a});
+  }
+  impl_->note_queue_depth(admitted);
   return impl_->process(std::move(timed));
 }
 
@@ -1302,26 +1769,79 @@ bool blank(const std::string& line) {
 
 void Service::run(std::istream& in, std::ostream& out) {
   std::int64_t served = 0;
+  // Admission control lives at this boundary: lines past `max_queue` are
+  // stamped ShedOverload and answered in the same flush as the window they
+  // overflowed (they never wait in the queue -- that is the point), so a
+  // reply may precede the reply of an earlier admitted line.  Clients
+  // correlate by id (docs/serve.md "Resilience").
+  std::deque<TimedLine> pending;
+  std::vector<TimedLine> shed;
+  const std::size_t limit = impl_->options.max_queue;
+  const auto admit = [&](std::string text) {
+    if (blank(text)) return;
+    TimedLine tl{std::move(text), Clock::now()};
+    if (limit > 0 && pending.size() >= limit) {
+      tl.admission = Admission::ShedOverload;
+      shed.push_back(std::move(tl));
+    } else {
+      pending.push_back(std::move(tl));
+    }
+  };
   std::string line;
   while (!impl_->shutdown &&
          (impl_->options.max_requests == 0 ||
           served < impl_->options.max_requests)) {
-    if (!std::getline(in, line)) break;
-    std::vector<TimedLine> window;
-    if (!blank(line)) window.push_back({line, Clock::now()});
+    if (pending.empty() && shed.empty()) {
+      if (!std::getline(in, line)) break;
+      admit(std::move(line));
+    }
     // Drain whatever is already buffered (never blocking on more input):
     // a bursty producer forms a batch, an interactive one stays per-line.
-    while (static_cast<int>(window.size()) < impl_->options.window &&
-           in.rdbuf()->in_avail() > 0) {
-      if (!std::getline(in, line)) break;
-      if (!blank(line)) window.push_back({line, Clock::now()});
+    while (in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      admit(std::move(line));
     }
+    impl_->note_queue_depth(pending.size());
+    std::vector<TimedLine> window;
+    window.reserve(std::min<std::size_t>(
+        pending.size() + shed.size(),
+        static_cast<std::size_t>(impl_->options.window) + shed.size()));
+    while (static_cast<int>(window.size()) < impl_->options.window &&
+           !pending.empty()) {
+      window.push_back(std::move(pending.front()));
+      pending.pop_front();
+    }
+    for (TimedLine& tl : shed) window.push_back(std::move(tl));
+    shed.clear();
     if (window.empty()) continue;
     served += static_cast<std::int64_t>(window.size());
     for (const std::string& response : impl_->process(std::move(window))) {
       out << response << "\n";
     }
     out.flush();
+  }
+  // Bounded shutdown drain: everything still queued or readable without
+  // blocking gets a structured `shutting_down` reply -- no request ends
+  // the session unanswered (the chaos harness asserts exactly this).
+  if (impl_->shutdown) {
+    while (in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      if (!blank(line)) pending.push_back({std::move(line), Clock::now()});
+    }
+    for (TimedLine& tl : shed) pending.push_back(std::move(tl));
+    shed.clear();
+    if (!pending.empty()) {
+      std::vector<TimedLine> leftovers;
+      leftovers.reserve(pending.size());
+      for (TimedLine& tl : pending) {
+        tl.admission = Admission::ShedShutdown;
+        leftovers.push_back(std::move(tl));
+      }
+      pending.clear();
+      for (const std::string& response :
+           impl_->process(std::move(leftovers))) {
+        out << response << "\n";
+      }
+      out.flush();
+    }
   }
 }
 
@@ -1354,34 +1874,112 @@ void Service::run_socket(const std::string& path) {
     if (fd < 0) break;
     std::string buffer;
     char chunk[4096];
-    while (!impl_->shutdown) {
-      const ssize_t n = ::read(fd, chunk, sizeof chunk);
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      // Batch every complete line currently buffered into one window.
-      std::vector<TimedLine> window;
-      std::size_t pos = 0;
-      for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
-           nl = buffer.find('\n', pos)) {
-        std::string one = buffer.substr(pos, nl - pos);
-        pos = nl + 1;
-        if (!blank(one)) window.push_back({std::move(one), Clock::now()});
-        if (static_cast<int>(window.size()) >= impl_->options.window) break;
+    std::deque<TimedLine> pending;
+    std::vector<TimedLine> shed;
+    const std::size_t limit = impl_->options.max_queue;
+    // After an oversized partial line is answered, the remainder of that
+    // line (bytes up to the next newline) is discarded, not re-parsed.
+    bool skipping_oversize = false;
+    const auto admit = [&](std::string text) {
+      if (blank(text)) return;
+      TimedLine tl{std::move(text), Clock::now()};
+      if (limit > 0 && pending.size() >= limit) {
+        tl.admission = Admission::ShedOverload;
+        shed.push_back(std::move(tl));
+      } else {
+        pending.push_back(std::move(tl));
       }
-      buffer.erase(0, pos);
-      if (window.empty()) continue;
-      served += static_cast<std::int64_t>(window.size());
+    };
+    const auto write_all = [&](const std::string& reply) {
+      std::size_t written = 0;
+      while (written < reply.size()) {
+        const ssize_t w =
+            ::write(fd, reply.data() + written, reply.size() - written);
+        if (w <= 0) return false;
+        written += static_cast<std::size_t>(w);
+      }
+      return true;
+    };
+    const auto respond = [&](std::vector<TimedLine> window) {
       std::string reply;
       for (const std::string& response : impl_->process(std::move(window))) {
         reply += response;
         reply += '\n';
       }
-      std::size_t written = 0;
-      while (written < reply.size()) {
-        const ssize_t w =
-            ::write(fd, reply.data() + written, reply.size() - written);
-        if (w <= 0) break;
-        written += static_cast<std::size_t>(w);
+      return write_all(reply);
+    };
+    bool alive = true;
+    while (alive && !impl_->shutdown) {
+      // Block on read() only when nothing actionable is buffered: a client
+      // that bursts more than one window of lines and then waits for its
+      // replies must not deadlock on the server also waiting.
+      if (pending.empty() && shed.empty()) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos = 0;
+        for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
+             nl = buffer.find('\n', pos)) {
+          std::string one = buffer.substr(pos, nl - pos);
+          pos = nl + 1;
+          if (skipping_oversize) {
+            skipping_oversize = false;  // tail of the answered line; drop it
+          } else {
+            admit(std::move(one));
+          }
+        }
+        buffer.erase(0, pos);
+        if (skipping_oversize) {
+          buffer.clear();  // still inside the oversized line
+        } else if (buffer.size() > impl_->options.max_line_bytes &&
+                   impl_->options.max_line_bytes > 0) {
+          // Feed the oversized partial through the normal pipeline: the
+          // parse-side length guard turns it into one accounted
+          // `bad_request` reply, and we skip until its newline arrives.
+          admit(std::move(buffer));
+          buffer.clear();
+          skipping_oversize = true;
+        }
+        if (pending.empty() && shed.empty()) continue;
+      }
+      impl_->note_queue_depth(pending.size());
+      std::vector<TimedLine> window;
+      while (static_cast<int>(window.size()) < impl_->options.window &&
+             !pending.empty()) {
+        window.push_back(std::move(pending.front()));
+        pending.pop_front();
+      }
+      for (TimedLine& tl : shed) window.push_back(std::move(tl));
+      shed.clear();
+      served += static_cast<std::int64_t>(window.size());
+      alive = respond(std::move(window));
+    }
+    // Bounded shutdown drain: answer everything this client already sent
+    // (queued lines plus any complete buffered ones) with structured
+    // `shutting_down` errors before closing.
+    if (impl_->shutdown && alive) {
+      std::size_t pos = 0;
+      for (std::size_t nl = buffer.find('\n'); nl != std::string::npos;
+           nl = buffer.find('\n', pos)) {
+        std::string one = buffer.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (skipping_oversize) {
+          skipping_oversize = false;
+        } else if (!blank(one)) {
+          pending.push_back({std::move(one), Clock::now()});
+        }
+      }
+      for (TimedLine& tl : shed) pending.push_back(std::move(tl));
+      shed.clear();
+      if (!pending.empty()) {
+        std::vector<TimedLine> leftovers;
+        leftovers.reserve(pending.size());
+        for (TimedLine& tl : pending) {
+          tl.admission = Admission::ShedShutdown;
+          leftovers.push_back(std::move(tl));
+        }
+        pending.clear();
+        (void)respond(std::move(leftovers));
       }
     }
     ::close(fd);

@@ -39,6 +39,28 @@
 // {"cmd": "trace"} and {"cmd": "shutdown"} report live metrics / snapshot
 // the span trace / stop the server.  Malformed requests produce
 // {"ok": false, "error": ...} responses, never a dead server.
+//
+// Resilience (docs/serve.md "Resilience"): a bounded pending queue
+// (`max_queue`) sheds excess load either with structured `overloaded`
+// errors (ShedPolicy::Reject) or by answering from the Table-6 model layer
+// alone -- no engine execution -- with `"degraded": true` plus a
+// `"confidence"` score (ShedPolicy::Degrade).  Requests carry an optional
+// `deadline_ms`; past-deadline work is cancelled between execute blocks
+// (runtime::ThreadPool's CancelFn) and answered `deadline_exceeded`, with
+// the model ranking attached as `"partial"` when it was already computed.
+// Every error reply names a machine-readable `error_code`
+// (bad_request | overloaded | deadline_exceeded | shutting_down |
+// fault_abort | internal), and overloaded / deadline_exceeded /
+// shutting_down replies carry a `retry_after_ms` hint derived from the
+// observed window drain rate.  {"cmd": "shutdown"} drains bounded: the
+// shutdown's own window is answered normally, everything still queued or
+// buffered gets a `shutting_down` error -- no request goes unanswered.
+// An engine FaultAbort becomes a structured `fault_abort` error carrying
+// the abort's strategy/src/dst/path/attempts; sibling requests in the
+// same window are unaffected.  Control lines are never shed, so stats
+// stay reachable under storm.  All of it is counted in the metrics
+// artifact's `serve.resilience` section and exercised end-to-end by the
+// chaos harness (serve/chaos.hpp, bench/serve_chaos.cpp).
 
 #include <cstddef>
 #include <cstdint>
@@ -50,6 +72,15 @@
 #include "obs/json.hpp"
 
 namespace hetcomm::serve {
+
+/// What happens to data requests admitted beyond the pending-queue bound.
+enum class ShedPolicy {
+  /// Reply {"ok": false, "error_code": "overloaded", "retry_after_ms": N}.
+  Reject,
+  /// Answer from the strategy model + plan cache only (no engine lanes):
+  /// {"ok": true, "degraded": true, "confidence": C, ...ranking...}.
+  Degrade,
+};
 
 struct ServiceOptions {
   /// Worker threads executing request groups (0 = hardware concurrency).
@@ -70,6 +101,22 @@ struct ServiceOptions {
   /// Stop run() after this many data requests (0 = unlimited); control
   /// lines do not count.  CI smoke uses this as a safety stop.
   std::int64_t max_requests = 0;
+  /// Admission control: data requests pending beyond this bound are shed
+  /// per `shed_policy` (0 = unbounded, the backward-compatible default).
+  /// Control lines are never shed -- stats/shutdown work under storm.
+  std::size_t max_queue = 0;
+  /// What shedding does to over-bound requests (reject vs degrade).
+  ShedPolicy shed_policy = ShedPolicy::Reject;
+  /// Deadline applied to data requests that do not carry their own
+  /// `deadline_ms` field (0 = none).  A request's explicit `deadline_ms: 0`
+  /// expires immediately -- it parses and ranks, then answers
+  /// `deadline_exceeded` with the ranking as `partial` (deterministic, the
+  /// contract tests rely on it).
+  std::int64_t default_deadline_ms = 0;
+  /// Longest accepted socket request line in bytes; a client that streams
+  /// more without a newline gets one `bad_request` error and its buffer
+  /// dropped instead of growing the server's memory without bound.
+  std::size_t max_line_bytes = 1u << 20;
   /// Machine used when a request names none.
   std::string default_machine = "lassen";
   /// Measurement noise level, matching the CLI's measure defaults.

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -192,6 +193,194 @@ TEST(ServeTest, StatsAndShutdownControlLines) {
   EXPECT_TRUE(bye.at("ok").as_bool());
   EXPECT_TRUE(bye.at("shutdown").as_bool());
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+// ---------------------------------------------------------------------
+// Resilience contract (docs/serve.md "Resilience").
+// ---------------------------------------------------------------------
+
+TEST(ServeTest, ShutdownDrainAnswersEverythingQueued) {
+  // run() must never swallow requests buffered behind a shutdown: the
+  // shutdown's window answers normally, the rest drain with structured
+  // shutting_down errors.
+  ServiceOptions options;
+  options.window = 2;
+  Service service(options);
+  const std::string r =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 0})";
+  std::istringstream in(r + "\n" + R"({"cmd": "shutdown"})" + "\n" + r + "\n" +
+                        r + "\n");
+  std::ostringstream out;
+  service.run(in, out);
+  EXPECT_TRUE(service.shutdown_requested());
+
+  std::vector<JsonValue> replies;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty()) replies.push_back(parse(line));
+  }
+  ASSERT_EQ(replies.size(), 4u);  // one reply per input line, none lost
+  EXPECT_TRUE(replies[0].at("ok").as_bool());
+  EXPECT_TRUE(replies[1].at("shutdown").as_bool());
+  for (std::size_t i = 2; i < replies.size(); ++i) {
+    EXPECT_FALSE(replies[i].at("ok").as_bool());
+    EXPECT_EQ(replies[i].at("error_code").as_string(), "shutting_down");
+    EXPECT_GE(replies[i].at("retry_after_ms").as_int(), 1);
+  }
+}
+
+TEST(ServeTest, OverloadShedsWithRetryHintAndSparesControlLines) {
+  ServiceOptions options;
+  options.max_queue = 1;
+  Service service(options);
+  const std::string r =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 2, "seed": 1})";
+  const std::vector<std::string> replies =
+      service.handle_window({r, r, r, R"({"id": "s", "cmd": "stats"})"});
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_TRUE(parse(replies[0]).at("ok").as_bool());
+  for (int i = 1; i < 3; ++i) {
+    const JsonValue doc = parse(replies[i]);
+    EXPECT_FALSE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("error_code").as_string(), "overloaded");
+    const std::int64_t hint = doc.at("retry_after_ms").as_int();
+    EXPECT_GE(hint, 1);
+    EXPECT_LE(hint, 60000);
+  }
+  // Control lines are never shed -- stats stays reachable under storm.
+  const JsonValue stats = parse(replies[3]);
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  const JsonValue& resil = stats.at("stats").at("serve").at("resilience");
+  EXPECT_EQ(resil.at("shed_overloaded").as_int(), 2);
+  EXPECT_EQ(resil.at("shed_policy").as_string(), "reject");
+}
+
+TEST(ServeTest, DegradePolicyAnswersFromTheModelLayer) {
+  ServiceOptions options;
+  options.max_queue = 1;
+  options.shed_policy = ShedPolicy::Degrade;
+  Service service(options);
+  const std::string r =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 3, "seed": 4})";
+  const std::vector<std::string> replies = service.handle_window({r, r});
+  ASSERT_EQ(replies.size(), 2u);
+  const JsonValue full = parse(replies[0]);
+  ASSERT_TRUE(full.at("ok").as_bool());
+  EXPECT_TRUE(full.contains("measured"));
+  EXPECT_FALSE(full.contains("degraded"));
+
+  const JsonValue shed = parse(replies[1]);
+  ASSERT_TRUE(shed.at("ok").as_bool());
+  EXPECT_TRUE(shed.at("degraded").as_bool());
+  EXPECT_FALSE(shed.contains("measured"));  // no engine lanes ran
+  const double confidence = shed.at("confidence").as_double();
+  EXPECT_GE(confidence, 0.0);
+  EXPECT_LE(confidence, 1.0);
+  // Degradation costs measurement detail, never a different answer.
+  EXPECT_EQ(shed.at("recommended").as_string(),
+            full.at("recommended").as_string());
+
+  const JsonValue metrics = service.metrics_json();
+  EXPECT_EQ(metrics.at("serve").at("requests").at("degraded").as_int(), 1);
+}
+
+TEST(ServeTest, DeadlineZeroExpiresWithPartialRanking) {
+  Service service;
+  const JsonValue doc = parse(service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 5, "deadline_ms": 0})"));
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error_code").as_string(), "deadline_exceeded");
+  EXPECT_GE(doc.at("retry_after_ms").as_int(), 1);
+  // The ranking was computed before the deadline fired; it rides along.
+  const machine::MachineModel model = machine::resolve_machine("lassen");
+  const core::Advisor advisor(model.topology(2), model.params);
+  const std::vector<core::Recommendation> expect =
+      advisor.rank(reference_pattern(), {});
+  const JsonValue& partial = doc.at("partial");
+  EXPECT_EQ(partial.at("recommended").as_string(),
+            expect.front().config.name());
+  ASSERT_EQ(partial.at("ranking").size(), expect.size());
+
+  const JsonValue metrics = service.metrics_json();
+  const JsonValue& resil = metrics.at("serve").at("resilience");
+  EXPECT_EQ(resil.at("deadline_exceeded").as_int(), 1);
+  EXPECT_EQ(resil.at("deadline_partials").as_int(), 1);
+}
+
+TEST(ServeTest, FaultAbortIsStructuredAndSparesWindowSiblings) {
+  const std::string faults_path =
+      std::string(HETCOMM_TEST_DATA_DIR) + "/flaky_abort.json";
+  const std::string sibling =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 3, "seed": 9})";
+  const std::string faulted =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 3, "seed": 9, "faults": ")" +
+      faults_path + R"("})";
+
+  Service service;
+  const std::vector<std::string> replies =
+      service.handle_window({faulted, sibling});
+  ASSERT_EQ(replies.size(), 2u);
+
+  const JsonValue bad = parse(replies[0]);
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error_code").as_string(), "fault_abort");
+  const JsonValue& fault = bad.at("fault");
+  EXPECT_EQ(fault.at("strategy").as_string(), "split+MD");
+  EXPECT_FALSE(fault.at("reason").as_string().empty());
+  EXPECT_FALSE(fault.at("path").as_string().empty());
+  EXPECT_GE(fault.at("src").as_int(), 0);
+  EXPECT_GE(fault.at("dst").as_int(), 0);
+  // flaky-abort retries max_attempts=2 at loss probability 1.
+  EXPECT_EQ(fault.at("attempts").as_int(), 2);
+
+  // The sibling lane in the same window is untouched: its numbers match a
+  // one-shot service that never saw the fault.
+  const JsonValue good = parse(replies[1]);
+  ASSERT_TRUE(good.at("ok").as_bool());
+  Service oneshot;
+  const JsonValue expect = parse(oneshot.handle_line(sibling));
+  ASSERT_TRUE(expect.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(good.at("measured").at("max_avg").as_double(),
+                   expect.at("measured").at("max_avg").as_double());
+
+  const JsonValue metrics = service.metrics_json();
+  const JsonValue& serve = metrics.at("serve");
+  EXPECT_EQ(serve.at("resilience").at("fault_aborts").as_int(), 1);
+  EXPECT_EQ(
+      serve.at("requests").at("errors_by_code").at("fault_abort").as_int(), 1);
+}
+
+TEST(ServeTest, StatsCountersBalanceAfterMixedTraffic) {
+  ServiceOptions options;
+  options.max_queue = 2;
+  Service service(options);
+  const std::string r =
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "strategy": "split+MD", "reps": 2, "seed": 3})";
+  (void)service.handle_window({r, r, r, r, "not json", R"({"cmd": "stats"})"});
+  (void)service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, )" + pattern_body() +
+      R"(, "reps": 0})");
+
+  const JsonValue metrics = service.metrics_json();
+  const JsonValue& requests = metrics.at("serve").at("requests");
+  std::int64_t sum = 0;
+  for (const char* bucket :
+       {"control", "errors", "degraded", "predict_only", "measured"}) {
+    sum += requests.at(bucket).as_int();
+  }
+  EXPECT_EQ(sum, requests.at("total").as_int());
+  std::int64_t code_sum = 0;
+  for (const auto& member : requests.at("errors_by_code").members()) {
+    code_sum += member.second.as_int();
+  }
+  EXPECT_EQ(code_sum, requests.at("errors").as_int());
 }
 
 TEST(ServeTest, ZeroCapacityCacheCompilesEveryQuery) {

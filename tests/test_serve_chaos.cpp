@@ -1,0 +1,98 @@
+#include "serve/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "serve/service.hpp"
+
+namespace hetcomm::serve::chaos {
+namespace {
+
+// Tier-1 contract run of the chaos harness: small N, fixed seed, every
+// phase on (storm, malformed bursts, FaultAborts, deadline mix, degraded
+// agreement, socket clients).  The harness does its own invariant
+// checking -- this test asserts the verdict and spells out the violations
+// when it fails so the failing schedule replays from the printed seed.
+
+ChaosOptions small_options(std::uint64_t seed) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.requests = 12;
+  options.storm_factor = 4;
+  options.max_queue = 4;
+  options.reps = 2;
+  options.window = 8;
+  options.hot_patterns = 2;
+  options.faults_path = std::string(HETCOMM_TEST_DATA_DIR) +
+                        "/flaky_abort.json";
+  return options;
+}
+
+std::string violations_of(const ChaosReport& report) {
+  std::string all;
+  for (const std::string& v : report.violations) all += "\n  " + v;
+  return all.empty() ? std::string("(none)") : all;
+}
+
+TEST(ServeChaosTest, SeededRunUnderRejectPolicyPasses) {
+  const ChaosOptions options = small_options(11);
+  const ChaosReport report = run_chaos(options);
+  EXPECT_TRUE(report.passed())
+      << "seed " << report.seed << ":" << violations_of(report);
+  EXPECT_EQ(report.answered_total, report.sent_total);
+  EXPECT_EQ(report.mismatched_replies, 0);
+  EXPECT_TRUE(report.counters_balanced);
+  EXPECT_GE(report.degraded_agreement, 0.8);
+}
+
+TEST(ServeChaosTest, SeededRunUnderDegradePolicyPasses) {
+  ChaosOptions options = small_options(23);
+  options.shed_policy = ShedPolicy::Degrade;
+  options.socket_phase = false;  // the reject run covers the socket phase
+  const ChaosReport report = run_chaos(options);
+  EXPECT_TRUE(report.passed())
+      << "seed " << report.seed << ":" << violations_of(report);
+  EXPECT_EQ(report.answered_total, report.sent_total);
+  EXPECT_TRUE(report.counters_balanced);
+  // Under Degrade, sheds answer ok -- no overloaded code may appear.
+  for (const auto& [code, count] : report.reply_codes) {
+    EXPECT_NE(code, "overloaded") << count << " overloaded replies";
+  }
+}
+
+TEST(ServeChaosTest, ReportRoundTripsThroughJson) {
+  ChaosOptions options = small_options(5);
+  options.requests = 4;
+  options.hot_patterns = 0;  // skip the agreement phase; shape test only
+  options.socket_phase = false;
+  options.faults_path.clear();
+  const ChaosReport report = run_chaos(options);
+  EXPECT_TRUE(report.passed())
+      << "seed " << report.seed << ":" << violations_of(report);
+  const obs::JsonValue doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "hetcomm.serve_chaos.v1");
+  EXPECT_EQ(doc.at("seed").as_int(), 5);
+  EXPECT_EQ(doc.at("sent_total").as_int(), report.sent_total);
+  EXPECT_TRUE(doc.at("passed").as_bool());
+  EXPECT_GE(doc.at("phases").size(), 3u);
+}
+
+TEST(ServeChaosTest, BuiltinMalformedLinesAllAnswerBadRequest) {
+  Service service;
+  for (const std::string& line : builtin_malformed_lines()) {
+    const obs::JsonValue doc =
+        obs::JsonValue::parse(service.handle_line(line));
+    EXPECT_FALSE(doc.at("ok").as_bool()) << line;
+    EXPECT_EQ(doc.at("error_code").as_string(), "bad_request") << line;
+  }
+  // The service survives the whole corpus and still answers real work.
+  const obs::JsonValue ok = obs::JsonValue::parse(service.handle_line(
+      R"({"machine": "lassen", "nodes": 2, "pattern": {"gpus": 8, )"
+      R"("msgs": [[0, 4, 4096]]}, "reps": 0})"));
+  EXPECT_TRUE(ok.at("ok").as_bool()) << ok.dump_string();
+}
+
+}  // namespace
+}  // namespace hetcomm::serve::chaos

@@ -5,9 +5,13 @@
 //
 // Parses each file with the strict obs JSON parser and checks the schema
 // contract CI relies on: schema tag, a "serve" section with request
-// counters that add up, cache sections (plan + pattern) whose hit/miss
-// accounting is internally consistent, batching counters, and the timing
-// summaries (compile, execute, latency, queue_wait).  Exits non-zero with
+// counters that add up (control + errors + degraded + predict_only +
+// measured == total; errors_by_code sums to errors), cache sections
+// (plan + pattern) whose hit/miss accounting is internally consistent,
+// batching counters, the resilience section (shed/deadline/fault-abort
+// counters consistent with errors_by_code, retry hint in range), and the
+// timing summaries (compile, execute, latency, queue_wait).  Exits
+// non-zero with
 // a one-line diagnostic on the first violation so a malformed serve-smoke
 // artifact fails the pipeline instead of uploading.
 
@@ -118,11 +122,25 @@ void validate_file(const std::string& file) {
       require_count(file, requests, "errors", "serve.requests");
   const std::int64_t predict =
       require_count(file, requests, "predict_only", "serve.requests");
+  const std::int64_t degraded =
+      require_count(file, requests, "degraded", "serve.requests");
   const std::int64_t measured =
       require_count(file, requests, "measured", "serve.requests");
-  // Every request is exactly one of: control, error, predict-only, measured.
-  if (control + errors + predict + measured != total) {
+  // Every request is exactly one of: control, error, degraded,
+  // predict-only, measured.
+  if (control + errors + predict + degraded + measured != total) {
     fail(file, "serve.requests counters do not add up to total");
+  }
+  const JsonValue& by_code =
+      require(file, requests, "errors_by_code", JsonValue::Kind::Object);
+  std::int64_t code_sum = 0;
+  for (const auto& member : by_code.members()) {
+    code_sum +=
+        require_count(file, by_code, member.first, "serve.requests"
+                                                   ".errors_by_code");
+  }
+  if (code_sum != errors) {
+    fail(file, "serve.requests.errors_by_code does not sum to errors");
   }
 
   const JsonValue& cache =
@@ -196,6 +214,55 @@ void validate_file(const std::string& file) {
   check_summary(file,
                 require(file, timing, "queue_wait", JsonValue::Kind::Object),
                 "serve.timing.queue_wait");
+
+  const JsonValue& resil =
+      require(file, serve, "resilience", JsonValue::Kind::Object);
+  require_count(file, resil, "max_queue", "serve.resilience");
+  const std::string policy =
+      require(file, resil, "shed_policy", JsonValue::Kind::String).as_string();
+  if (policy != "reject" && policy != "degrade") {
+    fail(file, "serve.resilience.shed_policy must be reject|degrade");
+  }
+  require_count(file, resil, "default_deadline_ms", "serve.resilience");
+  require_count(file, resil, "shed_overloaded", "serve.resilience");
+  require_count(file, resil, "shed_shutdown", "serve.resilience");
+  const std::int64_t resil_degraded =
+      require_count(file, resil, "degraded", "serve.resilience");
+  if (resil_degraded != degraded) {
+    fail(file, "serve.resilience.degraded disagrees with serve.requests");
+  }
+  if (policy == "reject" && degraded != 0) {
+    fail(file, "degraded answers under the reject shed policy");
+  }
+  const std::int64_t deadline_errors =
+      require_count(file, resil, "deadline_exceeded", "serve.resilience");
+  if (const JsonValue* dl = by_code.find("deadline_exceeded");
+      dl != nullptr && dl->as_int() != deadline_errors) {
+    fail(file, "serve.resilience.deadline_exceeded disagrees with "
+               "errors_by_code");
+  }
+  const std::int64_t partials =
+      require_count(file, resil, "deadline_partials", "serve.resilience");
+  if (partials > deadline_errors) {
+    fail(file, "serve.resilience.deadline_partials exceeds deadline_exceeded");
+  }
+  const std::int64_t fault_aborts =
+      require_count(file, resil, "fault_aborts", "serve.resilience");
+  if (const JsonValue* fa = by_code.find("fault_abort");
+      fa != nullptr && fa->as_int() != fault_aborts) {
+    fail(file, "serve.resilience.fault_aborts disagrees with errors_by_code");
+  }
+  require_count(file, resil, "cancelled_blocks", "serve.resilience");
+  require_count(file, resil, "queue_depth_peak", "serve.resilience");
+  if (require_number(file, resil, "drain_rate_rps").as_double() < 0.0) {
+    fail(file, "serve.resilience.drain_rate_rps must be >= 0");
+  }
+  const std::int64_t retry_hint =
+      require(file, resil, "retry_after_ms_hint", JsonValue::Kind::Int)
+          .as_int();
+  if (retry_hint < 1 || retry_hint > 60000) {
+    fail(file, "serve.resilience.retry_after_ms_hint outside [1, 60000]");
+  }
 
   if (require_number(file, serve, "busy_seconds").as_double() < 0.0) {
     fail(file, "serve.busy_seconds must be >= 0");
